@@ -1,0 +1,231 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * per-destination connection reuse vs reconnect-per-batch (the
+//!   paper's "multiple messages delivered over one connection" claim),
+//! * `WsThread` pool size under blocked destinations,
+//! * WS-MsgBox pooled worker count,
+//! * security-policy chain cost on the RPC forwarding path,
+//! * registry balance strategies.
+//!
+//! Each ablation prints the measured outcome once (throughput etc.) and
+//! benchmarks the wall time of the underlying run.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsd_core::config::{MsgBoxConfig, MsgBoxStrategy};
+use wsd_core::msg::MsgCore;
+use wsd_core::registry::{BalanceStrategy, Registry};
+use wsd_core::security::{attach_token, MaxSize, PolicyChain, TokenAuth};
+use wsd_core::sim::{EchoMode, SimEchoService, SimMsgBox, SimMsgDispatcher, WsThreadConfig};
+use wsd_core::url::Url;
+use wsd_loadgen::ramp::ClientPlacement;
+use wsd_loadgen::{spawn_msg_fleet, MsgClientConfig, ReplyMode};
+use wsd_netsim::{FirewallPolicy, HostConfig, SimDuration, SimTime, Simulation};
+
+const WINDOW: u64 = 5;
+
+/// One msgbox-style run with a parameterized dispatcher; returns WS
+/// messages processed.
+fn msg_run(ws_config: WsThreadConfig, clients: usize) -> u64 {
+    let mut sim = Simulation::new(0xAB1A);
+    let ws_host = sim.add_host(HostConfig::named("ws"));
+    let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+    let mb_host = sim.add_host(HostConfig::named("msgbox"));
+    let client_host =
+        sim.add_host(HostConfig::named("clients").firewall(FirewallPolicy::OutboundOnly));
+    let svc = SimEchoService::new(
+        EchoMode::OneWay {
+            workers: 16,
+            connect_timeout: SimDuration::from_secs(3),
+        },
+        SimDuration::from_millis(5),
+    );
+    let svc_stats = svc.stats();
+    let p = sim.spawn(ws_host, Box::new(svc));
+    sim.listen(p, 8888);
+    let registry = Arc::new(Registry::new());
+    registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+    let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 5);
+    let disp = SimMsgDispatcher::new(core, SimDuration::from_millis(2), ws_config);
+    let p = sim.spawn(disp_host, Box::new(disp));
+    sim.listen(p, 8080);
+    let mbox = SimMsgBox::new(MsgBoxConfig::default(), SimDuration::from_millis(1), 5);
+    let p = sim.spawn(mb_host, Box::new(mbox));
+    sim.listen(p, 8082);
+    let _fleet = spawn_msg_fleet(
+        &mut sim,
+        ClientPlacement::SharedHost(client_host),
+        clients,
+        &MsgClientConfig {
+            target_host: "dispatcher".into(),
+            target_port: 8080,
+            path: "/msg".into(),
+            to_address: "http://dispatcher/svc/Echo".into(),
+            reply_mode: ReplyMode::Mailbox {
+                host: "msgbox".into(),
+                port: 8082,
+                poll_interval: SimDuration::from_secs(1),
+            },
+            connect_timeout: SimDuration::from_secs(3),
+            retry_backoff: SimDuration::from_millis(100),
+            run_for: SimDuration::from_secs(WINDOW),
+            client_name: "abl".into(),
+        },
+        SimDuration::from_millis(500),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(WINDOW));
+    svc_stats.processed()
+}
+
+fn bench_connection_reuse(c: &mut Criterion) {
+    // The paper's efficiency claim: a kept-open connection per
+    // destination beats short-lived connections.
+    let reuse = WsThreadConfig {
+        linger: SimDuration::from_secs(15),
+        ..WsThreadConfig::default()
+    };
+    let no_reuse = WsThreadConfig {
+        linger: SimDuration::ZERO,
+        ..WsThreadConfig::default()
+    };
+    let with = msg_run(reuse.clone(), 20);
+    let without = msg_run(no_reuse.clone(), 20);
+    println!("# ablation: connection reuse — processed with={with} without={without}");
+
+    let mut g = c.benchmark_group("ablation_connection_reuse");
+    g.sample_size(10);
+    g.bench_function("kept_open", |b| {
+        b.iter(|| std::hint::black_box(msg_run(reuse.clone(), 20)))
+    });
+    g.bench_function("reconnect_each_batch", |b| {
+        b.iter(|| std::hint::black_box(msg_run(no_reuse.clone(), 20)))
+    });
+    g.finish();
+}
+
+fn bench_ws_pool_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ws_pool_size");
+    g.sample_size(10);
+    for threads in [2usize, 8, 32] {
+        let cfg = WsThreadConfig {
+            threads,
+            ..WsThreadConfig::default()
+        };
+        let processed = msg_run(cfg.clone(), 30);
+        println!("# ablation: ws_threads={threads} processed={processed}");
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| std::hint::black_box(msg_run(cfg.clone(), 30)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_msgbox_workers(c: &mut Criterion) {
+    let run = |workers: usize| -> u64 {
+        let mut sim = Simulation::new(0xAB1B);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let client_host = sim.add_host(HostConfig::named("clients"));
+        let mbox = SimMsgBox::new(
+            MsgBoxConfig {
+                strategy: MsgBoxStrategy::Pooled { workers },
+                ..MsgBoxConfig::default()
+            },
+            SimDuration::from_millis(5),
+            5,
+        );
+        let stats = mbox.stats();
+        let p = sim.spawn(mb_host, Box::new(mbox));
+        sim.listen(p, 8082);
+        // Saturating RPC load from 20 closed-loop clients.
+        let _fleet = spawn_msg_fleet(
+            &mut sim,
+            ClientPlacement::SharedHost(client_host),
+            20,
+            &MsgClientConfig {
+                target_host: "msgbox".into(),
+                target_port: 8082,
+                path: "/msgbox".into(),
+                to_address: "http://msgbox:8082/msgbox".into(),
+                reply_mode: ReplyMode::Callback {
+                    url: "http://clients:{port}/cb".into(),
+                },
+                connect_timeout: SimDuration::from_secs(3),
+                retry_backoff: SimDuration::from_millis(100),
+                run_for: SimDuration::from_secs(WINDOW),
+                client_name: "mb".into(),
+            },
+            SimDuration::from_millis(200),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(WINDOW));
+        stats.rpc_calls()
+    };
+    let mut g = c.benchmark_group("ablation_msgbox_workers");
+    g.sample_size(10);
+    for workers in [1usize, 4, 16] {
+        let served = run(workers);
+        println!("# ablation: msgbox workers={workers} rpc_calls={served}");
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| std::hint::black_box(run(w)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_security_chain(c: &mut Criterion) {
+    // Cost added per message by the firewall-for-Web-Services checks.
+    let registry = Arc::new(Registry::new());
+    registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+    let plain = PolicyChain::new();
+    let checked = PolicyChain::new()
+        .with(MaxSize(64 * 1024))
+        .with(TokenAuth::new(["sso"]));
+    let mut env = wsd_soap::rpc::echo_request(wsd_soap::SoapVersion::V11, "x");
+    attach_token(&mut env, "sso");
+    let req = wsd_http::Request::soap_post(
+        "dispatcher",
+        "/svc/Echo",
+        wsd_soap::SoapVersion::V11.content_type(),
+        env.to_xml().into_bytes(),
+    );
+    let mut g = c.benchmark_group("ablation_security");
+    g.bench_function("plan_forward_no_policies", |b| {
+        b.iter(|| wsd_core::rpc::plan_forward(&registry, &plain, &req).unwrap())
+    });
+    g.bench_function("plan_forward_with_sso_chain", |b| {
+        b.iter(|| wsd_core::rpc::plan_forward(&registry, &checked, &req).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_balance_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_balance");
+    for strategy in [
+        BalanceStrategy::First,
+        BalanceStrategy::RoundRobin,
+        BalanceStrategy::LeastPending,
+    ] {
+        let registry = Registry::new().with_strategy(strategy);
+        registry.register_many(
+            "S",
+            (0..8)
+                .map(|i| Url::parse(&format!("http://w{i}/s")).unwrap())
+                .collect(),
+            None,
+        );
+        g.bench_function(format!("{strategy:?}"), |b| {
+            b.iter(|| registry.lookup("S").unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_connection_reuse,
+    bench_ws_pool_size,
+    bench_msgbox_workers,
+    bench_security_chain,
+    bench_balance_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! The `wsd-concurrent` substrate under contention: the queue between
+//! the CxThread/WsThread stages, the registry's sharded map, and pool
+//! dispatch overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsd_concurrent::{FifoQueue, PoolConfig, ShardedMap, ThreadPool};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.bench_function("uncontended_push_pop", |b| {
+        let q = FifoQueue::bounded(1024);
+        b.iter(|| {
+            q.push(1u64).unwrap();
+            q.pop().unwrap()
+        })
+    });
+    for producers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("mpmc_10k_messages", producers),
+            &producers,
+            |b, &producers| {
+                b.iter(|| {
+                    let q = FifoQueue::bounded(256);
+                    std::thread::scope(|s| {
+                        for p in 0..producers {
+                            let q = q.clone();
+                            s.spawn(move || {
+                                for i in 0..10_000 / producers {
+                                    q.push(p * 100_000 + i).unwrap();
+                                }
+                            });
+                        }
+                        let q2 = q.clone();
+                        s.spawn(move || {
+                            let mut got = 0;
+                            while got < 10_000 / producers * producers {
+                                if q2.pop().is_ok() {
+                                    got += 1;
+                                }
+                            }
+                        });
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_map");
+    // Ablation axis: shard count under concurrent readers (the
+    // registry's workload: lookups dominate).
+    for shards in [1usize, 4, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("concurrent_lookups", shards),
+            &shards,
+            |b, &shards| {
+                let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::with_shards(shards));
+                for i in 0..1024u64 {
+                    m.insert(i, i);
+                }
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..4u64 {
+                            let m = Arc::clone(&m);
+                            s.spawn(move || {
+                                let mut acc = 0u64;
+                                for i in 0..5_000u64 {
+                                    acc = acc.wrapping_add(
+                                        m.get(&((i * 31 + t) % 1024)).unwrap_or(0),
+                                    );
+                                }
+                                std::hint::black_box(acc)
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    g.bench_function("insert_remove", |b| {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.insert(i, i);
+            m.remove(&i)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thread_pool");
+    g.sample_size(20);
+    for workers in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("dispatch_10k_tasks", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let pool = ThreadPool::new(PoolConfig::fixed("bench", workers)).unwrap();
+                    let latch = wsd_concurrent::CountDownLatch::new(10_000);
+                    for _ in 0..10_000 {
+                        let latch = latch.clone();
+                        pool.execute(move || latch.count_down()).unwrap();
+                    }
+                    latch.wait();
+                    pool.shutdown();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_map, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4: wall-time to simulate the low-broadband RPC series at
+//! representative client counts, plus a one-shot print of the series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsd_bench::BENCH_WINDOW_SECS;
+use wsd_experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    fig4::print(&fig4::run(BENCH_WINDOW_SECS, &[10, 100, 500, 2000]));
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for &clients in &[10usize, 100, 500] {
+        g.bench_with_input(
+            BenchmarkId::new("direct", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| std::hint::black_box(fig4::run_one(clients, false, BENCH_WINDOW_SECS)))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dispatched", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| std::hint::black_box(fig4::run_one(clients, true, BENCH_WINDOW_SECS)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

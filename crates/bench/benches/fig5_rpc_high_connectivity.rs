@@ -1,0 +1,33 @@
+//! Figure 5: wall-time to simulate the high-connectivity RPC series,
+//! plus a one-shot print of the series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsd_bench::BENCH_WINDOW_SECS;
+use wsd_experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    fig5::print(&fig5::run(BENCH_WINDOW_SECS, &[25, 100, 200, 300]));
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for &clients in &[25usize, 100, 300] {
+        g.bench_with_input(
+            BenchmarkId::new("direct", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| std::hint::black_box(fig5::run_one(clients, false, BENCH_WINDOW_SECS)))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dispatched", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| std::hint::black_box(fig5::run_one(clients, true, BENCH_WINDOW_SECS)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

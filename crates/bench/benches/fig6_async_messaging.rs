@@ -1,0 +1,38 @@
+//! Figure 6: wall-time to simulate each asynchronous-messaging series,
+//! plus the WS-MsgBox OOM reproduction, plus a one-shot series print.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsd_bench::BENCH_WINDOW_SECS;
+use wsd_experiments::fig6::{self, Series};
+
+fn bench(c: &mut Criterion) {
+    fig6::print(&fig6::run(BENCH_WINDOW_SECS, &[1, 10, 30, 50]));
+    fig6::print_oom(&fig6::run_oom(60, BENCH_WINDOW_SECS));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for series in [
+        Series::DirectBlocked,
+        Series::Dispatcher,
+        Series::DispatcherWithMsgBox,
+    ] {
+        for &clients in &[10usize, 50] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{series:?}"), clients),
+                &clients,
+                |b, &clients| {
+                    b.iter(|| {
+                        std::hint::black_box(fig6::run_one(series, clients, BENCH_WINDOW_SECS))
+                    })
+                },
+            );
+        }
+    }
+    g.bench_function("oom_reproduction", |b| {
+        b.iter(|| std::hint::black_box(fig6::run_oom(60, BENCH_WINDOW_SECS)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Per-layer micro-benches on the paper's 483-byte echo message: the
+//! costs the dispatcher pays on every single message — XML parsing,
+//! envelope interpretation, WS-Addressing rewrite, HTTP framing — for
+//! both SOAP versions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wsd_core::url::Url;
+use wsd_http::{parse_request_bytes, request_bytes, Request};
+use wsd_soap::{rpc, Envelope, SoapVersion};
+use wsd_wsa::{rewrite_for_forward, EndpointReference, WsaHeaders};
+
+fn addressed_request(version: SoapVersion) -> Envelope {
+    let mut env = rpc::echo_request(version, "benchmark payload");
+    WsaHeaders::new()
+        .to("http://dispatcher/svc/Echo")
+        .reply_to(EndpointReference::new("http://client:9000/cb"))
+        .message_id("uuid:bench-1")
+        .action("urn:wsd:echo:echo")
+        .apply(&mut env);
+    env
+}
+
+fn bench(c: &mut Criterion) {
+    // --- XML layer ---
+    let xml_text = rpc::paper_echo_request().to_xml();
+    let mut g = c.benchmark_group("xml");
+    g.throughput(Throughput::Bytes(xml_text.len() as u64));
+    g.bench_function("parse_463b_envelope", |b| {
+        b.iter(|| wsd_xml::parse(std::hint::black_box(&xml_text)).unwrap())
+    });
+    let doc = wsd_xml::parse(&xml_text).unwrap();
+    g.bench_function("write_463b_envelope", |b| {
+        b.iter(|| wsd_xml::write(std::hint::black_box(&doc)))
+    });
+    g.finish();
+
+    // --- SOAP layer ---
+    let mut g = c.benchmark_group("soap");
+    for version in [SoapVersion::V11, SoapVersion::V12] {
+        let env = addressed_request(version);
+        let text = env.to_xml();
+        g.bench_function(format!("parse_envelope_{version:?}"), |b| {
+            b.iter(|| Envelope::parse(std::hint::black_box(&text)).unwrap())
+        });
+        g.bench_function(format!("serialize_envelope_{version:?}"), |b| {
+            b.iter(|| std::hint::black_box(&env).to_xml())
+        });
+    }
+    g.finish();
+
+    // --- WSA layer: the dispatcher's per-message rewrite ---
+    let mut g = c.benchmark_group("wsa");
+    let env = addressed_request(SoapVersion::V11);
+    g.bench_function("read_headers", |b| {
+        b.iter(|| WsaHeaders::from_envelope(std::hint::black_box(&env)).unwrap())
+    });
+    g.bench_function("rewrite_for_forward", |b| {
+        b.iter_batched(
+            || env.clone(),
+            |mut e| {
+                rewrite_for_forward(&mut e, "http://ws:8888/echo", "http://dispatcher/msg")
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    // --- HTTP layer ---
+    let mut g = c.benchmark_group("http");
+    let req = Request::soap_post(
+        "dispatcher:8080",
+        "/msg",
+        SoapVersion::V11.content_type(),
+        addressed_request(SoapVersion::V11).to_xml().into_bytes(),
+    );
+    let wire = request_bytes(&req);
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("parse_request", |b| {
+        b.iter(|| parse_request_bytes(std::hint::black_box(&wire)).unwrap())
+    });
+    g.bench_function("serialize_request", |b| {
+        b.iter(|| request_bytes(std::hint::black_box(&req)))
+    });
+    g.finish();
+
+    // --- Full dispatcher decision (registry + rewrite) ---
+    let registry = std::sync::Arc::new(wsd_core::registry::Registry::new());
+    registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+    let core = wsd_core::msg::MsgCore::new(registry, "http://dispatcher/msg", 1);
+    let mut g = c.benchmark_group("dispatcher");
+    let mut n = 0u64;
+    g.bench_function("route_one_message", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                let mut e = rpc::echo_request(SoapVersion::V11, "x");
+                WsaHeaders::new()
+                    .to("http://dispatcher/svc/Echo")
+                    .message_id(format!("uuid:{n}"))
+                    .apply(&mut e);
+                e
+            },
+            |e| core.route(e, 483, 0).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1: wall-time to simulate each interaction quadrant, plus a
+//! one-shot print of the reproduced matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsd_bench::BENCH_WINDOW_SECS;
+use wsd_experiments::table1::{self, Quadrant};
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced table once, so the bench run doubles as a
+    // regeneration of the artifact.
+    table1::print(&table1::run(BENCH_WINDOW_SECS));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for quadrant in [
+        Quadrant::RpcToRpc,
+        Quadrant::RpcToMsg,
+        Quadrant::MsgToRpc,
+        Quadrant::MsgToMsg,
+    ] {
+        g.bench_function(format!("{quadrant:?}"), |b| {
+            b.iter(|| std::hint::black_box(table1::run_one(quadrant, BENCH_WINDOW_SECS)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

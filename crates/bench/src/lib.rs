@@ -1,0 +1,19 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches live in `benches/`, one file per paper artifact:
+//!
+//! * `table1_matrix` — Table 1's four interaction quadrants
+//! * `fig4_rpc_low_broadband` — Figure 4 series points
+//! * `fig5_rpc_high_connectivity` — Figure 5 series points
+//! * `fig6_async_messaging` — Figure 6 series points + the OOM bug
+//! * `protocol_stack` — per-layer micro-benches (XML/SOAP/WSA/HTTP)
+//! * `concurrent_primitives` — the `wsd-concurrent` substrate
+//! * `ablations` — design-choice ablations called out in DESIGN.md
+//!
+//! Simulation-backed benches measure the *wall time to simulate* a fixed
+//! virtual window — i.e. simulator+stack efficiency — while their
+//! *outputs* (messages/minute etc.) are the paper's reproduced series;
+//! those are printed once per bench run for eyeballing.
+
+/// Short virtual window for sim-backed benches, seconds.
+pub const BENCH_WINDOW_SECS: u64 = 5;

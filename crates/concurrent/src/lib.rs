@@ -1,0 +1,31 @@
+//! Concurrency substrate for the WS-Dispatcher.
+//!
+//! The paper's Java implementation is built on Doug Lea's *Concurrent Java
+//! Library* (later `java.util.concurrent`): the MSG-Dispatcher uses two
+//! managed thread pools and per-destination FIFO queues, and the service
+//! registry uses a concurrent hash map. This crate provides the same
+//! primitives, written from scratch on top of `parking_lot` locks:
+//!
+//! * [`FifoQueue`] — a bounded, blocking, multi-producer/multi-consumer
+//!   first-in-first-out queue with close semantics,
+//! * [`ShardedMap`] — a sharded concurrent hash map,
+//! * [`ThreadPool`] — a worker pool with pre-start, on-demand growth up to a
+//!   maximum size, and rejection policies,
+//! * [`CountDownLatch`] — a one-shot completion barrier,
+//! * [`ThreadBudget`] — a global cap on concurrently live threads, used to
+//!   emulate the JVM `OutOfMemoryError` the paper hit when WS-MsgBox spawned
+//!   one thread per message.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod latch;
+pub mod map;
+pub mod pool;
+pub mod queue;
+
+pub use budget::{BudgetError, ThreadBudget, ThreadLease};
+pub use latch::CountDownLatch;
+pub use map::ShardedMap;
+pub use pool::{PoolConfig, RejectionPolicy, TaskError, ThreadPool};
+pub use queue::{FifoQueue, PopError, PushError};

@@ -1,0 +1,578 @@
+//! Worker thread pool with pre-start, bounded growth and rejection policies.
+//!
+//! Mirrors the pool the MSG-Dispatcher configures for its `CxThread` and
+//! `WsThread` stages (paper §4.2): a configurable number of pre-created
+//! threads, automatic growth up to a maximum under load, and automatic
+//! destruction of idle surplus threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::budget::{ThreadBudget, ThreadLease};
+use crate::queue::{FifoQueue, PopError, PushError};
+
+/// What [`ThreadPool::execute`] does when the task queue is full and the
+/// pool is already at its maximum size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejectionPolicy {
+    /// Fail the submission with [`TaskError::Rejected`].
+    #[default]
+    Abort,
+    /// Run the task synchronously on the submitting thread (back-pressure).
+    CallerRuns,
+    /// Silently drop the task.
+    Discard,
+    /// Block the submitting thread until queue space frees up.
+    Block,
+}
+
+/// Errors surfaced by pool submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The pool has been shut down.
+    Shutdown,
+    /// The queue was full and the policy is [`RejectionPolicy::Abort`].
+    Rejected,
+    /// Spawning a worker failed because the shared [`ThreadBudget`] is
+    /// exhausted (the simulated `OutOfMemoryError`).
+    OutOfMemory,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Shutdown => f.write_str("thread pool is shut down"),
+            TaskError::Rejected => f.write_str("task rejected: queue full"),
+            TaskError::OutOfMemory => f.write_str("out of memory: thread budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Pool construction parameters.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Worker thread name prefix (e.g. `"CxThread"`, `"WsThread"`).
+    pub name: String,
+    /// Threads pre-created at pool construction and kept alive until
+    /// shutdown.
+    pub core_threads: usize,
+    /// Upper bound on concurrently live workers; surplus workers above
+    /// `core_threads` are created under load and retired when idle.
+    pub max_threads: usize,
+    /// Capacity of the task FIFO.
+    pub queue_capacity: usize,
+    /// How long a surplus worker stays alive with no work before retiring.
+    pub keep_alive: Duration,
+    /// Behaviour when the queue is full at maximum pool size.
+    pub rejection: RejectionPolicy,
+    /// Optional shared thread budget; workers hold a lease while alive.
+    pub budget: Option<ThreadBudget>,
+}
+
+impl PoolConfig {
+    /// A sensible fixed-size pool: `n` core threads, no growth.
+    pub fn fixed(name: impl Into<String>, n: usize) -> Self {
+        PoolConfig {
+            name: name.into(),
+            core_threads: n,
+            max_threads: n,
+            queue_capacity: 1024,
+            keep_alive: Duration::from_millis(500),
+            rejection: RejectionPolicy::Block,
+            budget: None,
+        }
+    }
+
+    /// A growable pool: `core` pre-created threads, growth up to `max`.
+    pub fn growable(name: impl Into<String>, core: usize, max: usize) -> Self {
+        PoolConfig {
+            name: name.into(),
+            core_threads: core,
+            max_threads: max,
+            queue_capacity: 1024,
+            keep_alive: Duration::from_millis(500),
+            rejection: RejectionPolicy::Abort,
+            budget: None,
+        }
+    }
+
+    /// Sets the task queue capacity.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the rejection policy.
+    pub fn rejection(mut self, policy: RejectionPolicy) -> Self {
+        self.rejection = policy;
+        self
+    }
+
+    /// Attaches a shared thread budget.
+    pub fn budget(mut self, budget: ThreadBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the idle keep-alive for surplus workers.
+    pub fn keep_alive(mut self, d: Duration) -> Self {
+        self.keep_alive = d;
+        self
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: FifoQueue<Job>,
+    workers: AtomicUsize,
+    active: AtomicUsize,
+    completed: AtomicU64,
+    shutdown: AtomicBool,
+    config: PoolConfigFrozen,
+}
+
+struct PoolConfigFrozen {
+    name: String,
+    core_threads: usize,
+    max_threads: usize,
+    keep_alive: Duration,
+    budget: Option<ThreadBudget>,
+}
+
+/// A managed worker thread pool.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    rejection: RejectionPolicy,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    /// Creates the pool and pre-starts `core_threads` workers.
+    ///
+    /// Fails with [`TaskError::OutOfMemory`] if the attached budget cannot
+    /// cover the core threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_threads > max_threads` or `max_threads == 0`.
+    pub fn new(config: PoolConfig) -> Result<Self, TaskError> {
+        assert!(config.max_threads > 0, "max_threads must be non-zero");
+        assert!(
+            config.core_threads <= config.max_threads,
+            "core_threads must not exceed max_threads"
+        );
+        let shared = Arc::new(PoolShared {
+            queue: FifoQueue::bounded(config.queue_capacity.max(1)),
+            workers: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            completed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            config: PoolConfigFrozen {
+                name: config.name,
+                core_threads: config.core_threads,
+                max_threads: config.max_threads,
+                keep_alive: config.keep_alive,
+                budget: config.budget,
+            },
+        });
+        let pool = ThreadPool {
+            shared,
+            rejection: config.rejection,
+            handles: Mutex::new(Vec::new()),
+        };
+        for _ in 0..pool.shared.config.core_threads {
+            pool.spawn_worker(true)?;
+        }
+        Ok(pool)
+    }
+
+    fn spawn_worker(&self, core: bool) -> Result<(), TaskError> {
+        let lease: Option<ThreadLease> = match &self.shared.config.budget {
+            Some(b) => Some(b.try_acquire().map_err(|_| TaskError::OutOfMemory)?),
+            None => None,
+        };
+        let shared = Arc::clone(&self.shared);
+        let idx = shared.workers.fetch_add(1, Ordering::AcqRel);
+        let name = format!("{}-{}", shared.config.name, idx);
+        let builder = thread::Builder::new().name(name);
+        let handle = builder
+            .spawn(move || {
+                let _lease = lease;
+                worker_loop(&shared, core);
+            })
+            .map_err(|_| {
+                self.shared.workers.fetch_sub(1, Ordering::AcqRel);
+                TaskError::OutOfMemory
+            })?;
+        self.handles.lock().push(handle);
+        Ok(())
+    }
+
+    /// Submits a task for asynchronous execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), TaskError> {
+        self.execute_boxed(Box::new(job))
+    }
+
+    fn execute_boxed(&self, job: Job) -> Result<(), TaskError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(TaskError::Shutdown);
+        }
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.maybe_grow();
+                Ok(())
+            }
+            Err(PushError::Closed(_)) => Err(TaskError::Shutdown),
+            Err(PushError::Full(job)) => {
+                // Queue is saturated: try growing first, then apply policy.
+                if self.shared.workers.load(Ordering::Acquire) < self.shared.config.max_threads {
+                    self.spawn_worker(false)?;
+                    if let Err(e) = self.shared.queue.try_push(job) {
+                        return self.apply_rejection(e);
+                    }
+                    return Ok(());
+                }
+                self.apply_rejection(PushError::Full(job))
+            }
+        }
+    }
+
+    fn apply_rejection(&self, err: PushError<Job>) -> Result<(), TaskError> {
+        let job = match err {
+            PushError::Closed(_) => return Err(TaskError::Shutdown),
+            PushError::Full(job) => job,
+        };
+        match self.rejection {
+            RejectionPolicy::Abort => Err(TaskError::Rejected),
+            RejectionPolicy::Discard => Ok(()),
+            RejectionPolicy::CallerRuns => {
+                job();
+                self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            RejectionPolicy::Block => match self.shared.queue.push(job) {
+                Ok(()) => Ok(()),
+                Err(_) => Err(TaskError::Shutdown),
+            },
+        }
+    }
+
+    fn maybe_grow(&self) {
+        // Grow when every live worker is busy and there is queued work.
+        let workers = self.shared.workers.load(Ordering::Acquire);
+        if workers < self.shared.config.max_threads
+            && self.shared.active.load(Ordering::Acquire) >= workers
+            && !self.shared.queue.is_empty()
+        {
+            let _ = self.spawn_worker(false);
+        }
+    }
+
+    /// Submits a task and returns a handle resolving to its result.
+    pub fn submit<T: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<Completion<T>, TaskError> {
+        let (tx, rx) = mpsc::channel();
+        self.execute(move || {
+            let _ = tx.send(job());
+        })?;
+        Ok(Completion { rx })
+    }
+
+    /// Number of currently live workers.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers.load(Ordering::Acquire)
+    }
+
+    /// Number of workers currently running a task.
+    pub fn active_count(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Number of tasks waiting in the queue.
+    pub fn queued_count(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Total tasks completed since construction.
+    pub fn completed_count(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting tasks, runs everything already queued, and joins all
+    /// workers.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue.close();
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("name", &self.shared.config.name)
+            .field("workers", &self.worker_count())
+            .field("active", &self.active_count())
+            .field("queued", &self.queued_count())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared, core: bool) {
+    loop {
+        let job = if core {
+            match shared.queue.pop() {
+                Ok(j) => j,
+                Err(PopError::Closed) => break,
+                Err(PopError::Empty) => continue,
+            }
+        } else {
+            match shared.queue.pop_timeout(shared.config.keep_alive) {
+                Ok(j) => j,
+                Err(PopError::Closed) => break,
+                // Surplus worker idle past keep-alive: retire.
+                Err(PopError::Empty) => break,
+            }
+        };
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        job();
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.workers.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Handle to a [`ThreadPool::submit`] result.
+pub struct Completion<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> Completion<T> {
+    /// Blocks until the task finishes; `None` if the task panicked.
+    pub fn wait(self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks at most `timeout`; `None` on timeout or panic.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<T> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_submitted_tasks() {
+        let pool = ThreadPool::new(PoolConfig::fixed("t", 4)).unwrap();
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.completed_count(), 100);
+    }
+
+    #[test]
+    fn submit_returns_result() {
+        let pool = ThreadPool::new(PoolConfig::fixed("t", 2)).unwrap();
+        let c = pool.submit(|| 21 * 2).unwrap();
+        assert_eq!(c.wait(), Some(42));
+    }
+
+    #[test]
+    fn pre_creates_core_threads() {
+        let pool = ThreadPool::new(PoolConfig::fixed("t", 3)).unwrap();
+        assert_eq!(pool.worker_count(), 3);
+    }
+
+    #[test]
+    fn grows_to_max_under_load() {
+        let cfg = PoolConfig::growable("t", 1, 4)
+            .queue_capacity(1)
+            .rejection(RejectionPolicy::Block);
+        let pool = ThreadPool::new(cfg).unwrap();
+        let latch = crate::CountDownLatch::new(4);
+        let release = crate::CountDownLatch::new(1);
+        for _ in 0..4 {
+            let latch = latch.clone();
+            let release = release.clone();
+            pool.execute(move || {
+                latch.count_down();
+                release.wait();
+            })
+            .unwrap();
+        }
+        assert!(latch.wait_timeout(Duration::from_secs(5)), "pool never grew");
+        assert!(pool.worker_count() >= 4);
+        release.count_down();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn abort_policy_rejects_when_saturated() {
+        let cfg = PoolConfig::growable("t", 1, 1)
+            .queue_capacity(1)
+            .rejection(RejectionPolicy::Abort);
+        let pool = ThreadPool::new(cfg).unwrap();
+        let release = crate::CountDownLatch::new(1);
+        let started = crate::CountDownLatch::new(1);
+        {
+            let release = release.clone();
+            let started = started.clone();
+            pool.execute(move || {
+                started.count_down();
+                release.wait();
+            })
+            .unwrap();
+        }
+        started.wait();
+        // Worker busy; fill the single queue slot, then expect rejection.
+        pool.execute(|| {}).unwrap();
+        let mut rejected = false;
+        for _ in 0..10 {
+            if pool.execute(|| {}) == Err(TaskError::Rejected) {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected);
+        release.count_down();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn discard_policy_drops_silently() {
+        let cfg = PoolConfig::growable("t", 1, 1)
+            .queue_capacity(1)
+            .rejection(RejectionPolicy::Discard);
+        let pool = ThreadPool::new(cfg).unwrap();
+        let release = crate::CountDownLatch::new(1);
+        {
+            let release = release.clone();
+            pool.execute(move || release.wait()).unwrap();
+        }
+        for _ in 0..20 {
+            assert_eq!(pool.execute(|| {}), Ok(()));
+        }
+        release.count_down();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn caller_runs_policy_executes_inline() {
+        let cfg = PoolConfig::growable("t", 1, 1)
+            .queue_capacity(1)
+            .rejection(RejectionPolicy::CallerRuns);
+        let pool = ThreadPool::new(cfg).unwrap();
+        let release = crate::CountDownLatch::new(1);
+        let started = crate::CountDownLatch::new(1);
+        {
+            let release = release.clone();
+            let started = started.clone();
+            pool.execute(move || {
+                started.count_down();
+                release.wait();
+            })
+            .unwrap();
+        }
+        started.wait();
+        pool.execute(|| {}).unwrap(); // fills queue slot
+        let tid = thread::current().id();
+        let ran_on = Arc::new(Mutex::new(None));
+        let mut inline = false;
+        for _ in 0..10 {
+            let ran_on2 = Arc::clone(&ran_on);
+            pool.execute(move || {
+                *ran_on2.lock() = Some(thread::current().id());
+            })
+            .unwrap();
+            if *ran_on.lock() == Some(tid) {
+                inline = true;
+                break;
+            }
+        }
+        assert!(inline, "caller-runs task never executed inline");
+        release.count_down();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn execute_after_shutdown_fails() {
+        let pool = ThreadPool::new(PoolConfig::fixed("t", 1)).unwrap();
+        pool.shutdown();
+        assert_eq!(pool.execute(|| {}), Err(TaskError::Shutdown));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_out_of_memory() {
+        let budget = ThreadBudget::new(2);
+        let _hold = budget.try_acquire().unwrap();
+        let _hold2 = budget.try_acquire().unwrap();
+        let cfg = PoolConfig::fixed("t", 1).budget(budget);
+        match ThreadPool::new(cfg) {
+            Err(TaskError::OutOfMemory) => {}
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workers_release_budget_on_shutdown() {
+        let budget = ThreadBudget::new(8);
+        let cfg = PoolConfig::fixed("t", 4).budget(budget.clone());
+        let pool = ThreadPool::new(cfg).unwrap();
+        assert_eq!(budget.live(), 4);
+        pool.shutdown();
+        assert_eq!(budget.live(), 0);
+    }
+
+    #[test]
+    fn surplus_workers_retire_after_keep_alive() {
+        let cfg = PoolConfig::growable("t", 1, 4)
+            .queue_capacity(1)
+            .keep_alive(Duration::from_millis(30))
+            .rejection(RejectionPolicy::Block);
+        let pool = ThreadPool::new(cfg).unwrap();
+        let release = crate::CountDownLatch::new(1);
+        for _ in 0..4 {
+            let release = release.clone();
+            pool.execute(move || release.wait()).unwrap();
+        }
+        release.count_down();
+        // Give surplus workers time to idle out.
+        for _ in 0..100 {
+            if pool.worker_count() <= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(pool.worker_count() <= 2, "surplus workers never retired");
+        pool.shutdown();
+    }
+}

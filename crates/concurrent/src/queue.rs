@@ -1,0 +1,437 @@
+//! Bounded, blocking, multi-producer/multi-consumer FIFO queue.
+//!
+//! This is the queue that sits between the MSG-Dispatcher's `CxThread` and
+//! `WsThread` pools (paper §4.2, Figure 3): accepted messages are pushed in
+//! arrival order and each destination's sender thread drains them in FIFO
+//! order over a single kept-open connection.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Error returned by push operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was full and the operation was non-blocking (or timed out).
+    /// The rejected element is handed back to the caller.
+    Full(T),
+    /// The queue has been closed; no further elements are accepted.
+    Closed(T),
+}
+
+/// Error returned by pop operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// The queue was empty and the operation was non-blocking (or timed out).
+    Empty,
+    /// The queue is closed *and* drained; no element will ever arrive.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// A bounded, blocking MPMC FIFO queue.
+///
+/// Cloning the handle is cheap (it is an `Arc` internally); all clones refer
+/// to the same queue.
+///
+/// # Ordering guarantee
+///
+/// Elements are delivered in exactly the order they were pushed (a single
+/// global FIFO order — pops observe the push linearization order).
+pub struct FifoQueue<T> {
+    inner: Arc<Shared<T>>,
+}
+
+struct Shared<T> {
+    state: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Clone for FifoQueue<T> {
+    fn clone(&self) -> Self {
+        FifoQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> FifoQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        FifoQueue {
+            inner: Arc::new(Shared {
+                state: Mutex::new(Inner {
+                    items: VecDeque::with_capacity(capacity.min(1024)),
+                    capacity,
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Creates a queue with no practical capacity limit.
+    pub fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// Pushes an element, blocking while the queue is full.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(value));
+            }
+            if st.items.len() < st.capacity {
+                st.items.push_back(value);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            self.inner.not_full.wait(&mut st);
+        }
+    }
+
+    /// Pushes an element without blocking.
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return Err(PushError::Closed(value));
+        }
+        if st.items.len() >= st.capacity {
+            return Err(PushError::Full(value));
+        }
+        st.items.push_back(value);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pushes an element, blocking at most `timeout` while the queue is full.
+    pub fn push_timeout(&self, value: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(value));
+            }
+            if st.items.len() < st.capacity {
+                st.items.push_back(value);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            if self.inner.not_full.wait_until(&mut st, deadline).timed_out() {
+                return Err(PushError::Full(value));
+            }
+        }
+    }
+
+    /// Pops the oldest element, blocking while the queue is empty.
+    ///
+    /// Returns [`PopError::Closed`] once the queue is closed and drained.
+    pub fn pop(&self) -> Result<T, PopError> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.closed {
+                return Err(PopError::Closed);
+            }
+            self.inner.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Pops the oldest element without blocking.
+    pub fn try_pop(&self) -> Result<T, PopError> {
+        let mut st = self.inner.state.lock();
+        if let Some(v) = st.items.pop_front() {
+            drop(st);
+            self.inner.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.closed {
+            Err(PopError::Closed)
+        } else {
+            Err(PopError::Empty)
+        }
+    }
+
+    /// Pops the oldest element, blocking at most `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.closed {
+                return Err(PopError::Closed);
+            }
+            if self
+                .inner
+                .not_empty
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
+                return Err(PopError::Empty);
+            }
+        }
+    }
+
+    /// Drains every currently queued element in FIFO order.
+    pub fn drain(&self) -> Vec<T> {
+        let mut st = self.inner.state.lock();
+        let out: Vec<T> = st.items.drain(..).collect();
+        drop(st);
+        self.inner.not_full.notify_all();
+        out
+    }
+
+    /// Closes the queue: pending and future pushes fail, pops drain the
+    /// remaining elements then report [`PopError::Closed`].
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        drop(st);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of elements the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.inner.state.lock().capacity
+    }
+}
+
+impl<T> std::fmt::Debug for FifoQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("FifoQueue")
+            .field("len", &st.items.len())
+            .field("capacity", &st.capacity)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn push_pop_preserves_fifo_order() {
+        let q = FifoQueue::bounded(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_push_full_returns_element() {
+        let q = FifoQueue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn try_pop_empty() {
+        let q: FifoQueue<u8> = FifoQueue::bounded(1);
+        assert_eq!(q.try_pop(), Err(PopError::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = FifoQueue::bounded(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Ok(1));
+        assert_eq!(q.pop(), Ok(2));
+        assert_eq!(q.pop(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = FifoQueue::bounded(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.pop().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        q.push(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_pop() {
+        let q = FifoQueue::bounded(1);
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push(2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop().unwrap(), 1);
+        h.join().unwrap();
+        assert_eq!(q.pop().unwrap(), 2);
+    }
+
+    #[test]
+    fn pop_timeout_expires() {
+        let q: FifoQueue<u8> = FifoQueue::bounded(1);
+        let err = q.pop_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, PopError::Empty);
+    }
+
+    #[test]
+    fn push_timeout_expires_when_full() {
+        let q = FifoQueue::bounded(1);
+        q.push(1).unwrap();
+        let err = q.push_timeout(2, Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, PushError::Full(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q: FifoQueue<u8> = FifoQueue::bounded(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn drain_returns_in_order_and_unblocks_pushers() {
+        let q = FifoQueue::bounded(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push(4).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.drain(), vec![1, 2, 3]);
+        h.join().unwrap();
+        assert_eq!(q.pop().unwrap(), 4);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_no_loss_no_dup() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 500;
+        let q = FifoQueue::bounded(8);
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.push(p * PER_PRODUCER + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = q.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn per_producer_order_preserved() {
+        // With a single consumer, each producer's elements must appear in
+        // that producer's push order.
+        let q = FifoQueue::bounded(4);
+        let mut producers = Vec::new();
+        for p in 0..3usize {
+            let q = q.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..200usize {
+                    q.push((p, i)).unwrap();
+                }
+            }));
+        }
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Ok(v) = q.pop() {
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let seen = consumer.join().unwrap();
+        let mut next = [0usize; 3];
+        for (p, i) in seen {
+            assert_eq!(i, next[p], "producer {p} out of order");
+            next[p] += 1;
+        }
+        assert_eq!(next, [200, 200, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = FifoQueue::<u8>::bounded(0);
+    }
+}

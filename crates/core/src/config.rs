@@ -1,0 +1,103 @@
+//! Dispatcher and mailbox configuration.
+
+use std::time::Duration;
+
+/// MSG-Dispatcher tuning (paper §4.2: "the sizes of the pools are
+/// configurable").
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// `CxThread` pool: pre-created threads accepting client messages.
+    pub cx_core_threads: usize,
+    /// `CxThread` pool growth ceiling.
+    pub cx_max_threads: usize,
+    /// `WsThread` pool: per-destination sender threads.
+    pub ws_core_threads: usize,
+    /// `WsThread` pool growth ceiling.
+    pub ws_max_threads: usize,
+    /// Capacity of each destination's FIFO queue.
+    pub queue_capacity: usize,
+    /// How long a `WsThread` keeps a destination connection open with no
+    /// traffic before closing it (paper: "an open connection for a
+    /// predefined time with a specified WS").
+    pub connection_linger: Duration,
+    /// Connect timeout toward services and reply endpoints.
+    pub connect_timeout: Duration,
+    /// Response timeout for RPC forwarding.
+    pub response_timeout: Duration,
+    /// How long a route-table entry (forwarded request awaiting its
+    /// reply) survives before being dropped.
+    pub route_ttl: Duration,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            cx_core_threads: 4,
+            cx_max_threads: 32,
+            ws_core_threads: 4,
+            ws_max_threads: 32,
+            queue_capacity: 1024,
+            connection_linger: Duration::from_secs(15),
+            connect_timeout: Duration::from_secs(3),
+            response_timeout: Duration::from_secs(30),
+            route_ttl: Duration::from_secs(300),
+        }
+    }
+}
+
+/// How WS-MsgBox handles reply work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgBoxStrategy {
+    /// One thread per incoming message — the design whose
+    /// `OutOfMemoryError` the paper reports at ~50 clients (§4.3.2).
+    /// Kept to reproduce the bug.
+    ThreadPerMessage,
+    /// Fixed worker pool draining a FIFO — the redesign the paper says
+    /// was in progress.
+    Pooled {
+        /// Number of worker threads.
+        workers: usize,
+    },
+}
+
+/// WS-MsgBox tuning.
+#[derive(Debug, Clone)]
+pub struct MsgBoxConfig {
+    /// Reply-work strategy.
+    pub strategy: MsgBoxStrategy,
+    /// Per-mailbox stored message cap.
+    pub max_messages_per_box: usize,
+    /// Stored message time-to-live (expired messages are dropped — the
+    /// paper's "messages stored with expiration time" future work).
+    pub message_ttl: Duration,
+    /// Simulated native-thread budget for [`MsgBoxStrategy::ThreadPerMessage`]
+    /// (the JVM's ceiling).
+    pub thread_budget: usize,
+}
+
+impl Default for MsgBoxConfig {
+    fn default() -> Self {
+        MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 8 },
+            max_messages_per_box: 10_000,
+            message_ttl: Duration::from_secs(3600),
+            thread_budget: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let d = DispatcherConfig::default();
+        assert!(d.cx_core_threads <= d.cx_max_threads);
+        assert!(d.ws_core_threads <= d.ws_max_threads);
+        assert!(d.queue_capacity > 0);
+        let m = MsgBoxConfig::default();
+        assert!(matches!(m.strategy, MsgBoxStrategy::Pooled { workers } if workers > 0));
+        assert!(m.thread_budget > 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! MSG-Dispatcher core: the `CxThread` stage's decision logic.
+//!
+//! Paper §4.2, Figure 3: a `CxThread` maps the logical address to the
+//! physical WS address and rewrites the WS-Addressing headers so replies
+//! return through the dispatcher; a `WsThread` owns a FIFO queue per
+//! destination and a kept-open connection. This module implements the
+//! decision ("where does this envelope go next?") and the route table
+//! correlating replies; queues and threads belong to the runtimes.
+
+use wsd_concurrent::ShardedMap;
+use wsd_soap::Envelope;
+use wsd_wsa::{correlation_id, rewrite_for_forward, rewrite_for_reply, MsgIdGen, RouteRecord, WsaHeaders};
+
+use crate::error::WsdError;
+use crate::registry::Registry;
+use crate::security::PolicyChain;
+use crate::url::Url;
+
+/// Where the dispatcher decided an envelope must go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routed {
+    /// A client request: forward to the resolved service endpoint.
+    Forward {
+        /// Physical destination.
+        to: Url,
+        /// Logical name it resolved from.
+        logical: String,
+        /// The rewritten envelope.
+        envelope: Envelope,
+    },
+    /// A service reply: deliver to the client's original reply endpoint
+    /// (or its mailbox).
+    Reply {
+        /// Destination (reply endpoint or mailbox service).
+        to: Url,
+        /// The rewritten envelope.
+        envelope: Envelope,
+    },
+}
+
+/// Stats the MSG dispatcher keeps.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MsgDispatchStats {
+    /// Envelopes accepted.
+    pub received: u64,
+    /// Requests routed toward services.
+    pub forwarded: u64,
+    /// Replies routed toward clients/mailboxes.
+    pub replied: u64,
+    /// Envelopes with no usable route.
+    pub unroutable: u64,
+    /// Security rejections.
+    pub rejected: u64,
+}
+
+/// A route-table entry: the [`RouteRecord`] plus its insertion time (µs)
+/// for TTL cleanup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRoute {
+    /// What the reply path needs.
+    pub record: RouteRecord,
+    /// Insertion time, µs on the runtime's clock.
+    pub stored_at: u64,
+}
+
+/// The MSG-Dispatcher decision core. Thread-safe.
+pub struct MsgCore {
+    registry: std::sync::Arc<Registry>,
+    routes: ShardedMap<String, PendingRoute>,
+    /// The address services reply to (this dispatcher).
+    pub dispatcher_address: String,
+    /// Mailbox service address used when a client gave no reply
+    /// endpoint, if a WS-MsgBox is deployed.
+    pub mailbox_fallback: Option<String>,
+    ids: MsgIdGen,
+    policies: PolicyChain,
+}
+
+impl MsgCore {
+    /// Creates the core. `dispatcher_address` is the URL services use to
+    /// reach this dispatcher (it becomes the rewritten `ReplyTo`).
+    pub fn new(
+        registry: std::sync::Arc<Registry>,
+        dispatcher_address: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        MsgCore {
+            registry,
+            routes: ShardedMap::new(),
+            dispatcher_address: dispatcher_address.into(),
+            mailbox_fallback: None,
+            ids: MsgIdGen::new(seed),
+            policies: PolicyChain::new(),
+        }
+    }
+
+    /// Sets the mailbox fallback address. Returns `self` for chaining.
+    pub fn with_mailbox(mut self, address: impl Into<String>) -> Self {
+        self.mailbox_fallback = Some(address.into());
+        self
+    }
+
+    /// Installs a security policy chain. Returns `self` for chaining.
+    pub fn with_policies(mut self, policies: PolicyChain) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// The registry this core resolves against.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of forwarded requests still awaiting replies.
+    pub fn pending_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Drops route entries older than `ttl_us`; returns how many.
+    pub fn expire_routes(&self, now: u64, ttl_us: u64) -> usize {
+        let before = self.routes.len();
+        self.routes
+            .retain(|_, r| now.saturating_sub(r.stored_at) < ttl_us);
+        before - self.routes.len()
+    }
+
+    /// Routes one inbound envelope: a reply if its `RelatesTo` matches a
+    /// pending route, a fresh request otherwise.
+    ///
+    /// `serialized_len` is the on-the-wire size (for security policies);
+    /// `now` is µs on the runtime's clock.
+    pub fn route(
+        &self,
+        mut env: Envelope,
+        serialized_len: usize,
+        now: u64,
+    ) -> Result<Routed, WsdError> {
+        self.policies.inspect(serialized_len, &env)?;
+        // Reply path: correlate via RelatesTo.
+        if let Ok(Some(rel)) = correlation_id(&env) {
+            if let Some(pending) = self.routes.remove(&rel) {
+                let dest = rewrite_for_reply(
+                    &mut env,
+                    &pending.record,
+                    self.mailbox_fallback.as_deref(),
+                )
+                .map_err(|e| WsdError::Rejected(e.to_string()))?
+                .ok_or(WsdError::NoDestination)?;
+                let to = Url::parse(&dest)?;
+                return Ok(Routed::Reply { to, envelope: env });
+            }
+        }
+        // Request path: resolve the logical To.
+        let headers =
+            WsaHeaders::from_envelope(&env).map_err(|e| WsdError::Rejected(e.to_string()))?;
+        let to = headers.to.ok_or(WsdError::NoDestination)?;
+        let logical = Url::parse(&to)?
+            .logical_service()
+            .map(str::to_string)
+            .ok_or_else(|| WsdError::UnknownService(to.clone()))?;
+        let physical = self.registry.lookup(&logical)?;
+        // Ensure the request has a MessageID so the reply can correlate.
+        let mut env = env;
+        let message_id = match headers.message_id {
+            Some(id) => id,
+            None => {
+                let id = self.ids.next_id();
+                let mut h = WsaHeaders::from_envelope(&env)
+                    .map_err(|e| WsdError::Rejected(e.to_string()))?;
+                h.message_id = Some(id.clone());
+                h.apply(&mut env);
+                id
+            }
+        };
+        let record = rewrite_for_forward(&mut env, &physical.to_string(), &self.dispatcher_address)
+            .map_err(|e| WsdError::Rejected(e.to_string()))?;
+        self.routes.insert(
+            message_id,
+            PendingRoute {
+                record,
+                stored_at: now,
+            },
+        );
+        Ok(Routed::Forward {
+            to: physical,
+            logical,
+            envelope: env,
+        })
+    }
+}
+
+impl std::fmt::Debug for MsgCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsgCore")
+            .field("dispatcher_address", &self.dispatcher_address)
+            .field("pending_routes", &self.routes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wsd_soap::{rpc as soap_rpc, SoapVersion};
+    use wsd_wsa::EndpointReference;
+
+    fn core() -> MsgCore {
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws-host:8888/echo").unwrap());
+        MsgCore::new(registry, "http://dispatcher/msg", 7)
+            .with_mailbox("http://msgbox/deposit")
+    }
+
+    fn request(reply_to: Option<&str>, message_id: Option<&str>) -> Envelope {
+        let mut env = soap_rpc::echo_request(SoapVersion::V11, "ping");
+        let mut h = WsaHeaders::new().to("http://dispatcher/svc/Echo");
+        if let Some(r) = reply_to {
+            h = h.reply_to(EndpointReference::new(r));
+        }
+        if let Some(id) = message_id {
+            h = h.message_id(id);
+        }
+        h.apply(&mut env);
+        env
+    }
+
+    #[test]
+    fn request_forwards_to_physical_endpoint() {
+        let c = core();
+        let routed = c.route(request(Some("http://client/cb"), Some("uuid:1")), 483, 0).unwrap();
+        match routed {
+            Routed::Forward { to, logical, envelope } => {
+                assert_eq!(to, Url::parse("http://ws-host:8888/echo").unwrap());
+                assert_eq!(logical, "Echo");
+                let h = WsaHeaders::from_envelope(&envelope).unwrap();
+                assert_eq!(h.to.as_deref(), Some("http://ws-host:8888/echo"));
+                assert_eq!(h.reply_to.unwrap().address, "http://dispatcher/msg");
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+        assert_eq!(c.pending_routes(), 1);
+    }
+
+    #[test]
+    fn reply_routes_back_to_original_client() {
+        let c = core();
+        c.route(request(Some("http://client:9999/cb"), Some("uuid:42")), 483, 0)
+            .unwrap();
+        // Service reply relating to uuid:42.
+        let mut reply = soap_rpc::echo_response(SoapVersion::V11, "ping");
+        WsaHeaders::new()
+            .to("http://dispatcher/msg")
+            .relates_to("uuid:42")
+            .apply(&mut reply);
+        let routed = c.route(reply, 500, 1).unwrap();
+        match routed {
+            Routed::Reply { to, envelope } => {
+                assert_eq!(to, Url::parse("http://client:9999/cb").unwrap());
+                let h = WsaHeaders::from_envelope(&envelope).unwrap();
+                assert_eq!(h.to.as_deref(), Some("http://client:9999/cb"));
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+        assert_eq!(c.pending_routes(), 0, "route must be consumed");
+    }
+
+    #[test]
+    fn anonymous_reply_to_falls_back_to_mailbox() {
+        let c = core();
+        c.route(request(Some(wsd_wsa::ANONYMOUS), Some("uuid:a")), 483, 0)
+            .unwrap();
+        let mut reply = soap_rpc::echo_response(SoapVersion::V11, "x");
+        WsaHeaders::new().relates_to("uuid:a").apply(&mut reply);
+        match c.route(reply, 400, 1).unwrap() {
+            Routed::Reply { to, .. } => {
+                assert_eq!(to, Url::parse("http://msgbox/deposit").unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_reply_to_without_mailbox_is_no_destination() {
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws/e").unwrap());
+        let c = MsgCore::new(registry, "http://d/msg", 1); // no mailbox
+        c.route(request(None, Some("uuid:n")), 483, 0).unwrap();
+        let mut reply = soap_rpc::echo_response(SoapVersion::V11, "x");
+        WsaHeaders::new().relates_to("uuid:n").apply(&mut reply);
+        assert_eq!(c.route(reply, 100, 1), Err(WsdError::NoDestination));
+    }
+
+    #[test]
+    fn message_id_minted_when_absent() {
+        let c = core();
+        let routed = c.route(request(Some("http://cl/cb"), None), 483, 0).unwrap();
+        let Routed::Forward { envelope, .. } = routed else {
+            panic!()
+        };
+        let h = WsaHeaders::from_envelope(&envelope).unwrap();
+        let id = h.message_id.expect("id must be minted");
+        assert!(id.starts_with("uuid:"));
+        // And the minted id routes the reply.
+        let mut reply = soap_rpc::echo_response(SoapVersion::V11, "x");
+        WsaHeaders::new().relates_to(id).apply(&mut reply);
+        assert!(matches!(c.route(reply, 1, 1), Ok(Routed::Reply { .. })));
+    }
+
+    #[test]
+    fn unknown_logical_service_is_error() {
+        let c = core();
+        let mut env = soap_rpc::echo_request(SoapVersion::V11, "x");
+        WsaHeaders::new()
+            .to("http://dispatcher/svc/Missing")
+            .apply(&mut env);
+        assert!(matches!(
+            c.route(env, 1, 0),
+            Err(WsdError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn envelope_without_to_is_no_destination() {
+        let c = core();
+        let env = soap_rpc::echo_request(SoapVersion::V11, "x");
+        assert_eq!(c.route(env, 1, 0), Err(WsdError::NoDestination));
+    }
+
+    #[test]
+    fn unmatched_relates_to_is_treated_as_request() {
+        // A reply whose route expired: RelatesTo matches nothing, and it
+        // has no To → NoDestination (not a crash, not a misroute).
+        let c = core();
+        let mut reply = soap_rpc::echo_response(SoapVersion::V11, "x");
+        WsaHeaders::new().relates_to("uuid:expired").apply(&mut reply);
+        assert_eq!(c.route(reply, 1, 0), Err(WsdError::NoDestination));
+    }
+
+    #[test]
+    fn route_expiry_drops_stale_entries() {
+        let c = core();
+        c.route(request(Some("http://cl/cb"), Some("uuid:old")), 1, 1000)
+            .unwrap();
+        c.route(request(Some("http://cl/cb"), Some("uuid:new")), 1, 9000)
+            .unwrap();
+        assert_eq!(c.pending_routes(), 2);
+        assert_eq!(c.expire_routes(10_000, 5_000), 1);
+        assert_eq!(c.pending_routes(), 1);
+    }
+
+    #[test]
+    fn security_policy_applies_to_all_messages() {
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws/e").unwrap());
+        let c = MsgCore::new(registry, "http://d/msg", 1)
+            .with_policies(crate::security::PolicyChain::new().with(crate::security::MaxSize(100)));
+        let env = request(Some("http://cl/cb"), Some("uuid:1"));
+        assert!(matches!(c.route(env, 500, 0), Err(WsdError::Rejected(_))));
+    }
+
+    #[test]
+    fn round_robin_farm_spreads_forwards() {
+        let registry = Arc::new(
+            Registry::new().with_strategy(crate::registry::BalanceStrategy::RoundRobin),
+        );
+        registry.register_many(
+            "Echo",
+            vec![
+                Url::parse("http://ws-a/e").unwrap(),
+                Url::parse("http://ws-b/e").unwrap(),
+            ],
+            None,
+        );
+        let c = MsgCore::new(registry, "http://d/msg", 1);
+        let mut hosts = std::collections::HashSet::new();
+        for i in 0..4 {
+            let env = {
+                let mut e = soap_rpc::echo_request(SoapVersion::V11, "x");
+                WsaHeaders::new()
+                    .to("http://d/svc/Echo")
+                    .message_id(format!("uuid:{i}"))
+                    .apply(&mut e);
+                e
+            };
+            if let Routed::Forward { to, .. } = c.route(env, 1, 0).unwrap() {
+                hosts.insert(to.host);
+            }
+        }
+        assert_eq!(hosts.len(), 2, "both endpoints must be used");
+    }
+}

@@ -1,0 +1,196 @@
+//! RPC-Dispatcher logic: HTTP-proxy-style forwarding.
+//!
+//! Paper §4.2: one thread parses the HTTP header, copies the XML message
+//! into a new request for the target WS, performs the RPC, and relays the
+//! result on the original client connection. This module is the
+//! transport-agnostic part — deciding where a request goes and building
+//! the forwarded request / relayed response — shared by the simulated and
+//! threaded runtimes.
+
+use wsd_http::{Request, Response, Status};
+use wsd_soap::{Envelope, Fault, FaultCode, SoapVersion};
+
+use crate::error::WsdError;
+use crate::registry::Registry;
+use crate::security::PolicyChain;
+use crate::url::Url;
+
+/// Stats a dispatcher keeps (both runtimes increment them).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RpcDispatchStats {
+    /// Requests accepted from clients.
+    pub received: u64,
+    /// Requests successfully forwarded to a service.
+    pub forwarded: u64,
+    /// Responses relayed back to clients.
+    pub relayed: u64,
+    /// Requests refused (unknown service, security, malformed).
+    pub refused: u64,
+    /// Forwards that failed (connect/timeout at the service side).
+    pub upstream_failures: u64,
+}
+
+/// Decides the fate of one inbound client request.
+///
+/// On success, returns the resolved physical URL, the logical name it was
+/// resolved from, and the rewritten request to send there (new `Host`,
+/// physical path, `Via` marker; body forwarded verbatim).
+pub fn plan_forward(
+    registry: &Registry,
+    policies: &PolicyChain,
+    req: &Request,
+) -> Result<(Url, String, Request), WsdError> {
+    let logical = logical_name(&req.target)?;
+    // Security inspection happens before any upstream work: parse the
+    // envelope once and run the chain on it.
+    if !policies.is_empty() {
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| WsdError::Rejected("body is not UTF-8".to_string()))?;
+        let env = Envelope::parse(body)?;
+        policies.inspect(req.body.len(), &env)?;
+    }
+    let physical = registry.lookup(&logical)?;
+    let mut forwarded = req.clone();
+    forwarded.target = physical.path.clone();
+    forwarded.headers.set("Host", physical.authority());
+    forwarded.headers.set("Via", "1.1 wsd-rpc-dispatcher");
+    Ok((physical, logical, forwarded))
+}
+
+/// Extracts the logical service name from a dispatcher request target
+/// (`/svc/<name>`).
+pub fn logical_name(target: &str) -> Result<String, WsdError> {
+    let url = Url::new("dispatcher", 80, target);
+    url.logical_service()
+        .map(str::to_string)
+        .ok_or_else(|| WsdError::UnknownService(target.to_string()))
+}
+
+/// Builds the client-facing error response for a failed dispatch.
+///
+/// SOAP 1.1 faults ride HTTP 500; addressing-level routing failures map
+/// to 404/502/503 so plain HTTP clients see sensible statuses too.
+pub fn error_response(version: SoapVersion, err: &WsdError) -> Response {
+    let (status, code) = match err {
+        WsdError::UnknownService(_) => (Status::NOT_FOUND, FaultCode::Sender),
+        WsdError::Rejected(_) => (Status::BAD_REQUEST, FaultCode::Sender),
+        WsdError::Soap(_) | WsdError::BadAddress(_) | WsdError::NoDestination => {
+            (Status::BAD_REQUEST, FaultCode::Sender)
+        }
+        WsdError::Overloaded => (Status::SERVICE_UNAVAILABLE, FaultCode::Receiver),
+        WsdError::MsgBox(_) => (Status::BAD_REQUEST, FaultCode::Sender),
+    };
+    let fault = Envelope::fault(version, Fault::new(code, err.to_string()));
+    Response::new(status, version.content_type(), fault.to_xml().into_bytes())
+}
+
+/// Builds the 502 the client sees when the upstream call failed.
+pub fn upstream_failure_response(version: SoapVersion, why: &str) -> Response {
+    let fault = Envelope::fault(
+        version,
+        Fault::new(FaultCode::Receiver, format!("upstream failure: {why}")),
+    );
+    Response::new(
+        Status::BAD_GATEWAY,
+        version.content_type(),
+        fault.to_xml().into_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::{MaxSize, PolicyChain};
+    use wsd_soap::rpc as soap_rpc;
+
+    fn setup() -> Registry {
+        let r = Registry::new();
+        r.register("Echo", Url::parse("http://inria-slow:8888/real/echo").unwrap());
+        r
+    }
+
+    fn echo_request(target: &str) -> Request {
+        let body = soap_rpc::echo_request(SoapVersion::V11, "hi").to_xml();
+        Request::soap_post("dispatcher", target, SoapVersion::V11.content_type(), body.into_bytes())
+    }
+
+    #[test]
+    fn forwards_to_physical_address() {
+        let registry = setup();
+        let req = echo_request("/svc/Echo");
+        let (url, logical, fwd) =
+            plan_forward(&registry, &PolicyChain::new(), &req).unwrap();
+        assert_eq!(url.host, "inria-slow");
+        assert_eq!(logical, "Echo");
+        assert_eq!(fwd.target, "/real/echo");
+        assert_eq!(fwd.headers.get("host"), Some("inria-slow:8888"));
+        assert_eq!(fwd.headers.get("via"), Some("1.1 wsd-rpc-dispatcher"));
+        assert_eq!(fwd.body, req.body, "payload must be verbatim");
+    }
+
+    #[test]
+    fn unknown_service_is_error() {
+        let registry = setup();
+        let req = echo_request("/svc/Nope");
+        assert!(matches!(
+            plan_forward(&registry, &PolicyChain::new(), &req),
+            Err(WsdError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn non_svc_target_is_error() {
+        let registry = setup();
+        let req = echo_request("/other/path");
+        assert!(plan_forward(&registry, &PolicyChain::new(), &req).is_err());
+    }
+
+    #[test]
+    fn security_rejection_stops_forwarding() {
+        let registry = setup();
+        let policies = PolicyChain::new().with(MaxSize(10));
+        let req = echo_request("/svc/Echo");
+        assert!(matches!(
+            plan_forward(&registry, &policies, &req),
+            Err(WsdError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_body_rejected_when_policies_active() {
+        let registry = setup();
+        let policies = PolicyChain::new().with(MaxSize(1_000_000));
+        let mut req = echo_request("/svc/Echo");
+        req.body = b"not xml at all".to_vec();
+        assert!(plan_forward(&registry, &policies, &req).is_err());
+        // Without policies the proxy does not look inside (fast path).
+        assert!(plan_forward(&registry, &PolicyChain::new(), &req).is_ok());
+    }
+
+    #[test]
+    fn error_responses_carry_faults_and_statuses() {
+        let resp = error_response(
+            SoapVersion::V11,
+            &WsdError::UnknownService("X".to_string()),
+        );
+        assert_eq!(resp.status, Status::NOT_FOUND);
+        let env = Envelope::parse(&resp.body_utf8()).unwrap();
+        assert!(env.as_fault().unwrap().reason.contains("X"));
+
+        let resp = error_response(SoapVersion::V11, &WsdError::Overloaded);
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+
+        let resp = upstream_failure_response(SoapVersion::V12, "connect timed out");
+        assert_eq!(resp.status, Status::BAD_GATEWAY);
+        let env = Envelope::parse(&resp.body_utf8()).unwrap();
+        assert_eq!(env.version, SoapVersion::V12);
+        assert!(env.as_fault().unwrap().reason.contains("connect timed out"));
+    }
+
+    #[test]
+    fn logical_name_parsing() {
+        assert_eq!(logical_name("/svc/Echo").unwrap(), "Echo");
+        assert!(logical_name("/").is_err());
+        assert!(logical_name("/svc/").is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! The threaded MSG-Dispatcher (paper §4.2, Figure 3): a `CxThread`
+//! pool accepts and routes messages; a `WsThread` pool drains
+//! per-destination FIFO queues, reusing one connection per destination.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wsd_concurrent::{FifoQueue, PoolConfig, RejectionPolicy, ShardedMap, ThreadPool};
+use wsd_http::{serve_connection, HttpClient, Limits, Request, Response, Status};
+use wsd_soap::{Envelope, SoapVersion};
+
+use crate::config::DispatcherConfig;
+use crate::msg::{MsgCore, Routed};
+use crate::rt::{now_us, Network};
+use crate::url::Url;
+
+/// Counters for the threaded MSG dispatcher.
+#[derive(Debug, Default)]
+pub struct MsgServerStats {
+    /// Messages accepted (`202`).
+    pub accepted: AtomicU64,
+    /// Messages delivered to their destination.
+    pub delivered: AtomicU64,
+    /// Messages dropped (queue overflow, dead destination).
+    pub dropped: AtomicU64,
+    /// Messages rejected by routing/security.
+    pub rejected: AtomicU64,
+}
+
+struct Dest {
+    host: String,
+    port: u16,
+    queue: FifoQueue<Request>,
+    /// Whether a `WsThread` currently owns this destination.
+    active: AtomicBool,
+}
+
+/// A running MSG dispatcher.
+pub struct MsgDispatcherServer {
+    core: Arc<MsgCore>,
+    janitor_stop: Arc<AtomicBool>,
+    cx_pool: Arc<ThreadPool>,
+    ws_pool: Arc<ThreadPool>,
+    dests: Arc<ShardedMap<String, Arc<Dest>>>,
+    stats: Arc<MsgServerStats>,
+    net: Arc<Network>,
+    conns: Arc<crate::rt::ConnTracker>,
+    host: String,
+    port: u16,
+}
+
+impl MsgDispatcherServer {
+    /// Starts the dispatcher on `host:port` around a routing core.
+    pub fn start(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        core: MsgCore,
+        config: DispatcherConfig,
+    ) -> Arc<MsgDispatcherServer> {
+        let cx_pool = Arc::new(
+            ThreadPool::new(
+                PoolConfig::growable(
+                    format!("CxThread-{host}"),
+                    config.cx_core_threads,
+                    config.cx_max_threads,
+                )
+                .rejection(RejectionPolicy::Block),
+            )
+            .expect("cx pool"),
+        );
+        let ws_pool = Arc::new(
+            ThreadPool::new(
+                PoolConfig::growable(
+                    format!("WsThread-{host}"),
+                    config.ws_core_threads,
+                    config.ws_max_threads,
+                )
+                .rejection(RejectionPolicy::Block),
+            )
+            .expect("ws pool"),
+        );
+        let core = Arc::new(core);
+        // Route-table janitor: drop forwarded requests whose replies
+        // never came (paper §4.4's expiration-time future work).
+        let janitor_stop = Arc::new(AtomicBool::new(false));
+        {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&janitor_stop);
+            let ttl = config.route_ttl;
+            std::thread::Builder::new()
+                .name(format!("route-janitor-{host}"))
+                .spawn(move || {
+                    let tick = std::time::Duration::from_millis(200);
+                    let mut since_sweep = std::time::Duration::ZERO;
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(tick);
+                        since_sweep += tick;
+                        if since_sweep >= ttl / 4 {
+                            core.expire_routes(crate::rt::now_us(), ttl.as_micros() as u64);
+                            since_sweep = std::time::Duration::ZERO;
+                        }
+                    }
+                })
+                .expect("janitor thread");
+        }
+        let server = Arc::new(MsgDispatcherServer {
+            core,
+            janitor_stop,
+            cx_pool,
+            ws_pool,
+            dests: Arc::new(ShardedMap::new()),
+            stats: Arc::new(MsgServerStats::default()),
+            net: Arc::clone(net),
+            conns: crate::rt::ConnTracker::new(),
+            host: host.to_string(),
+            port,
+        });
+        {
+            let server2 = Arc::clone(&server);
+            let config = config.clone();
+            net.listen(host, port, move |stream| {
+                let server = Arc::clone(&server2);
+                let config = config.clone();
+                let pool = Arc::clone(&server.cx_pool);
+                server.conns.track(&stream);
+                let _ = pool.execute(move || {
+                    let _ = serve_connection(stream, &Limits::default(), |req| {
+                        server.accept(&config, req)
+                    });
+                });
+            });
+        }
+        server
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &MsgServerStats {
+        &self.stats
+    }
+
+    /// The routing core (for inspecting pending routes).
+    pub fn core(&self) -> &MsgCore {
+        &self.core
+    }
+
+    /// Stops accepting, closes connections and queues, joins both pools.
+    pub fn shutdown(&self) {
+        self.janitor_stop.store(true, Ordering::Release);
+        self.net.unlisten(&self.host, self.port);
+        self.conns.close_all();
+        self.dests.for_each(|_, d| d.queue.close());
+        self.cx_pool.shutdown();
+        self.ws_pool.shutdown();
+    }
+
+    /// CxThread work: parse, route, enqueue, ack.
+    fn accept(self: &Arc<Self>, config: &DispatcherConfig, req: Request) -> Response {
+        let Ok(env) = Envelope::parse(&req.body_utf8()) else {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::empty(Status::BAD_REQUEST);
+        };
+        match self.core.route(env, req.body.len(), now_us()) {
+            Ok(Routed::Forward { to, envelope, .. }) | Ok(Routed::Reply { to, envelope }) => {
+                if self.enqueue(config, &to, envelope) {
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    Response::empty(Status::ACCEPTED)
+                } else {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    Response::empty(Status::SERVICE_UNAVAILABLE)
+                }
+            }
+            Err(e) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                crate::rpc::error_response(SoapVersion::V11, &e)
+            }
+        }
+    }
+
+    fn enqueue(self: &Arc<Self>, config: &DispatcherConfig, to: &Url, envelope: Envelope) -> bool {
+        let fwd = Request::soap_post(
+            &to.authority(),
+            &to.path,
+            SoapVersion::V11.content_type(),
+            envelope.to_xml().into_bytes(),
+        );
+        let authority = to.authority();
+        let dest = self.dests.get_or_insert_with(authority, || {
+            Arc::new(Dest {
+                host: to.host.clone(),
+                port: to.port,
+                queue: FifoQueue::bounded(config.queue_capacity),
+                active: AtomicBool::new(false),
+            })
+        });
+        if dest.queue.try_push(fwd).is_err() {
+            return false;
+        }
+        self.activate(config, dest);
+        true
+    }
+
+    /// Hands the destination to a WsThread if none owns it.
+    fn activate(self: &Arc<Self>, config: &DispatcherConfig, dest: Arc<Dest>) {
+        if dest.active.swap(true, Ordering::AcqRel) {
+            return; // someone is already draining it
+        }
+        let server = Arc::clone(self);
+        let config = config.clone();
+        let pool = Arc::clone(&self.ws_pool);
+        let _ = pool.execute(move || server.drain(&config, dest));
+    }
+
+    /// WsThread work: drain the queue over one kept-open connection.
+    fn drain(self: &Arc<Self>, config: &DispatcherConfig, dest: Arc<Dest>) {
+        let mut client: Option<HttpClient<wsd_http::PipeStream>> = None;
+        // Keep the thread (and connection) for `connection_linger` of
+        // idleness, then hand the slot back.
+        while let Ok(req) = dest.queue.pop_timeout(config.connection_linger) {
+            let mut delivered = false;
+            for _attempt in 0..2 {
+                if client.is_none() {
+                    match self.net.connect(&dest.host, dest.port) {
+                        Ok(stream) => client = Some(HttpClient::new(stream)),
+                        Err(_) => break, // dead destination
+                    }
+                }
+                let c = client.as_mut().expect("just set");
+                match c.call(&req) {
+                    Ok(resp) => {
+                        delivered = true;
+                        if resp.status.0 == 200 {
+                            // An RPC service answered synchronously:
+                            // translate the response into a reply message
+                            // (Table 1 quadrant 3).
+                            self.translate_rpc_response(config, &req, &resp);
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        // Stale connection: rebuild once.
+                        client = None;
+                    }
+                }
+            }
+            if delivered {
+                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        dest.active.store(false, Ordering::Release);
+        // Re-activate if messages raced in while we were shutting down.
+        if !dest.queue.is_empty() && !dest.queue.is_closed() {
+            self.activate(config, dest);
+        }
+    }
+
+    /// Translates a `200` response from an RPC-style destination into a
+    /// reply message routed back to the original sender.
+    fn translate_rpc_response(
+        self: &Arc<Self>,
+        config: &DispatcherConfig,
+        req: &Request,
+        resp: &Response,
+    ) {
+        let Ok(mut env) = Envelope::parse(&resp.body_utf8()) else {
+            return;
+        };
+        // Correlate to the forwarded request's MessageID unless the
+        // service already set RelatesTo.
+        if let Ok(mut h) = wsd_wsa::WsaHeaders::from_envelope(&env) {
+            if h.relates_to.is_empty() {
+                let req_id = Envelope::parse(&req.body_utf8())
+                    .ok()
+                    .and_then(|e| wsd_wsa::WsaHeaders::from_envelope(&e).ok())
+                    .and_then(|h| h.message_id);
+                if let Some(id) = req_id {
+                    h.relates_to.push((id, None));
+                    h.apply(&mut env);
+                }
+            }
+        }
+        let len = env.to_xml().len();
+        if let Ok(Routed::Reply { to, envelope }) | Ok(Routed::Forward { to, envelope, .. }) =
+            self.core.route(env, len, now_us())
+        {
+            let _ = self.enqueue(config, &to, envelope);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::rt::echo_server::EchoServer;
+    use std::time::Duration;
+    use wsd_soap::rpc as soap_rpc;
+    use wsd_wsa::{EndpointReference, WsaHeaders};
+
+    fn quick_config() -> DispatcherConfig {
+        DispatcherConfig {
+            connection_linger: Duration::from_millis(50),
+            ..DispatcherConfig::default()
+        }
+    }
+
+    /// Serves a tiny callback endpoint collecting POSTed envelopes.
+    fn start_callback(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+    ) -> Arc<parking_lot::Mutex<Vec<String>>> {
+        let got = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        net.listen(host, port, move |stream| {
+            let got = Arc::clone(&got2);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &Limits::default(), |req| {
+                    got.lock().push(req.body_utf8().to_string());
+                    Response::empty(Status::ACCEPTED)
+                });
+            });
+        });
+        got
+    }
+
+    fn one_way(net: &Arc<Network>, reply_to: &str, id: &str, text: &str) -> Status {
+        let mut env = soap_rpc::echo_request(SoapVersion::V11, text);
+        WsaHeaders::new()
+            .to("http://dispatcher/svc/Echo")
+            .reply_to(EndpointReference::new(reply_to))
+            .message_id(id)
+            .apply(&mut env);
+        let req = Request::soap_post(
+            "dispatcher:8080",
+            "/msg",
+            SoapVersion::V11.content_type(),
+            env.to_xml().into_bytes(),
+        );
+        let stream = net.connect("dispatcher", 8080).unwrap();
+        let mut client = HttpClient::new(stream);
+        client.call(&req).unwrap().status
+    }
+
+    /// An echo WS in one-way style: accepts a message, replies by POSTing
+    /// a new message back to the dispatcher.
+    fn start_oneway_ws(net: &Arc<Network>, dispatcher: (String, u16)) {
+        let net2 = Arc::clone(net);
+        net.listen("ws", 8888, move |stream| {
+            let net = Arc::clone(&net2);
+            let _dispatcher = dispatcher.clone();
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &Limits::default(), |req| {
+                    let env = Envelope::parse(&req.body_utf8()).unwrap();
+                    let h = WsaHeaders::from_envelope(&env).unwrap();
+                    let text = soap_rpc::parse_echo(&env).unwrap_or_default();
+                    let mut reply = soap_rpc::echo_response(env.version, &text);
+                    let mut rh = WsaHeaders::new();
+                    if let Some(r) = &h.reply_to {
+                        rh = rh.to(r.address.clone());
+                    }
+                    if let Some(id) = &h.message_id {
+                        rh = rh.relates_to(id.clone());
+                    }
+                    rh.apply(&mut reply);
+                    // Fire the reply at the dispatcher (ReplyTo).
+                    if let Some(r) = &h.reply_to {
+                        if let Ok(url) = Url::parse(&r.address) {
+                            if let Ok(s) = net.connect(&url.host, url.port) {
+                                let mut c = HttpClient::new(s);
+                                let rr = Request::soap_post(
+                                    &url.authority(),
+                                    &url.path,
+                                    SoapVersion::V11.content_type(),
+                                    reply.to_xml().into_bytes(),
+                                );
+                                let _ = c.call(&rr);
+                            }
+                        }
+                    }
+                    Response::empty(Status::ACCEPTED)
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn forwards_one_way_messages_to_service() {
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 4, Duration::ZERO);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 3);
+        let disp =
+            MsgDispatcherServer::start(&net, "dispatcher", 8080, core, quick_config());
+        for i in 0..5 {
+            let status = one_way(&net, "http://client:9000/cb", &format!("uuid:{i}"), "x");
+            assert_eq!(status, Status::ACCEPTED);
+        }
+        // Wait for the WsThread to drain.
+        for _ in 0..100 {
+            if disp.stats().delivered.load(Ordering::Relaxed) == 5 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(disp.stats().delivered.load(Ordering::Relaxed), 5);
+        assert_eq!(ws.served(), 5);
+        disp.shutdown();
+        ws.shutdown();
+    }
+
+    #[test]
+    fn full_reply_cycle_reaches_client_callback() {
+        let net = Network::new();
+        start_oneway_ws(&net, ("dispatcher".into(), 8080));
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 3);
+        let disp =
+            MsgDispatcherServer::start(&net, "dispatcher", 8080, core, quick_config());
+        let got = start_callback(&net, "client", 9000);
+        let status = one_way(&net, "http://client:9000/cb", "uuid:rt-1", "voila");
+        assert_eq!(status, Status::ACCEPTED);
+        for _ in 0..200 {
+            if !got.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let replies = got.lock();
+        assert_eq!(replies.len(), 1, "reply must reach the client callback");
+        assert!(replies[0].contains("voila"));
+        assert!(replies[0].contains("uuid:rt-1"));
+        drop(replies);
+        disp.shutdown();
+    }
+
+    #[test]
+    fn firewalled_client_reply_is_dropped() {
+        let net = Network::new();
+        start_oneway_ws(&net, ("dispatcher".into(), 8080));
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 3);
+        let disp =
+            MsgDispatcherServer::start(&net, "dispatcher", 8080, core, quick_config());
+        let _got = start_callback(&net, "client", 9000);
+        net.set_firewalled("client", true);
+        let status = one_way(&net, "http://client:9000/cb", "uuid:fw", "x");
+        assert_eq!(status, Status::ACCEPTED);
+        for _ in 0..200 {
+            if disp.stats().dropped.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(disp.stats().dropped.load(Ordering::Relaxed) >= 1);
+        disp.shutdown();
+    }
+
+    #[test]
+    fn unroutable_message_rejected_with_fault() {
+        let net = Network::new();
+        let core = MsgCore::new(Arc::new(Registry::new()), "http://dispatcher:8080/msg", 3);
+        let disp =
+            MsgDispatcherServer::start(&net, "dispatcher", 8080, core, quick_config());
+        let env = soap_rpc::echo_request(SoapVersion::V11, "x"); // no WSA headers
+        let req = Request::soap_post(
+            "dispatcher:8080",
+            "/msg",
+            SoapVersion::V11.content_type(),
+            env.to_xml().into_bytes(),
+        );
+        let stream = net.connect("dispatcher", 8080).unwrap();
+        let mut client = HttpClient::new(stream);
+        let resp = client.call(&req).unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+        assert_eq!(disp.stats().rejected.load(Ordering::Relaxed), 1);
+        disp.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_senders_nothing_lost() {
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 8, Duration::ZERO);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 3);
+        let disp =
+            MsgDispatcherServer::start(&net, "dispatcher", 8080, core, quick_config());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let status = one_way(
+                        &net,
+                        "http://client:9000/cb",
+                        &format!("uuid:{t}-{i}"),
+                        "x",
+                    );
+                    assert_eq!(status, Status::ACCEPTED);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..300 {
+            if disp.stats().delivered.load(Ordering::Relaxed) == 80 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(disp.stats().delivered.load(Ordering::Relaxed), 80);
+        assert_eq!(ws.served(), 80);
+        disp.shutdown();
+        ws.shutdown();
+    }
+}

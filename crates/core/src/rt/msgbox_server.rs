@@ -1,0 +1,309 @@
+//! The threaded WS-MsgBox service, in both designs.
+//!
+//! [`MsgBoxStrategy::ThreadPerMessage`] spawns a real OS thread per
+//! connection, gated by a [`ThreadBudget`]; exhausting the budget sets
+//! the crashed flag and the service goes dark — the honest in-process
+//! version of the paper's `OutOfMemoryError`. The pooled design serves
+//! from a bounded [`ThreadPool`] and survives the same load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wsd_concurrent::{PoolConfig, RejectionPolicy, ThreadBudget, ThreadPool};
+use wsd_http::{serve_connection, Limits, Request, Response, Status};
+use wsd_soap::Envelope;
+
+use crate::config::{MsgBoxConfig, MsgBoxStrategy};
+use crate::msgbox::{handle_soap, MsgBoxStore};
+use crate::rt::{now_us, Network};
+
+/// A running WS-MsgBox service.
+pub struct MsgBoxServer {
+    store: Arc<MsgBoxStore>,
+    pool: Option<Arc<ThreadPool>>,
+    budget: ThreadBudget,
+    crashed: Arc<AtomicBool>,
+    deposits: Arc<AtomicU64>,
+    rpc_calls: Arc<AtomicU64>,
+    net: Arc<Network>,
+    conns: Arc<crate::rt::ConnTracker>,
+    host: String,
+    port: u16,
+}
+
+impl MsgBoxServer {
+    /// Starts the service on `host:port`.
+    pub fn start(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        config: MsgBoxConfig,
+        seed: u64,
+    ) -> Arc<MsgBoxServer> {
+        let store = Arc::new(MsgBoxStore::new(config.clone(), seed));
+        let budget = ThreadBudget::new(config.thread_budget);
+        let pool = match config.strategy {
+            MsgBoxStrategy::Pooled { workers } => Some(Arc::new(
+                ThreadPool::new(
+                    PoolConfig::fixed(format!("msgbox-{host}"), workers)
+                        .rejection(RejectionPolicy::Block),
+                )
+                .expect("pool"),
+            )),
+            MsgBoxStrategy::ThreadPerMessage => None,
+        };
+        let server = Arc::new(MsgBoxServer {
+            store,
+            pool,
+            budget,
+            crashed: Arc::new(AtomicBool::new(false)),
+            deposits: Arc::new(AtomicU64::new(0)),
+            rpc_calls: Arc::new(AtomicU64::new(0)),
+            net: Arc::clone(net),
+            conns: crate::rt::ConnTracker::new(),
+            host: host.to_string(),
+            port,
+        });
+        {
+            let server2 = Arc::clone(&server);
+            net.listen(host, port, move |stream| {
+                server2.conns.track(&stream);
+                server2.on_connection(stream);
+            });
+        }
+        server
+    }
+
+    fn on_connection(self: &Arc<Self>, stream: wsd_http::PipeStream) {
+        if self.crashed.load(Ordering::Acquire) {
+            return; // dead JVM: the socket just hangs
+        }
+        let server = Arc::clone(self);
+        match &self.pool {
+            Some(pool) => {
+                let _ = pool.execute(move || server.serve(stream));
+            }
+            None => {
+                // Thread-per-connection, gated by the native-thread budget.
+                match self.budget.try_acquire() {
+                    Ok(lease) => {
+                        let spawned = std::thread::Builder::new()
+                            .name("msgbox-msg".into())
+                            .spawn(move || {
+                                let _lease = lease;
+                                server.serve(stream);
+                            });
+                        if spawned.is_err() {
+                            self.mark_crashed();
+                        }
+                    }
+                    Err(_) => self.mark_crashed(),
+                }
+            }
+        }
+    }
+
+    fn mark_crashed(&self) {
+        if !self.crashed.swap(true, Ordering::AcqRel) {
+            // OutOfMemoryError: stop accepting anything new.
+            self.net.unlisten(&self.host, self.port);
+        }
+    }
+
+    fn serve(&self, stream: wsd_http::PipeStream) {
+        let crashed = &self.crashed;
+        let _ = serve_connection(stream, &Limits::default(), |req| {
+            if crashed.load(Ordering::Acquire) {
+                return Response::empty(Status::SERVICE_UNAVAILABLE);
+            }
+            self.handle(req)
+        });
+    }
+
+    fn handle(&self, req: Request) -> Response {
+        if let Some(box_id) = req.target.strip_prefix("/deposit/") {
+            let box_id = box_id.to_string();
+            return match self.store.deposit(&box_id, req.body_utf8().to_string(), now_us()) {
+                Ok(()) => {
+                    self.deposits.fetch_add(1, Ordering::Relaxed);
+                    Response::empty(Status::ACCEPTED)
+                }
+                Err(_) => Response::empty(Status::NOT_FOUND),
+            };
+        }
+        let Ok(env) = Envelope::parse(&req.body_utf8()) else {
+            return Response::empty(Status::BAD_REQUEST);
+        };
+        self.rpc_calls.fetch_add(1, Ordering::Relaxed);
+        let resp_env = handle_soap(&self.store, &env, now_us());
+        Response::new(
+            Status::OK,
+            env.version.content_type(),
+            resp_env.to_xml().into_bytes(),
+        )
+    }
+
+    /// Whether the simulated OOM fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Deposits accepted.
+    pub fn deposits(&self) -> u64 {
+        self.deposits.load(Ordering::Relaxed)
+    }
+
+    /// RPC operations served.
+    pub fn rpc_calls(&self) -> u64 {
+        self.rpc_calls.load(Ordering::Relaxed)
+    }
+
+    /// Peak concurrently live message threads (thread-per-message mode).
+    pub fn peak_threads(&self) -> usize {
+        self.budget.peak()
+    }
+
+    /// Direct access to the store (for assertions in tests).
+    pub fn store(&self) -> &MsgBoxStore {
+        &self.store
+    }
+
+    /// Stops the service.
+    pub fn shutdown(&self) {
+        self.net.unlisten(&self.host, self.port);
+        self.conns.close_all();
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msgbox::ops;
+    use crate::rt::client::MailboxClient;
+    use std::time::Duration;
+    use wsd_http::HttpClient;
+    use wsd_soap::SoapVersion;
+
+    fn pooled() -> MsgBoxConfig {
+        MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 4 },
+            ..MsgBoxConfig::default()
+        }
+    }
+
+    #[test]
+    fn mailbox_lifecycle_over_the_network() {
+        let net = Network::new();
+        let server = MsgBoxServer::start(&net, "msgbox", 8082, pooled(), 11);
+        let mbox = MailboxClient::create(&net, "msgbox", 8082).unwrap();
+        // Deposit directly (as a dispatcher would).
+        let inner = wsd_soap::rpc::echo_response(SoapVersion::V11, "stored!").to_xml();
+        let stream = net.connect("msgbox", 8082).unwrap();
+        let mut c = HttpClient::new(stream);
+        let req = Request::soap_post(
+            "msgbox:8082",
+            &format!("/deposit/{}", mbox.box_id()),
+            "text/xml",
+            inner.clone().into_bytes(),
+        );
+        assert_eq!(c.call(&req).unwrap().status, Status::ACCEPTED);
+        // Poll.
+        let messages = mbox.poll(10).unwrap();
+        assert_eq!(messages.len(), 1);
+        assert_eq!(
+            wsd_soap::rpc::parse_echo_response(&messages[0]).unwrap(),
+            "stored!"
+        );
+        // Empty after fetch; destroy works.
+        assert!(mbox.poll(10).unwrap().is_empty());
+        mbox.destroy().unwrap();
+        assert_eq!(server.deposits(), 1);
+        assert!(server.rpc_calls() >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn thread_per_message_crashes_past_budget() {
+        let net = Network::new();
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::ThreadPerMessage,
+            thread_budget: 8,
+            ..MsgBoxConfig::default()
+        };
+        let server = MsgBoxServer::start(&net, "msgbox", 8082, cfg, 11);
+        // Open many connections that hold their thread by keeping the
+        // exchange open (slow readers).
+        let mut held = Vec::new();
+        for _ in 0..8 {
+            // Connect without sending: the serve thread blocks in read.
+            held.push(net.connect("msgbox", 8082).unwrap());
+        }
+        // Give the spawned threads a moment to start.
+        std::thread::sleep(Duration::from_millis(50));
+        // The 9th message is the OutOfMemoryError.
+        let _ = net.connect("msgbox", 8082);
+        for _ in 0..100 {
+            if server.crashed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.crashed(), "budget exhaustion must crash the service");
+        assert!(server.peak_threads() >= 8);
+        // The crashed service no longer accepts connections.
+        assert!(net.connect("msgbox", 8082).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pooled_design_survives_connection_burst() {
+        let net = Network::new();
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 4 },
+            thread_budget: 8,
+            ..MsgBoxConfig::default()
+        };
+        let server = MsgBoxServer::start(&net, "msgbox", 8082, cfg, 11);
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let stream = net.connect("msgbox", 8082).unwrap();
+                let mut c = HttpClient::new(stream);
+                let mut req = Request::soap_post(
+                    "msgbox:8082",
+                    "/msgbox",
+                    SoapVersion::V11.content_type(),
+                    ops::create(SoapVersion::V11).to_xml().into_bytes(),
+                );
+                req.headers.set("Connection", "close");
+                c.call(&req).unwrap().status
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Status::OK);
+        }
+        assert!(!server.crashed());
+        assert_eq!(server.store().box_count(), 16);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deposit_to_missing_box_is_404() {
+        let net = Network::new();
+        let server = MsgBoxServer::start(&net, "msgbox", 8082, pooled(), 11);
+        let stream = net.connect("msgbox", 8082).unwrap();
+        let mut c = HttpClient::new(stream);
+        let req = Request::soap_post(
+            "msgbox:8082",
+            "/deposit/mbox-missing",
+            "text/xml",
+            b"<x/>".to_vec(),
+        );
+        assert_eq!(c.call(&req).unwrap().status, Status::NOT_FOUND);
+        server.shutdown();
+    }
+}

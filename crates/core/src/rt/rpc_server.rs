@@ -1,0 +1,304 @@
+//! The threaded RPC-Dispatcher: forwards an RPC invocation on a new
+//! upstream connection and relays the response on the client's
+//! connection (paper §4.2, "the first phase of the implementation").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use wsd_concurrent::{PoolConfig, RejectionPolicy, ThreadPool};
+use wsd_http::{serve_connection, HttpClient, Limits, Request, Response};
+use wsd_soap::SoapVersion;
+
+use crate::config::DispatcherConfig;
+use crate::registry::Registry;
+use crate::rpc::{error_response, plan_forward, upstream_failure_response, RpcDispatchStats};
+use crate::rt::Network;
+use crate::security::PolicyChain;
+
+/// A running RPC dispatcher.
+pub struct RpcDispatcherServer {
+    pool: Arc<ThreadPool>,
+    stats: Arc<Mutex<RpcDispatchStats>>,
+    net: Arc<Network>,
+    conns: Arc<crate::rt::ConnTracker>,
+    host: String,
+    port: u16,
+}
+
+impl RpcDispatcherServer {
+    /// Starts the dispatcher on `host:port`.
+    pub fn start(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        registry: Arc<Registry>,
+        policies: PolicyChain,
+        config: DispatcherConfig,
+    ) -> RpcDispatcherServer {
+        let pool = Arc::new(
+            ThreadPool::new(
+                PoolConfig::growable(
+                    format!("rpc-disp-{host}"),
+                    config.cx_core_threads,
+                    config.cx_max_threads,
+                )
+                .rejection(RejectionPolicy::Block),
+            )
+            .expect("pool"),
+        );
+        let stats = Arc::new(Mutex::new(RpcDispatchStats::default()));
+        let policies = Arc::new(policies);
+        let conns = crate::rt::ConnTracker::new();
+        {
+            let pool2 = Arc::clone(&pool);
+            let stats = Arc::clone(&stats);
+            let net2 = Arc::clone(net);
+            let conns = Arc::clone(&conns);
+            let response_timeout = config.response_timeout;
+            net.listen(host, port, move |stream| {
+                let registry = Arc::clone(&registry);
+                let policies = Arc::clone(&policies);
+                let stats = Arc::clone(&stats);
+                let net = Arc::clone(&net2);
+                conns.track(&stream);
+                let _ = pool2.execute(move || {
+                    let _ = serve_connection(stream, &Limits::default(), |req| {
+                        handle(&net, &registry, &policies, &stats, response_timeout, req)
+                    });
+                });
+            });
+        }
+        RpcDispatcherServer {
+            pool,
+            stats,
+            net: Arc::clone(net),
+            conns,
+            host: host.to_string(),
+            port,
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> RpcDispatchStats {
+        self.stats.lock().clone()
+    }
+
+    /// Stops accepting, closes live connections and joins the workers.
+    pub fn shutdown(&self) {
+        self.net.unlisten(&self.host, self.port);
+        self.conns.close_all();
+        self.pool.shutdown();
+    }
+}
+
+fn handle(
+    net: &Arc<Network>,
+    registry: &Registry,
+    policies: &PolicyChain,
+    stats: &Mutex<RpcDispatchStats>,
+    response_timeout: Duration,
+    req: Request,
+) -> Response {
+    stats.lock().received += 1;
+    let (url, logical, fwd) = match plan_forward(registry, policies, &req) {
+        Ok(plan) => plan,
+        Err(e) => {
+            stats.lock().refused += 1;
+            return error_response(SoapVersion::V11, &e);
+        }
+    };
+    registry.note_dispatched(&logical, &url);
+    let result = forward_once(net, &url.host, url.port, &fwd, response_timeout);
+    registry.note_completed(&logical, &url);
+    match result {
+        Ok(mut resp) => {
+            stats.lock().forwarded += 1;
+            stats.lock().relayed += 1;
+            // The upstream hop's connection semantics must not leak to
+            // the client connection.
+            resp.headers.remove("connection");
+            resp
+        }
+        Err(why) => {
+            stats.lock().upstream_failures += 1;
+            // A dead endpoint is marked down so the balancer can fail
+            // over (the liveness future-work item).
+            registry.mark_down(&logical, &url);
+            upstream_failure_response(SoapVersion::V11, &why)
+        }
+    }
+}
+
+fn forward_once(
+    net: &Arc<Network>,
+    host: &str,
+    port: u16,
+    fwd: &Request,
+    response_timeout: Duration,
+) -> Result<Response, String> {
+    let stream = net
+        .connect(host, port)
+        .map_err(|e| format!("connect to {host}:{port} failed: {e}"))?;
+    let mut client = HttpClient::new(stream);
+    client
+        .set_response_timeout(Some(response_timeout))
+        .map_err(|e| e.to_string())?;
+    let mut one_shot = fwd.clone();
+    one_shot.headers.set("Connection", "close");
+    client.call(&one_shot).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::echo_server::EchoServer;
+    use crate::url::Url;
+    use wsd_http::Status;
+    use wsd_soap::{rpc as soap_rpc, Envelope};
+
+    fn call_dispatcher(net: &Arc<Network>, text: &str) -> Response {
+        let stream = net.connect("dispatcher", 8081).unwrap();
+        let mut client = HttpClient::new(stream);
+        let env = soap_rpc::echo_request(SoapVersion::V11, text);
+        let req = Request::soap_post(
+            "dispatcher:8081",
+            "/svc/Echo",
+            SoapVersion::V11.content_type(),
+            env.to_xml().into_bytes(),
+        );
+        client.call(&req).unwrap()
+    }
+
+    #[test]
+    fn forwards_and_relays() {
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 4, Duration::ZERO);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let disp = RpcDispatcherServer::start(
+            &net,
+            "dispatcher",
+            8081,
+            registry,
+            PolicyChain::new(),
+            DispatcherConfig::default(),
+        );
+        let resp = call_dispatcher(&net, "through-the-proxy");
+        assert_eq!(resp.status, Status::OK);
+        let env = Envelope::parse(&resp.body_utf8()).unwrap();
+        assert_eq!(
+            soap_rpc::parse_echo_response(&env).unwrap(),
+            "through-the-proxy"
+        );
+        let s = disp.stats();
+        assert_eq!((s.received, s.forwarded, s.relayed), (1, 1, 1));
+        disp.shutdown();
+        ws.shutdown();
+    }
+
+    #[test]
+    fn unknown_service_is_404() {
+        let net = Network::new();
+        let disp = RpcDispatcherServer::start(
+            &net,
+            "dispatcher",
+            8081,
+            Arc::new(Registry::new()),
+            PolicyChain::new(),
+            DispatcherConfig::default(),
+        );
+        let resp = call_dispatcher(&net, "x");
+        assert_eq!(resp.status, Status::NOT_FOUND);
+        assert_eq!(disp.stats().refused, 1);
+        disp.shutdown();
+    }
+
+    #[test]
+    fn dead_upstream_is_502_and_marked_down() {
+        let net = Network::new();
+        let registry = Arc::new(Registry::new());
+        registry.register_many(
+            "Echo",
+            vec![
+                Url::parse("http://dead:1/e").unwrap(),
+                Url::parse("http://ws:8888/echo").unwrap(),
+            ],
+            None,
+        );
+        let _ws = EchoServer::start(&net, "ws", 8888, 2, Duration::ZERO);
+        let disp = RpcDispatcherServer::start(
+            &net,
+            "dispatcher",
+            8081,
+            Arc::clone(&registry),
+            PolicyChain::new(),
+            DispatcherConfig::default(),
+        );
+        // First call hits the dead primary → 502, and fails it over.
+        let resp = call_dispatcher(&net, "a");
+        assert_eq!(resp.status, Status::BAD_GATEWAY);
+        // Second call lands on the live backup.
+        let resp = call_dispatcher(&net, "b");
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(disp.stats().upstream_failures, 1);
+        disp.shutdown();
+    }
+
+    #[test]
+    fn slow_upstream_times_out() {
+        let net = Network::new();
+        let _ws = EchoServer::start(&net, "ws", 8888, 2, Duration::from_millis(300));
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let config = DispatcherConfig {
+            response_timeout: Duration::from_millis(50),
+            ..DispatcherConfig::default()
+        };
+        let disp = RpcDispatcherServer::start(
+            &net,
+            "dispatcher",
+            8081,
+            registry,
+            PolicyChain::new(),
+            config,
+        );
+        let resp = call_dispatcher(&net, "too-slow");
+        assert_eq!(resp.status, Status::BAD_GATEWAY);
+        assert_eq!(disp.stats().upstream_failures, 1);
+        disp.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_through_dispatcher() {
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 8, Duration::from_millis(1));
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let disp = RpcDispatcherServer::start(
+            &net,
+            "dispatcher",
+            8081,
+            registry,
+            PolicyChain::new(),
+            DispatcherConfig::default(),
+        );
+        let mut handles = Vec::new();
+        for i in 0..12 {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let resp = call_dispatcher(&net, &format!("c{i}"));
+                assert_eq!(resp.status, Status::OK);
+                let env = Envelope::parse(&resp.body_utf8()).unwrap();
+                assert_eq!(soap_rpc::parse_echo_response(&env).unwrap(), format!("c{i}"));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(disp.stats().relayed, 12);
+        assert_eq!(ws.served(), 12);
+        disp.shutdown();
+        ws.shutdown();
+    }
+}

@@ -1,0 +1,791 @@
+//! The simulated MSG-Dispatcher (paper §4.2, Figure 3).
+//!
+//! Incoming one-way messages are accepted by the `CxThread` stage (a
+//! FIFO CPU here), routed through [`MsgCore`] (logical-address
+//! resolution + WS-Addressing rewrite), acknowledged with `202`, and
+//! handed to the `WsThread` stage: per-destination FIFO queues drained
+//! by a bounded pool of sender threads, each holding one kept-open
+//! connection to its destination ("multiple messages can be delivered to
+//! a destination over one connection which is more efficient than
+//! opening multiple short lived connections").
+//!
+//! A `WsThread` whose destination is unreachable (a firewalled client)
+//! holds its pool slot through the connect timeout and retry backoff —
+//! which is exactly how undeliverable replies starve request forwarding
+//! and produce the middle curve of Figure 6.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use wsd_http::{parse_request_bytes, Request, Response, Status};
+use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
+use wsd_soap::{Envelope, SoapVersion};
+
+use crate::msg::{MsgCore, Routed};
+use crate::reliable::RetryPolicy;
+use crate::sim::{request_payload, response_payload, CpuQueue};
+use crate::url::Url;
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    received: u64,
+    acked: u64,
+    forwarded: u64,
+    replies_routed: u64,
+    delivered: u64,
+    dropped: u64,
+    rejected: u64,
+    peak_active_threads: usize,
+}
+
+/// Live counters of a [`SimMsgDispatcher`].
+#[derive(Debug, Clone, Default)]
+pub struct MsgDispatcherStats {
+    inner: Rc<RefCell<StatsInner>>,
+}
+
+impl MsgDispatcherStats {
+    /// Messages read off client connections.
+    pub fn received(&self) -> u64 {
+        self.inner.borrow().received
+    }
+    /// `202 Accepted` acks sent.
+    pub fn acked(&self) -> u64 {
+        self.inner.borrow().acked
+    }
+    /// Requests routed toward services.
+    pub fn forwarded(&self) -> u64 {
+        self.inner.borrow().forwarded
+    }
+    /// Replies routed toward clients/mailboxes.
+    pub fn replies_routed(&self) -> u64 {
+        self.inner.borrow().replies_routed
+    }
+    /// Messages actually written to a destination connection.
+    pub fn delivered(&self) -> u64 {
+        self.inner.borrow().delivered
+    }
+    /// Messages dropped (queue overflow or delivery given up).
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+    /// Messages rejected by routing or security.
+    pub fn rejected(&self) -> u64 {
+        self.inner.borrow().rejected
+    }
+    /// High-water mark of concurrently busy `WsThread`s.
+    pub fn peak_active_threads(&self) -> usize {
+        self.inner.borrow().peak_active_threads
+    }
+}
+
+/// `WsThread`-stage tuning.
+#[derive(Debug, Clone)]
+pub struct WsThreadConfig {
+    /// Sender-thread pool size.
+    pub threads: usize,
+    /// Per-destination queue capacity.
+    pub queue_capacity: usize,
+    /// Connect timeout toward destinations.
+    pub connect_timeout: SimDuration,
+    /// Idle time before a kept-open destination connection is closed.
+    pub linger: SimDuration,
+    /// Hold/retry policy for unreachable destinations.
+    pub retry: RetryPolicy,
+    /// How long a forwarded request's route-table entry awaits its reply
+    /// before the janitor drops it.
+    pub route_ttl: SimDuration,
+}
+
+impl Default for WsThreadConfig {
+    fn default() -> Self {
+        WsThreadConfig {
+            threads: 16,
+            queue_capacity: 256,
+            connect_timeout: SimDuration::from_secs(3),
+            linger: SimDuration::from_secs(15),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff_us: 500_000,
+                max_backoff_us: 5_000_000,
+                ttl_us: 60_000_000,
+            },
+            route_ttl: SimDuration::from_secs(300),
+        }
+    }
+}
+
+type DestKey = (String, u16);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DestConn {
+    Idle,
+    Connecting(ConnId),
+    Ready(ConnId),
+    Backoff,
+}
+
+struct Dest {
+    #[allow(dead_code)] // kept for diagnostics/Debug
+    path_hint: String,
+    queue: VecDeque<(String, Payload)>,
+    conn: DestConn,
+    has_thread: bool,
+    attempts: u32,
+    generation: u64,
+    /// Message ids written to the connection, awaiting their HTTP
+    /// responses in order — the state behind the paper's Table 1
+    /// quadrant 3: when an *RPC* service answers `200` with a SOAP body,
+    /// the dispatcher translates it into a reply message correlated to
+    /// the oldest outstanding id.
+    outstanding: VecDeque<String>,
+}
+
+impl Dest {
+    fn new(path_hint: String) -> Self {
+        Dest {
+            path_hint,
+            queue: VecDeque::new(),
+            conn: DestConn::Idle,
+            has_thread: false,
+            attempts: 0,
+            generation: 0,
+            outstanding: VecDeque::new(),
+        }
+    }
+}
+
+/// The MSG-Dispatcher as a simulation actor.
+pub struct SimMsgDispatcher {
+    core: MsgCore,
+    config: WsThreadConfig,
+    /// `CxThread` CPU cost per routed message.
+    dispatch_time: SimDuration,
+    cpu: CpuQueue,
+    stats: MsgDispatcherStats,
+    next_token: u64,
+    /// Routing work waiting for CPU: token → (conn to answer on, raw
+    /// bytes). Translated RPC responses re-enter here with no answer
+    /// connection — the "translation of semantics" CPU cost.
+    routing: HashMap<u64, (Option<ConnId>, Payload)>,
+    dests: HashMap<DestKey, Dest>,
+    active_threads: usize,
+    /// Destinations with work, waiting for a free `WsThread`.
+    waiting: VecDeque<DestKey>,
+    connecting: HashMap<ConnId, DestKey>,
+    ready_conns: HashMap<ConnId, DestKey>,
+    backoff_timers: HashMap<u64, DestKey>,
+    linger_timers: HashMap<u64, (DestKey, u64)>,
+    /// Token of the pending route-table janitor tick (armed lazily so an
+    /// idle dispatcher schedules no events and `run()` can drain).
+    janitor_token: u64,
+    janitor_armed: bool,
+}
+
+impl SimMsgDispatcher {
+    /// Creates the dispatcher actor around a routing core.
+    pub fn new(core: MsgCore, dispatch_time: SimDuration, config: WsThreadConfig) -> Self {
+        SimMsgDispatcher {
+            core,
+            config,
+            dispatch_time,
+            cpu: CpuQueue::default(),
+            stats: MsgDispatcherStats::default(),
+            next_token: 0,
+            routing: HashMap::new(),
+            dests: HashMap::new(),
+            active_threads: 0,
+            waiting: VecDeque::new(),
+            connecting: HashMap::new(),
+            ready_conns: HashMap::new(),
+            backoff_timers: HashMap::new(),
+            linger_timers: HashMap::new(),
+            janitor_token: 0,
+            janitor_armed: false,
+        }
+    }
+
+    /// A handle to the live counters.
+    pub fn stats(&self) -> MsgDispatcherStats {
+        self.stats.clone()
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Schedules the next route-expiry sweep if routes are pending.
+    fn arm_janitor(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.janitor_armed && self.core.pending_routes() > 0 {
+            self.janitor_armed = true;
+            self.janitor_token = self.token();
+            ctx.set_timer(SimDuration(self.config.route_ttl.0 / 4), self.janitor_token);
+        }
+    }
+
+    fn route_now(&mut self, ctx: &mut Ctx<'_>, client_conn: Option<ConnId>, raw: Payload) {
+        let parsed = parse_request_bytes(&raw)
+            .ok()
+            .and_then(|req| Envelope::parse(&req.body_utf8()).ok().map(|e| (req, e)));
+        let Some((_req, env)) = parsed else {
+            self.stats.inner.borrow_mut().rejected += 1;
+            if let Some(conn) = client_conn {
+                let resp = Response::empty(Status::BAD_REQUEST);
+                let _ = ctx.send(conn, response_payload(&resp));
+            }
+            return;
+        };
+        match self.core.route(env, raw.len(), ctx.now().as_micros()) {
+            Ok(Routed::Forward { to, envelope, .. }) => {
+                self.stats.inner.borrow_mut().forwarded += 1;
+                if let Some(conn) = client_conn {
+                    self.ack(ctx, conn);
+                }
+                self.enqueue(ctx, &to, envelope);
+                self.arm_janitor(ctx);
+            }
+            Ok(Routed::Reply { to, envelope }) => {
+                self.stats.inner.borrow_mut().replies_routed += 1;
+                if let Some(conn) = client_conn {
+                    self.ack(ctx, conn);
+                }
+                self.enqueue(ctx, &to, envelope);
+            }
+            Err(_) => {
+                self.stats.inner.borrow_mut().rejected += 1;
+                if let Some(conn) = client_conn {
+                    let resp = Response::empty(Status::BAD_REQUEST);
+                    let _ = ctx.send(conn, response_payload(&resp));
+                }
+            }
+        }
+    }
+
+    fn ack(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let ack = Response::empty(Status::ACCEPTED);
+        if ctx.send(conn, response_payload(&ack)).is_ok() {
+            self.stats.inner.borrow_mut().acked += 1;
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, to: &Url, envelope: Envelope) {
+        let msg_id = wsd_wsa::WsaHeaders::from_envelope(&envelope)
+            .ok()
+            .and_then(|h| h.message_id)
+            .unwrap_or_default();
+        let req = Request::soap_post(
+            &to.authority(),
+            &to.path,
+            SoapVersion::V11.content_type(),
+            envelope.to_xml().into_bytes(),
+        );
+        let payload = request_payload(&req);
+        let key = (to.host.clone(), to.port);
+        let cap = self.config.queue_capacity;
+        let dest = self
+            .dests
+            .entry(key.clone())
+            .or_insert_with(|| Dest::new(to.path.clone()));
+        if dest.queue.len() >= cap {
+            self.stats.inner.borrow_mut().dropped += 1;
+            return;
+        }
+        dest.queue.push_back((msg_id, payload));
+        self.schedule_dest(ctx, key);
+    }
+
+    /// Ensures `key` either has a thread working it or is queued for one.
+    fn schedule_dest(&mut self, ctx: &mut Ctx<'_>, key: DestKey) {
+        let Some(dest) = self.dests.get_mut(&key) else {
+            return;
+        };
+        if dest.has_thread || dest.queue.is_empty() {
+            return;
+        }
+        if self.active_threads < self.config.threads {
+            dest.has_thread = true;
+            self.active_threads += 1;
+            let mut s = self.stats.inner.borrow_mut();
+            s.peak_active_threads = s.peak_active_threads.max(self.active_threads);
+            drop(s);
+            self.work_dest(ctx, key);
+        } else if !self.waiting.contains(&key) {
+            self.waiting.push_back(key);
+        }
+    }
+
+    /// Advances a destination that owns a thread.
+    fn work_dest(&mut self, ctx: &mut Ctx<'_>, key: DestKey) {
+        let Some(dest) = self.dests.get_mut(&key) else {
+            return;
+        };
+        match dest.conn {
+            DestConn::Ready(conn) => self.flush(ctx, key, conn),
+            DestConn::Idle => {
+                let conn = ctx.connect(&key.0, key.1, self.config.connect_timeout);
+                dest.conn = DestConn::Connecting(conn);
+                self.connecting.insert(conn, key);
+            }
+            // Connecting/Backoff: progress arrives via events/timers.
+            DestConn::Connecting(_) | DestConn::Backoff => {}
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>, key: DestKey, conn: ConnId) {
+        let Some(dest) = self.dests.get_mut(&key) else {
+            return;
+        };
+        let mut sent = 0u64;
+        let mut broken = false;
+        while let Some((msg_id, payload)) = dest.queue.pop_front() {
+            if ctx.send(conn, payload.clone()).is_ok() {
+                dest.outstanding.push_back(msg_id);
+                sent += 1;
+            } else {
+                // Connection died under us: requeue and reconnect.
+                dest.queue.push_front((msg_id, payload));
+                broken = true;
+                break;
+            }
+        }
+        self.stats.inner.borrow_mut().delivered += sent;
+        if broken {
+            self.ready_conns.remove(&conn);
+            let dest = self.dests.get_mut(&key).expect("dest exists");
+            dest.conn = DestConn::Idle;
+            self.work_dest(ctx, key);
+            return;
+        }
+        // Queue drained: release the thread, keep the connection warm.
+        let dest = self.dests.get_mut(&key).expect("dest exists");
+        dest.generation += 1;
+        let generation = dest.generation;
+        self.release_thread(ctx, &key);
+        let token = self.token();
+        self.linger_timers.insert(token, (key, generation));
+        ctx.set_timer(self.config.linger, token);
+    }
+
+    fn release_thread(&mut self, ctx: &mut Ctx<'_>, key: &DestKey) {
+        if let Some(dest) = self.dests.get_mut(key) {
+            if !dest.has_thread {
+                return;
+            }
+            dest.has_thread = false;
+        }
+        self.active_threads = self.active_threads.saturating_sub(1);
+        // Hand the slot to the next waiting destination with work.
+        while let Some(next) = self.waiting.pop_front() {
+            let ready = self
+                .dests
+                .get(&next)
+                .map(|d| !d.queue.is_empty() && !d.has_thread)
+                .unwrap_or(false);
+            if ready {
+                let dest = self.dests.get_mut(&next).expect("checked");
+                dest.has_thread = true;
+                self.active_threads += 1;
+                let mut s = self.stats.inner.borrow_mut();
+                s.peak_active_threads = s.peak_active_threads.max(self.active_threads);
+                drop(s);
+                self.work_dest(ctx, next);
+                break;
+            }
+        }
+    }
+
+    /// Handles an HTTP response arriving on a destination connection.
+    fn on_dest_response(&mut self, ctx: &mut Ctx<'_>, key: DestKey, bytes: Payload) {
+        let outstanding = match self.dests.get_mut(&key) {
+            Some(dest) => dest.outstanding.pop_front(),
+            None => None,
+        };
+        let Ok(resp) = wsd_http::parse_response_bytes(&bytes) else {
+            return;
+        };
+        if resp.status.0 != 200 {
+            return; // plain ack (202) or error — nothing to translate
+        }
+        let Ok(mut env) = Envelope::parse(&resp.body_utf8()) else {
+            return;
+        };
+        // Correlate to the request this response answers, unless the
+        // service already did.
+        if let (Some(id), Ok(mut h)) = (
+            outstanding.filter(|id| !id.is_empty()),
+            wsd_wsa::WsaHeaders::from_envelope(&env),
+        ) {
+            if h.relates_to.is_empty() {
+                h.relates_to.push((id, None));
+                h.apply(&mut env);
+            }
+        }
+        // Translation costs CxThread CPU like any inbound message — this
+        // is why Table 1 calls the RPC server "a bottleneck (translation
+        // of semantics from messaging to RPC)".
+        let synthetic = Request::soap_post(
+            "translated",
+            "/msg",
+            SoapVersion::V11.content_type(),
+            env.to_xml().into_bytes(),
+        );
+        let done_at = self.cpu.reserve(ctx.now(), self.dispatch_time);
+        let token = self.token();
+        self.routing
+            .insert(token, (None, request_payload(&synthetic)));
+        ctx.set_timer(done_at.since(ctx.now()), token);
+    }
+
+    fn give_up(&mut self, ctx: &mut Ctx<'_>, key: DestKey) {
+        if let Some(dest) = self.dests.get_mut(&key) {
+            let n = dest.queue.len() as u64;
+            dest.queue.clear();
+            dest.conn = DestConn::Idle;
+            dest.attempts = 0;
+            self.stats.inner.borrow_mut().dropped += n;
+        }
+        self.release_thread(ctx, &key);
+    }
+}
+
+impl Process for SimMsgDispatcher {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start | ProcEvent::ConnAccepted { .. } => {}
+            ProcEvent::Message { conn, bytes } => {
+                if let Some(key) = self.ready_conns.get(&conn).cloned() {
+                    // A response from a destination. `202` is a plain
+                    // ack; `200` with a SOAP body is an *RPC* service
+                    // answering synchronously — translate it into a reply
+                    // message (Table 1 quadrant 3).
+                    self.on_dest_response(ctx, key, bytes);
+                    return;
+                }
+                self.stats.inner.borrow_mut().received += 1;
+                let done_at = self.cpu.reserve(ctx.now(), self.dispatch_time);
+                let token = self.token();
+                self.routing.insert(token, (Some(conn), bytes));
+                ctx.set_timer(done_at.since(ctx.now()), token);
+            }
+            ProcEvent::Timer { token } => {
+                if self.janitor_armed && token == self.janitor_token {
+                    // The route-table janitor (paper §4.4: routes carry
+                    // expiration). Re-armed only while routes are
+                    // pending, so an idle simulation can drain.
+                    self.janitor_armed = false;
+                    self.core
+                        .expire_routes(ctx.now().as_micros(), self.config.route_ttl.0);
+                    self.arm_janitor(ctx);
+                } else if let Some((conn, raw)) = self.routing.remove(&token) {
+                    self.route_now(ctx, conn, raw);
+                } else if let Some(key) = self.backoff_timers.remove(&token) {
+                    if let Some(dest) = self.dests.get_mut(&key) {
+                        if dest.conn == DestConn::Backoff {
+                            dest.conn = DestConn::Idle;
+                            self.work_dest(ctx, key);
+                        }
+                    }
+                } else if let Some((key, generation)) = self.linger_timers.remove(&token) {
+                    if let Some(dest) = self.dests.get_mut(&key) {
+                        if dest.generation == generation && dest.queue.is_empty() {
+                            if let DestConn::Ready(conn) = dest.conn {
+                                dest.conn = DestConn::Idle;
+                                self.ready_conns.remove(&conn);
+                                ctx.close(conn);
+                            }
+                        }
+                    }
+                }
+            }
+            ProcEvent::ConnEstablished { conn } => {
+                if let Some(key) = self.connecting.remove(&conn) {
+                    if let Some(dest) = self.dests.get_mut(&key) {
+                        dest.conn = DestConn::Ready(conn);
+                        dest.attempts = 0;
+                        self.ready_conns.insert(conn, key.clone());
+                        if dest.has_thread {
+                            self.flush(ctx, key, conn);
+                        }
+                    }
+                }
+            }
+            ProcEvent::ConnRefused { conn, .. } => {
+                if let Some(key) = self.connecting.remove(&conn) {
+                    let retry = self.config.retry;
+                    if let Some(dest) = self.dests.get_mut(&key) {
+                        dest.attempts += 1;
+                        match retry.backoff_before(dest.attempts + 1) {
+                            Some(backoff) => {
+                                // Hold the thread through the backoff —
+                                // this is the blocked-WsThread behaviour.
+                                dest.conn = DestConn::Backoff;
+                                let token = self.token();
+                                self.backoff_timers.insert(token, key);
+                                ctx.set_timer(SimDuration::from_micros(backoff), token);
+                            }
+                            None => self.give_up(ctx, key),
+                        }
+                    }
+                }
+            }
+            ProcEvent::ConnClosed { conn } => {
+                if let Some(key) = self.ready_conns.remove(&conn) {
+                    if let Some(dest) = self.dests.get_mut(&key) {
+                        dest.conn = DestConn::Idle;
+                        if dest.has_thread {
+                            self.work_dest(ctx, key.clone());
+                        }
+                        self.schedule_dest(ctx, key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::sim::echo::{EchoMode, SimEchoService};
+    use std::sync::Arc;
+    use wsd_soap::rpc as soap_rpc;
+    use wsd_wsa::{EndpointReference, WsaHeaders};
+    use wsd_netsim::{FirewallPolicy, HostConfig, Simulation};
+
+    /// Sends `total` one-way echo requests, paced by 202 acks; records
+    /// replies POSTed to its callback listener.
+    struct OneWayClient {
+        total: usize,
+        sent: usize,
+        reply_to: String,
+        got_acks: Rc<RefCell<usize>>,
+    }
+
+    impl OneWayClient {
+        fn request(&self, i: usize) -> Payload {
+            let mut env = soap_rpc::echo_request(SoapVersion::V11, &format!("m{i}"));
+            WsaHeaders::new()
+                .to("http://dispatcher/svc/Echo")
+                .reply_to(EndpointReference::new(&self.reply_to))
+                .message_id(format!("uuid:{}-{i}", self.reply_to))
+                .apply(&mut env);
+            let req = Request::soap_post(
+                "dispatcher:8080",
+                "/msg",
+                SoapVersion::V11.content_type(),
+                env.to_xml().into_bytes(),
+            );
+            request_payload(&req)
+        }
+    }
+
+    impl Process for OneWayClient {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => {
+                    ctx.connect("dispatcher", 8080, SimDuration::from_secs(5));
+                }
+                ProcEvent::ConnEstablished { conn } => {
+                    let msg = self.request(self.sent);
+                    ctx.send(conn, msg).unwrap();
+                    self.sent += 1;
+                }
+                ProcEvent::Message { conn, bytes }
+                    if bytes.starts_with(b"HTTP/1.1 202") => {
+                        *self.got_acks.borrow_mut() += 1;
+                        if self.sent < self.total {
+                            let msg = self.request(self.sent);
+                            let _ = ctx.send(conn, msg);
+                            self.sent += 1;
+                        }
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    struct ReplySink {
+        got: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl Process for ReplySink {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            if let ProcEvent::Message { conn, bytes } = ev {
+                self.got
+                    .borrow_mut()
+                    .push(String::from_utf8_lossy(&bytes).to_string());
+                let ack = Response::empty(Status::ACCEPTED);
+                let _ = ctx.send(conn, response_payload(&ack));
+            }
+        }
+    }
+
+    type BuildOut = (
+        Simulation,
+        MsgDispatcherStats,
+        crate::sim::echo::EchoStats,
+        Rc<RefCell<Vec<String>>>,
+        Rc<RefCell<usize>>,
+    );
+
+    fn build(client_firewalled: bool, threads: usize) -> BuildOut {
+        let mut sim = Simulation::new(1);
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let ws_host = sim.add_host(HostConfig::named("ws"));
+        let client_cfg = if client_firewalled {
+            HostConfig::named("client").firewall(FirewallPolicy::OutboundOnly)
+        } else {
+            HostConfig::named("client")
+        };
+        let client_host = sim.add_host(client_cfg);
+
+        // Echo service in one-way mode, replying through the dispatcher.
+        let service = SimEchoService::new(
+            EchoMode::OneWay {
+                workers: 8,
+                connect_timeout: SimDuration::from_secs(3),
+            },
+            SimDuration::from_millis(2),
+        );
+        let echo_stats = service.stats();
+        let ws = sim.spawn(ws_host, Box::new(service));
+        sim.listen(ws, 8888);
+
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 9);
+        let dispatcher = SimMsgDispatcher::new(
+            core,
+            SimDuration::from_millis(2),
+            WsThreadConfig {
+                threads,
+                ..WsThreadConfig::default()
+            },
+        );
+        let stats = dispatcher.stats();
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8080);
+
+        // Client callback listener + sender.
+        let got = Rc::new(RefCell::new(vec![]));
+        let sink = sim.spawn(client_host, Box::new(ReplySink { got: got.clone() }));
+        sim.listen(sink, 9000);
+        let acks = Rc::new(RefCell::new(0));
+        sim.spawn(
+            client_host,
+            Box::new(OneWayClient {
+                total: 5,
+                sent: 0,
+                reply_to: "http://client:9000/cb".into(),
+                got_acks: acks.clone(),
+            }),
+        );
+        (sim, stats, echo_stats, got, acks)
+    }
+
+    #[test]
+    fn full_round_trip_through_dispatcher() {
+        let (mut sim, stats, echo_stats, got, acks) = build(false, 16);
+        sim.run();
+        assert_eq!(stats.forwarded(), 5);
+        assert_eq!(echo_stats.accepted(), 5);
+        assert_eq!(stats.replies_routed(), 5, "WS replies must route back");
+        assert_eq!(got.borrow().len(), 5, "client must receive 5 replies");
+        assert_eq!(*acks.borrow(), 5);
+        // Replies carry correlation to the original ids.
+        assert!(got.borrow()[0].contains("RelatesTo"));
+    }
+
+    #[test]
+    fn firewalled_client_replies_are_dropped_after_retries() {
+        let (mut sim, stats, echo_stats, got, _acks) = build(true, 16);
+        sim.run();
+        // Everything forwards and the WS processes it...
+        assert_eq!(stats.forwarded(), 5);
+        assert_eq!(echo_stats.accepted(), 5);
+        // ...but replies can't reach the firewalled client.
+        assert_eq!(got.borrow().len(), 0);
+        assert_eq!(stats.dropped(), 5);
+    }
+
+    #[test]
+    fn blocked_destination_holds_a_thread() {
+        let (mut sim, stats, _echo, _got, _acks) = build(true, 1);
+        // With a single WsThread, the blocked client destination and the
+        // WS destination compete for it; everything still completes, but
+        // the run takes at least the connect-timeout + backoff cycles.
+        sim.run();
+        assert!(sim.now().as_secs_f64() >= 3.0, "{}", sim.now());
+        assert_eq!(stats.peak_active_threads(), 1);
+        assert_eq!(stats.dropped(), 5);
+    }
+
+    #[test]
+    fn connection_reuse_across_messages() {
+        let (mut sim, stats, echo_stats, _got, _acks) = build(false, 16);
+        sim.run();
+        // 5 messages delivered to the WS over (at most) one or two
+        // connections — delivered counts messages, not connections.
+        assert!(stats.delivered() >= 5);
+        assert_eq!(echo_stats.accepted(), 5);
+    }
+
+    #[test]
+    fn unroutable_message_gets_400() {
+        let mut sim = Simulation::new(1);
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let core = MsgCore::new(Arc::new(Registry::new()), "http://dispatcher:8080/msg", 9);
+        let dispatcher = SimMsgDispatcher::new(
+            core,
+            SimDuration::from_millis(1),
+            WsThreadConfig::default(),
+        );
+        let stats = dispatcher.stats();
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8080);
+
+        struct BadClient {
+            responses: Rc<RefCell<Vec<String>>>,
+        }
+        impl Process for BadClient {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                match ev {
+                    ProcEvent::Start => {
+                        ctx.connect("dispatcher", 8080, SimDuration::from_secs(5));
+                    }
+                    ProcEvent::ConnEstablished { conn } => {
+                        // No WSA headers at all: unroutable.
+                        let env = soap_rpc::echo_request(SoapVersion::V11, "x");
+                        let req = Request::soap_post(
+                            "dispatcher:8080",
+                            "/msg",
+                            SoapVersion::V11.content_type(),
+                            env.to_xml().into_bytes(),
+                        );
+                        ctx.send(conn, request_payload(&req)).unwrap();
+                    }
+                    ProcEvent::Message { bytes, .. } => {
+                        self.responses
+                            .borrow_mut()
+                            .push(String::from_utf8_lossy(&bytes).to_string());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(BadClient {
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert_eq!(stats.rejected(), 1);
+        assert!(responses.borrow()[0].starts_with("HTTP/1.1 400"));
+    }
+}

@@ -1,0 +1,536 @@
+//! The simulated WS-MsgBox service, in both designs the paper discusses:
+//! the shipped thread-per-message design whose `OutOfMemoryError` §4.3.2
+//! reports above ~50 clients, and the pooled redesign.
+//!
+//! The thread-explosion dynamic is modeled explicitly: every in-flight
+//! piece of work holds a "native thread" whose lifetime grows with the
+//! number of live threads (context-switch/GC thrash), so a burst beyond
+//! the service rate snowballs. Crossing the thread budget is the
+//! simulated JVM OOM: the process drops every connection and goes silent,
+//! exactly as a crashed JVM would.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use wsd_http::{parse_request_bytes, Response, Status};
+use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
+use wsd_soap::Envelope;
+
+use crate::config::{MsgBoxConfig, MsgBoxStrategy};
+use crate::msgbox::{handle_soap, MsgBoxStore};
+use crate::sim::{response_payload, CpuQueue};
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    deposits: u64,
+    rpc_calls: u64,
+    messages_fetched: u64,
+    oom: bool,
+    live_threads: usize,
+    peak_threads: usize,
+    dropped_after_crash: u64,
+}
+
+/// Live counters of a [`SimMsgBox`].
+#[derive(Debug, Clone, Default)]
+pub struct SimMsgBoxStats {
+    inner: Rc<RefCell<StatsInner>>,
+}
+
+impl SimMsgBoxStats {
+    /// One-way deposits accepted.
+    pub fn deposits(&self) -> u64 {
+        self.inner.borrow().deposits
+    }
+    /// RPC operations served (create/fetch/destroy).
+    pub fn rpc_calls(&self) -> u64 {
+        self.inner.borrow().rpc_calls
+    }
+    /// Stored messages handed to clients by `fetch`.
+    pub fn messages_fetched(&self) -> u64 {
+        self.inner.borrow().messages_fetched
+    }
+    /// Whether the simulated `OutOfMemoryError` fired.
+    pub fn oom(&self) -> bool {
+        self.inner.borrow().oom
+    }
+    /// High-water mark of concurrently live threads.
+    pub fn peak_threads(&self) -> usize {
+        self.inner.borrow().peak_threads
+    }
+    /// Messages ignored after the crash.
+    pub fn dropped_after_crash(&self) -> u64 {
+        self.inner.borrow().dropped_after_crash
+    }
+}
+
+/// The WS-MsgBox service as a simulation actor.
+pub struct SimMsgBox {
+    store: MsgBoxStore,
+    config: MsgBoxConfig,
+    /// CPU cost of one operation.
+    service_time: SimDuration,
+    /// Thread-lifetime growth per live thread (thrash factor) for the
+    /// thread-per-message strategy.
+    thrash_factor: f64,
+    stats: SimMsgBoxStats,
+    cpu: CpuQueue,
+    next_token: u64,
+    /// Work finishing later: token → (conn to answer on, response).
+    pending: HashMap<u64, (ConnId, Payload)>,
+    /// Pooled strategy: work waiting for a worker.
+    backlog: std::collections::VecDeque<(ConnId, Payload)>,
+    busy_workers: usize,
+    crashed: bool,
+    conns: HashSet<ConnId>,
+}
+
+impl SimMsgBox {
+    /// Creates the service with the given strategy and budget.
+    pub fn new(config: MsgBoxConfig, service_time: SimDuration, seed: u64) -> Self {
+        SimMsgBox {
+            store: MsgBoxStore::new(config.clone(), seed),
+            config,
+            service_time,
+            thrash_factor: 0.02,
+            stats: SimMsgBoxStats::default(),
+            cpu: CpuQueue::default(),
+            next_token: 0,
+            pending: HashMap::new(),
+            backlog: std::collections::VecDeque::new(),
+            busy_workers: 0,
+            crashed: false,
+            conns: HashSet::new(),
+        }
+    }
+
+    /// Overrides the thrash factor. Returns `self` for chaining.
+    pub fn with_thrash_factor(mut self, f: f64) -> Self {
+        self.thrash_factor = f;
+        self
+    }
+
+    /// A handle to the live counters.
+    pub fn stats(&self) -> SimMsgBoxStats {
+        self.stats.clone()
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Computes the response for one request, immediately (storage work
+    /// is cheap; what costs is the thread/CPU accounting around it).
+    fn respond_to(&mut self, raw: &Payload, now_us: u64) -> Payload {
+        let Ok(req) = parse_request_bytes(raw) else {
+            return response_payload(&Response::empty(Status::BAD_REQUEST));
+        };
+        if let Some(box_id) = req.target.strip_prefix("/deposit/") {
+            // One-way deposit from a dispatcher or service.
+            let body = req.body_utf8().to_string();
+            return match self.store.deposit(box_id, body, now_us) {
+                Ok(()) => {
+                    self.stats.inner.borrow_mut().deposits += 1;
+                    response_payload(&Response::empty(Status::ACCEPTED))
+                }
+                Err(_) => response_payload(&Response::empty(Status::NOT_FOUND)),
+            };
+        }
+        // RPC operation.
+        let Ok(env) = Envelope::parse(&req.body_utf8()) else {
+            return response_payload(&Response::empty(Status::BAD_REQUEST));
+        };
+        let resp_env = handle_soap(&self.store, &env, now_us);
+        {
+            let mut s = self.stats.inner.borrow_mut();
+            s.rpc_calls += 1;
+            if let Some(parts) = resp_env.payload() {
+                if let Some(op) = parts.first() {
+                    if op.name.local == "fetchResponse" {
+                        s.messages_fetched +=
+                            op.find_children(None, "message").count() as u64;
+                    }
+                }
+            }
+        }
+        let resp = Response::new(
+            Status::OK,
+            env.version.content_type(),
+            resp_env.to_xml().into_bytes(),
+        );
+        response_payload(&resp)
+    }
+
+    fn crash(&mut self, ctx: &mut Ctx<'_>) {
+        self.crashed = true;
+        self.stats.inner.borrow_mut().oom = true;
+        // A dying JVM drops its sockets.
+        for conn in self.conns.drain() {
+            ctx.close(conn);
+        }
+        self.pending.clear();
+        self.backlog.clear();
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: Payload) {
+        match self.config.strategy {
+            MsgBoxStrategy::ThreadPerMessage => {
+                // Spawn a "thread" for this message. Lifetime grows with
+                // the number already live (the runaway mechanism).
+                let live = {
+                    let mut s = self.stats.inner.borrow_mut();
+                    s.live_threads += 1;
+                    s.peak_threads = s.peak_threads.max(s.live_threads);
+                    s.live_threads
+                };
+                if live > self.config.thread_budget {
+                    self.crash(ctx);
+                    return;
+                }
+                let factor = 1.0 + self.thrash_factor * live as f64;
+                let lifetime = SimDuration((self.service_time.0 as f64 * factor) as u64);
+                let response = self.respond_to(&bytes, ctx.now().as_micros());
+                let token = self.token();
+                self.pending.insert(token, (conn, response));
+                ctx.set_timer(lifetime, token);
+            }
+            MsgBoxStrategy::Pooled { workers } => {
+                if self.busy_workers < workers {
+                    self.busy_workers += 1;
+                    {
+                        let mut s = self.stats.inner.borrow_mut();
+                        s.live_threads = self.busy_workers;
+                        s.peak_threads = s.peak_threads.max(self.busy_workers);
+                    }
+                    let done_at = self.cpu.reserve(ctx.now(), self.service_time);
+                    let response = self.respond_to(&bytes, ctx.now().as_micros());
+                    let token = self.token();
+                    self.pending.insert(token, (conn, response));
+                    ctx.set_timer(done_at.since(ctx.now()), token);
+                } else {
+                    self.backlog.push_back((conn, bytes));
+                }
+            }
+        }
+    }
+}
+
+impl Process for SimMsgBox {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        if self.crashed {
+            if let ProcEvent::Message { .. } = event {
+                self.stats.inner.borrow_mut().dropped_after_crash += 1;
+            }
+            return;
+        }
+        match event {
+            ProcEvent::Start => {}
+            ProcEvent::ConnAccepted { conn, .. } => {
+                self.conns.insert(conn);
+            }
+            ProcEvent::ConnClosed { conn } => {
+                self.conns.remove(&conn);
+            }
+            ProcEvent::Message { conn, bytes } => self.on_request(ctx, conn, bytes),
+            ProcEvent::Timer { token } => {
+                if let Some((conn, response)) = self.pending.remove(&token) {
+                    let _ = ctx.send(conn, response);
+                    match self.config.strategy {
+                        MsgBoxStrategy::ThreadPerMessage => {
+                            self.stats.inner.borrow_mut().live_threads -= 1;
+                        }
+                        MsgBoxStrategy::Pooled { .. } => {
+                            self.busy_workers = self.busy_workers.saturating_sub(1);
+                            self.stats.inner.borrow_mut().live_threads = self.busy_workers;
+                            if let Some((conn, bytes)) = self.backlog.pop_front() {
+                                self.on_request(ctx, conn, bytes);
+                            }
+                        }
+                    }
+                }
+            }
+            ProcEvent::ConnEstablished { .. } | ProcEvent::ConnRefused { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_http::Request;
+    use crate::msgbox::ops;
+    
+    use wsd_netsim::{HostConfig, Simulation};
+    use wsd_soap::SoapVersion;
+
+    /// Drives an arbitrary sequence of requests, one after another.
+    struct Scripted {
+        steps: Vec<Payload>,
+        at: usize,
+        responses: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl Process for Scripted {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => {
+                    ctx.connect("msgbox", 8082, SimDuration::from_secs(5));
+                }
+                ProcEvent::ConnEstablished { conn } => {
+                    if let Some(p) = self.steps.get(self.at) {
+                        ctx.send(conn, p.clone()).unwrap();
+                    }
+                }
+                ProcEvent::Message { conn, bytes } => {
+                    self.responses
+                        .borrow_mut()
+                        .push(String::from_utf8_lossy(&bytes).to_string());
+                    self.at += 1;
+                    if let Some(p) = self.steps.get(self.at) {
+                        let _ = ctx.send(conn, p.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn rpc_payload(env: &Envelope) -> Payload {
+        let req = Request::soap_post(
+            "msgbox:8082",
+            "/msgbox",
+            SoapVersion::V11.content_type(),
+            env.to_xml().into_bytes(),
+        );
+        crate::sim::request_payload(&req)
+    }
+
+    fn deposit_payload(box_id: &str, body: &str) -> Payload {
+        let req = Request::soap_post(
+            "msgbox:8082",
+            &format!("/deposit/{box_id}"),
+            SoapVersion::V11.content_type(),
+            body.as_bytes().to_vec(),
+        );
+        crate::sim::request_payload(&req)
+    }
+
+    fn pooled_config() -> MsgBoxConfig {
+        MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 4 },
+            ..MsgBoxConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_via_rpc_then_deposit_then_fetch() {
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let service = SimMsgBox::new(pooled_config(), SimDuration::from_millis(2), 5);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+
+        // Step 1: create. Steps 2-3 are injected after we see the box id,
+        // so this test scripts in two phases.
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(Scripted {
+                steps: vec![rpc_payload(&ops::create(SoapVersion::V11))],
+                at: 0,
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        let create_resp = responses.borrow()[0].clone();
+        let body = create_resp.split("\r\n\r\n").nth(1).unwrap();
+        let (box_id, key) =
+            ops::parse_create_response(&Envelope::parse(body).unwrap()).unwrap();
+
+        // Phase 2: deposit then fetch on a fresh client.
+        let responses2 = Rc::new(RefCell::new(vec![]));
+        let c2 = sim.add_host(HostConfig::named("client2"));
+        sim.spawn(
+            c2,
+            Box::new(Scripted {
+                steps: vec![
+                    deposit_payload(&box_id, "<stored/>"),
+                    rpc_payload(&ops::fetch(SoapVersion::V11, &box_id, &key, 10)),
+                ],
+                at: 0,
+                responses: responses2.clone(),
+            }),
+        );
+        sim.run();
+        let got = responses2.borrow();
+        assert!(got[0].starts_with("HTTP/1.1 202"), "deposit ack: {}", got[0]);
+        assert!(got[1].contains("fetchResponse"), "{}", got[1]);
+        assert!(got[1].contains("stored"), "{}", got[1]);
+        assert_eq!(stats.deposits(), 1);
+        assert_eq!(stats.messages_fetched(), 1);
+        assert!(!stats.oom());
+    }
+
+    #[test]
+    fn deposit_to_unknown_box_is_404() {
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let service = SimMsgBox::new(pooled_config(), SimDuration::from_millis(1), 5);
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(Scripted {
+                steps: vec![deposit_payload("mbox-nope", "<x/>")],
+                at: 0,
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert!(responses.borrow()[0].starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn thread_per_message_survives_gentle_load() {
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::ThreadPerMessage,
+            thread_budget: 100,
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(1), 5);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        let responses = Rc::new(RefCell::new(vec![]));
+        // Serial requests: one live thread at a time.
+        sim.spawn(
+            client_host,
+            Box::new(Scripted {
+                steps: (0..10).map(|_| rpc_payload(&ops::create(SoapVersion::V11))).collect(),
+                at: 0,
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert_eq!(responses.borrow().len(), 10);
+        assert!(!stats.oom());
+        assert!(stats.peak_threads() <= 2);
+    }
+
+    #[test]
+    fn thread_per_message_explodes_under_burst() {
+        // The paper's bug: a burst of concurrent messages spawns a thread
+        // each; past the budget, OutOfMemory kills the service.
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::ThreadPerMessage,
+            thread_budget: 40,
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(50), 5)
+            .with_thrash_factor(0.1);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        // 60 clients all deposit at once.
+        for i in 0..60 {
+            let ch = sim.add_host(HostConfig::named(format!("c{i}")));
+            sim.spawn(
+                ch,
+                Box::new(Scripted {
+                    steps: vec![rpc_payload(&ops::create(SoapVersion::V11))],
+                    at: 0,
+                    responses: Rc::new(RefCell::new(vec![])),
+                }),
+            );
+        }
+        sim.run();
+        assert!(stats.oom(), "burst must trigger the OOM bug");
+        assert!(stats.peak_threads() > 40);
+    }
+
+    #[test]
+    fn pooled_strategy_handles_the_same_burst() {
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 8 },
+            thread_budget: 40,
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(50), 5);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        let mut resp_handles = vec![];
+        for i in 0..60 {
+            let ch = sim.add_host(HostConfig::named(format!("c{i}")));
+            let responses = Rc::new(RefCell::new(vec![]));
+            resp_handles.push(responses.clone());
+            sim.spawn(
+                ch,
+                Box::new(Scripted {
+                    steps: vec![rpc_payload(&ops::create(SoapVersion::V11))],
+                    at: 0,
+                    responses,
+                }),
+            );
+        }
+        sim.run();
+        assert!(!stats.oom(), "pooled design must not OOM");
+        assert!(stats.peak_threads() <= 8);
+        // Every client got its answer.
+        assert!(resp_handles.iter().all(|r| r.borrow().len() == 1));
+    }
+
+    #[test]
+    fn crashed_service_goes_silent() {
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::ThreadPerMessage,
+            thread_budget: 5,
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(100), 5);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        let mut resp_handles = vec![];
+        for i in 0..20 {
+            let ch = sim.add_host(HostConfig::named(format!("c{i}")));
+            let responses = Rc::new(RefCell::new(vec![]));
+            resp_handles.push(responses.clone());
+            sim.spawn(
+                ch,
+                Box::new(Scripted {
+                    steps: vec![
+                        rpc_payload(&ops::create(SoapVersion::V11)),
+                        rpc_payload(&ops::create(SoapVersion::V11)),
+                    ],
+                    at: 0,
+                    responses,
+                }),
+            );
+        }
+        sim.run();
+        assert!(stats.oom());
+        // Some clients never heard back (undeterministic, puzzling
+        // errors — the paper's words).
+        let unanswered = resp_handles
+            .iter()
+            .filter(|r| r.borrow().len() < 2)
+            .count();
+        assert!(unanswered > 0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The simulated RPC-Dispatcher (paper §4.2, first implementation
+//! phase): an HTTP proxy that forwards RPC invocations.
+//!
+//! For each client request it resolves the logical address through the
+//! registry, opens a *new* connection to the target WS ("this introduces
+//! additional processing time to establish the forwarded connection"),
+//! relays the response back on the original client connection, and closes
+//! the upstream connection.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use wsd_http::{parse_request_bytes, Status};
+use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
+use wsd_soap::SoapVersion;
+
+use crate::registry::Registry;
+use crate::rpc::{error_response, plan_forward, upstream_failure_response};
+use crate::security::PolicyChain;
+use crate::sim::{request_payload, response_payload, CpuQueue};
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    received: u64,
+    forwarded: u64,
+    relayed: u64,
+    refused: u64,
+    upstream_failures: u64,
+}
+
+/// Live counters of a [`SimRpcDispatcher`].
+#[derive(Debug, Clone, Default)]
+pub struct RpcDispatcherStats {
+    inner: Rc<RefCell<StatsInner>>,
+}
+
+impl RpcDispatcherStats {
+    /// Requests accepted from clients.
+    pub fn received(&self) -> u64 {
+        self.inner.borrow().received
+    }
+    /// Requests sent on to a service.
+    pub fn forwarded(&self) -> u64 {
+        self.inner.borrow().forwarded
+    }
+    /// Responses relayed back to clients.
+    pub fn relayed(&self) -> u64 {
+        self.inner.borrow().relayed
+    }
+    /// Requests rejected before forwarding.
+    pub fn refused(&self) -> u64 {
+        self.inner.borrow().refused
+    }
+    /// Forwards that failed at the upstream side.
+    pub fn upstream_failures(&self) -> u64 {
+        self.inner.borrow().upstream_failures
+    }
+}
+
+/// An in-flight forward.
+struct UpstreamJob {
+    client_conn: ConnId,
+    payload: Payload,
+}
+
+/// The RPC-Dispatcher as a simulation actor.
+pub struct SimRpcDispatcher {
+    registry: Arc<Registry>,
+    policies: PolicyChain,
+    /// CPU cost to parse + plan one request (header parse, registry
+    /// lookup, header rewrite).
+    dispatch_time: SimDuration,
+    connect_timeout: SimDuration,
+    response_timeout: SimDuration,
+    cpu: CpuQueue,
+    stats: RpcDispatcherStats,
+    next_token: u64,
+    /// Requests waiting for dispatcher CPU: token → (client conn, raw).
+    pending_plan: HashMap<u64, (ConnId, Payload)>,
+    /// Upstream connections being established.
+    connecting: HashMap<ConnId, UpstreamJob>,
+    /// Upstream connection → client connection awaiting the response.
+    awaiting: HashMap<ConnId, ConnId>,
+    /// Response timeout timers: token → upstream connection.
+    timeouts: HashMap<u64, ConnId>,
+}
+
+impl SimRpcDispatcher {
+    /// Creates the dispatcher actor.
+    pub fn new(
+        registry: Arc<Registry>,
+        dispatch_time: SimDuration,
+        connect_timeout: SimDuration,
+        response_timeout: SimDuration,
+    ) -> Self {
+        SimRpcDispatcher {
+            registry,
+            policies: PolicyChain::new(),
+            dispatch_time,
+            connect_timeout,
+            response_timeout,
+            cpu: CpuQueue::default(),
+            stats: RpcDispatcherStats::default(),
+            next_token: 0,
+            pending_plan: HashMap::new(),
+            connecting: HashMap::new(),
+            awaiting: HashMap::new(),
+            timeouts: HashMap::new(),
+        }
+    }
+
+    /// Installs security policies. Returns `self` for chaining.
+    pub fn with_policies(mut self, policies: PolicyChain) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// A handle to the live counters.
+    pub fn stats(&self) -> RpcDispatcherStats {
+        self.stats.clone()
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn plan(&mut self, ctx: &mut Ctx<'_>, client_conn: ConnId, raw: Payload) {
+        let Ok(req) = parse_request_bytes(&raw) else {
+            self.stats.inner.borrow_mut().refused += 1;
+            let resp = wsd_http::Response::empty(Status::BAD_REQUEST);
+            let _ = ctx.send(client_conn, response_payload(&resp));
+            return;
+        };
+        match plan_forward(&self.registry, &self.policies, &req) {
+            Ok((url, _logical, fwd)) => {
+                let upstream = ctx.connect(&url.host, url.port, self.connect_timeout);
+                self.connecting.insert(
+                    upstream,
+                    UpstreamJob {
+                        client_conn,
+                        payload: request_payload(&fwd),
+                    },
+                );
+            }
+            Err(e) => {
+                self.stats.inner.borrow_mut().refused += 1;
+                let resp = error_response(SoapVersion::V11, &e);
+                let _ = ctx.send(client_conn, response_payload(&resp));
+            }
+        }
+    }
+}
+
+impl Process for SimRpcDispatcher {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent) {
+        match event {
+            ProcEvent::Start | ProcEvent::ConnAccepted { .. } => {}
+            ProcEvent::Message { conn, bytes } => {
+                if let Some(client_conn) = self.awaiting.remove(&conn) {
+                    // Upstream response: relay on the original connection.
+                    if ctx.send(client_conn, bytes).is_ok() {
+                        self.stats.inner.borrow_mut().relayed += 1;
+                    }
+                    ctx.close(conn);
+                } else {
+                    // Fresh client request: queue for dispatcher CPU.
+                    self.stats.inner.borrow_mut().received += 1;
+                    let done_at = self.cpu.reserve(ctx.now(), self.dispatch_time);
+                    let token = self.token();
+                    self.pending_plan.insert(token, (conn, bytes));
+                    ctx.set_timer(done_at.since(ctx.now()), token);
+                }
+            }
+            ProcEvent::Timer { token } => {
+                if let Some((client_conn, raw)) = self.pending_plan.remove(&token) {
+                    self.plan(ctx, client_conn, raw);
+                } else if let Some(upstream) = self.timeouts.remove(&token) {
+                    if let Some(client_conn) = self.awaiting.remove(&upstream) {
+                        // The WS took longer than the HTTP/TCP timeout.
+                        self.stats.inner.borrow_mut().upstream_failures += 1;
+                        let resp =
+                            upstream_failure_response(SoapVersion::V11, "response timed out");
+                        let _ = ctx.send(client_conn, response_payload(&resp));
+                        ctx.close(upstream);
+                    }
+                }
+            }
+            ProcEvent::ConnEstablished { conn } => {
+                if let Some(job) = self.connecting.remove(&conn) {
+                    if ctx.send(conn, job.payload).is_ok() {
+                        self.stats.inner.borrow_mut().forwarded += 1;
+                        self.awaiting.insert(conn, job.client_conn);
+                        let token = self.token();
+                        self.timeouts.insert(token, conn);
+                        ctx.set_timer(self.response_timeout, token);
+                    } else {
+                        self.stats.inner.borrow_mut().upstream_failures += 1;
+                        let resp = upstream_failure_response(SoapVersion::V11, "send failed");
+                        let _ = ctx.send(job.client_conn, response_payload(&resp));
+                    }
+                }
+            }
+            ProcEvent::ConnRefused { conn, reason } => {
+                if let Some(job) = self.connecting.remove(&conn) {
+                    self.stats.inner.borrow_mut().upstream_failures += 1;
+                    let resp = upstream_failure_response(
+                        SoapVersion::V11,
+                        &format!("connect failed: {reason:?}"),
+                    );
+                    let _ = ctx.send(job.client_conn, response_payload(&resp));
+                }
+            }
+            ProcEvent::ConnClosed { conn } => {
+                if let Some(client_conn) = self.awaiting.remove(&conn) {
+                    // Upstream died before responding.
+                    self.stats.inner.borrow_mut().upstream_failures += 1;
+                    let resp = upstream_failure_response(
+                        SoapVersion::V11,
+                        "upstream closed before responding",
+                    );
+                    let _ = ctx.send(client_conn, response_payload(&resp));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::echo::{EchoMode, SimEchoService};
+    use crate::url::Url;
+    use wsd_http::Request;
+    use wsd_netsim::{HostConfig, Simulation};
+    use wsd_soap::{rpc as soap_rpc, Envelope};
+
+    struct TestClient {
+        body: Payload,
+        responses: Rc<RefCell<Vec<String>>>,
+    }
+
+    impl Process for TestClient {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => {
+                    ctx.connect("dispatcher", 8081, SimDuration::from_secs(5));
+                }
+                ProcEvent::ConnEstablished { conn } => {
+                    ctx.send(conn, self.body.clone()).unwrap();
+                }
+                ProcEvent::Message { bytes, .. } => {
+                    self.responses
+                        .borrow_mut()
+                        .push(String::from_utf8_lossy(&bytes).to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn dispatcher_request(text: &str) -> Payload {
+        let env = soap_rpc::echo_request(SoapVersion::V11, text);
+        let req = Request::soap_post(
+            "dispatcher:8081",
+            "/svc/Echo",
+            SoapVersion::V11.content_type(),
+            env.to_xml().into_bytes(),
+        );
+        request_payload(&req)
+    }
+
+    fn setup(
+        service_time: SimDuration,
+        response_timeout: SimDuration,
+    ) -> (Simulation, RpcDispatcherStats, Rc<RefCell<Vec<String>>>) {
+        let mut sim = Simulation::new(1);
+        let ws_host = sim.add_host(HostConfig::named("ws"));
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+
+        let service = SimEchoService::new(EchoMode::Rpc, service_time);
+        let ws = sim.spawn(ws_host, Box::new(service));
+        sim.listen(ws, 8888);
+
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let dispatcher = SimRpcDispatcher::new(
+            registry,
+            SimDuration::from_millis(3),
+            SimDuration::from_secs(3),
+            response_timeout,
+        );
+        let stats = dispatcher.stats();
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8081);
+
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(TestClient {
+                body: dispatcher_request("via-proxy"),
+                responses: responses.clone(),
+            }),
+        );
+        (sim, stats, responses)
+    }
+
+    #[test]
+    fn forwards_and_relays_response() {
+        let (mut sim, stats, responses) =
+            setup(SimDuration::from_millis(5), SimDuration::from_secs(30));
+        sim.run();
+        assert_eq!(stats.received(), 1);
+        assert_eq!(stats.forwarded(), 1);
+        assert_eq!(stats.relayed(), 1);
+        let got = responses.borrow();
+        assert!(got[0].starts_with("HTTP/1.1 200"), "{}", got[0]);
+        assert!(got[0].contains("via-proxy"));
+    }
+
+    #[test]
+    fn slow_service_times_out_with_bad_gateway() {
+        // Table 1 quadrant 2: the response comes after the HTTP timeout.
+        let (mut sim, stats, responses) =
+            setup(SimDuration::from_secs(60), SimDuration::from_secs(5));
+        sim.run();
+        assert_eq!(stats.upstream_failures(), 1);
+        let got = responses.borrow();
+        assert!(got[0].starts_with("HTTP/1.1 502"), "{}", got[0]);
+        assert!(got[0].contains("timed out"));
+    }
+
+    #[test]
+    fn unknown_service_yields_404() {
+        let mut sim = Simulation::new(1);
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let dispatcher = SimRpcDispatcher::new(
+            Arc::new(Registry::new()),
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(30),
+        );
+        let stats = dispatcher.stats();
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8081);
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(TestClient {
+                body: dispatcher_request("x"),
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert_eq!(stats.refused(), 1);
+        let got = responses.borrow();
+        assert!(got[0].starts_with("HTTP/1.1 404"), "{}", got[0]);
+        let body = got[0].split("\r\n\r\n").nth(1).unwrap();
+        assert!(Envelope::parse(body).unwrap().as_fault().is_some());
+    }
+
+    #[test]
+    fn dead_service_yields_bad_gateway() {
+        let mut sim = Simulation::new(1);
+        let _ws_host = sim.add_host(HostConfig::named("ws")); // nothing listening
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let dispatcher = SimRpcDispatcher::new(
+            registry,
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(30),
+        );
+        let stats = dispatcher.stats();
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8081);
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(TestClient {
+                body: dispatcher_request("x"),
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert_eq!(stats.upstream_failures(), 1);
+        assert!(responses.borrow()[0].starts_with("HTTP/1.1 502"));
+    }
+
+    #[test]
+    fn pipelined_requests_all_served() {
+        // One client connection carrying several requests in sequence.
+        struct SerialClient {
+            sent: usize,
+            total: usize,
+            responses: Rc<RefCell<Vec<String>>>,
+        }
+        impl Process for SerialClient {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                match ev {
+                    ProcEvent::Start => {
+                        ctx.connect("dispatcher", 8081, SimDuration::from_secs(5));
+                    }
+                    ProcEvent::ConnEstablished { conn } => {
+                        ctx.send(conn, dispatcher_request("m0")).unwrap();
+                        self.sent = 1;
+                    }
+                    ProcEvent::Message { conn, bytes } => {
+                        self.responses
+                            .borrow_mut()
+                            .push(String::from_utf8_lossy(&bytes).to_string());
+                        if self.sent < self.total {
+                            let msg = dispatcher_request(&format!("m{}", self.sent));
+                            ctx.send(conn, msg).unwrap();
+                            self.sent += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let ws_host = sim.add_host(HostConfig::named("ws"));
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let ws = sim.spawn(
+            ws_host,
+            Box::new(SimEchoService::new(EchoMode::Rpc, SimDuration::from_millis(2))),
+        );
+        sim.listen(ws, 8888);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let dispatcher = SimRpcDispatcher::new(
+            registry,
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(30),
+        );
+        let stats = dispatcher.stats();
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8081);
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(SerialClient {
+                sent: 0,
+                total: 5,
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert_eq!(stats.relayed(), 5);
+        assert_eq!(responses.borrow().len(), 5);
+        for (i, r) in responses.borrow().iter().enumerate() {
+            assert!(r.contains(&format!("m{i}")), "response {i} out of order");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! §4.3 calibration: the constants lifted straight from the paper —
+//! link speeds from the broadband tests, machine clocks, and the
+//! 483-byte test message.
+
+use wsd_netsim::profiles;
+use wsd_soap::rpc::{paper_echo_request, PAPER_HTTP_HEADER_BYTES};
+
+/// One calibrated site.
+#[derive(Debug, Clone)]
+pub struct SiteRow {
+    /// Site name as in the paper.
+    pub name: &'static str,
+    /// Download kbps.
+    pub down_kbps: u32,
+    /// Upload kbps.
+    pub up_kbps: u32,
+    /// Whether inbound connections are firewalled.
+    pub firewalled: bool,
+}
+
+/// The calibration summary.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Per-site link rows.
+    pub sites: Vec<SiteRow>,
+    /// Serialized size of the echo XML body.
+    pub xml_bytes: usize,
+    /// Size of the echo HTTP header.
+    pub http_header_bytes: usize,
+}
+
+/// Builds the calibration summary (also verifying the message size by
+/// actually serializing the test message).
+pub fn run() -> Calibration {
+    let xml_bytes = paper_echo_request().to_xml().len();
+    let rows = [
+        ("iuLow (cable modem)", profiles::iu_low("a")),
+        ("iuHight (IU backbone)", profiles::iu_high("b")),
+        ("INRIA (institutional)", profiles::inria_fast("c")),
+    ];
+    Calibration {
+        sites: rows
+            .into_iter()
+            .map(|(name, cfg)| SiteRow {
+                name,
+                down_kbps: cfg.down_kbps,
+                up_kbps: cfg.up_kbps,
+                firewalled: cfg.firewall == wsd_netsim::FirewallPolicy::OutboundOnly,
+            })
+            .collect(),
+        xml_bytes,
+        http_header_bytes: PAPER_HTTP_HEADER_BYTES,
+    }
+}
+
+/// Prints the calibration table.
+pub fn print(c: &Calibration) {
+    println!("# §4.3 calibration");
+    println!("{:<24} {:>10} {:>10} {:>10}", "site", "down_kbps", "up_kbps", "firewall");
+    for s in &c.sites {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            s.name,
+            s.down_kbps,
+            s.up_kbps,
+            if s.firewalled { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "test message: {} B XML + {} B HTTP header = {} B total (paper: 263 + 220 = 483)",
+        c.xml_bytes,
+        c.http_header_bytes,
+        c.xml_bytes + c.http_header_bytes
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsd_soap::rpc::PAPER_XML_BYTES;
+
+    #[test]
+    fn message_sizes_match_the_paper() {
+        let c = run();
+        assert_eq!(c.xml_bytes, PAPER_XML_BYTES);
+        assert_eq!(c.xml_bytes + c.http_header_bytes, 483);
+    }
+
+    #[test]
+    fn link_speeds_match_the_paper() {
+        let c = run();
+        let find = |n: &str| c.sites.iter().find(|s| s.name.starts_with(n)).unwrap();
+        assert_eq!(find("iuLow").down_kbps, 2333);
+        assert_eq!(find("iuLow").up_kbps, 288);
+        assert_eq!(find("iuHight").down_kbps, 3655);
+        assert_eq!(find("iuHight").up_kbps, 2739);
+        assert_eq!(find("INRIA").down_kbps, 1335);
+        assert_eq!(find("INRIA").up_kbps, 1262);
+        assert!(find("INRIA").firewalled);
+    }
+}

@@ -1,0 +1,48 @@
+//! Reproduction of every table and figure in the paper's evaluation
+//! (§4.3), on the deterministic simulated network.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — the 2×2 interaction-semantics matrix |
+//! | [`fig4`] | Figure 4 — RPC, low broadband (iuLow ↔ inriaSlow) |
+//! | [`fig5`] | Figure 5 — RPC, high connectivity (iuHigh ↔ inriaFast) |
+//! | [`fig6`] | Figure 6 — asynchronous messaging (+ the WS-MsgBox OOM bug) |
+//! | [`calibration`] | §4.3 link/host/message-size calibration table |
+//!
+//! Each module exposes a `run` function returning plain data (so the
+//! Criterion benches and integration tests reuse it) and a `print`
+//! helper producing the rows the paper plots. Absolute numbers come from
+//! a simulator, not the authors' 2004 testbed; the shapes — who wins, by
+//! roughly what factor, where the knees fall — are the reproduction
+//! target (see `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod topology;
+
+/// Runs sweep points in parallel, preserving input order.
+pub(crate) fn parallel_map<T: Send, R: Send>(
+    inputs: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(inputs.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for (slot, input) in out.iter_mut().zip(inputs) {
+            handles.push(scope.spawn(move || {
+                *slot = Some(f(input));
+            }));
+        }
+        for h in handles {
+            h.join().expect("sweep worker panicked");
+        }
+    });
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}

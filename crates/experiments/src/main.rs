@@ -1,0 +1,144 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom]
+//!             [--calibration] [--all] [--seconds N] [--quick]
+//! ```
+//!
+//! `--quick` shortens the virtual run window and thins the sweeps (for
+//! smoke runs); the default regenerates the paper's one-minute windows.
+
+use wsd_experiments::{calibration, fig4, fig5, fig6, table1};
+
+struct Options {
+    table1: bool,
+    fig4: bool,
+    fig5: bool,
+    fig6: bool,
+    fig6_oom: bool,
+    calibration: bool,
+    seconds: u64,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        table1: false,
+        fig4: false,
+        fig5: false,
+        fig6: false,
+        fig6_oom: false,
+        calibration: false,
+        seconds: 60,
+        quick: false,
+    };
+    let mut any = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table1" => {
+                opts.table1 = true;
+                any = true;
+            }
+            "--fig4" => {
+                opts.fig4 = true;
+                any = true;
+            }
+            "--fig5" => {
+                opts.fig5 = true;
+                any = true;
+            }
+            "--fig6" => {
+                opts.fig6 = true;
+                any = true;
+            }
+            "--fig6-oom" => {
+                opts.fig6_oom = true;
+                any = true;
+            }
+            "--calibration" => {
+                opts.calibration = true;
+                any = true;
+            }
+            "--all" => {
+                opts.table1 = true;
+                opts.fig4 = true;
+                opts.fig5 = true;
+                opts.fig6 = true;
+                opts.fig6_oom = true;
+                opts.calibration = true;
+                any = true;
+            }
+            "--quick" => opts.quick = true,
+            "--seconds" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--seconds needs a value".to_string())?;
+                opts.seconds = v
+                    .parse()
+                    .map_err(|_| format!("bad --seconds value {v:?}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !any {
+        return Err("nothing selected".into());
+    }
+    if opts.quick {
+        opts.seconds = opts.seconds.min(10);
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom] \
+                 [--calibration] [--all] [--seconds N] [--quick]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if opts.calibration {
+        calibration::print(&calibration::run());
+        println!();
+    }
+    if opts.table1 {
+        table1::print(&table1::run(opts.seconds.min(30)));
+        println!();
+    }
+    if opts.fig4 {
+        let counts: &[usize] = if opts.quick {
+            &[10, 100, 500, 2000]
+        } else {
+            fig4::CLIENT_COUNTS
+        };
+        fig4::print(&fig4::run(opts.seconds, counts));
+        println!();
+    }
+    if opts.fig5 {
+        let counts: &[usize] = if opts.quick {
+            &[1, 100, 200, 300]
+        } else {
+            fig5::CLIENT_COUNTS
+        };
+        fig5::print(&fig5::run(opts.seconds, counts));
+        println!();
+    }
+    if opts.fig6 {
+        let counts: &[usize] = if opts.quick {
+            &[1, 10, 30, 50]
+        } else {
+            fig6::CLIENT_COUNTS
+        };
+        fig6::print(&fig6::run(opts.seconds, counts));
+        println!();
+    }
+    if opts.fig6_oom {
+        fig6::print_oom(&fig6::run_oom(60, opts.seconds.min(30)));
+        println!();
+    }
+}

@@ -1,0 +1,206 @@
+//! Connection helpers: a keep-alive client and a serve loop.
+
+use std::time::Duration;
+
+use crate::message::{Request, Response};
+use crate::parse::MessageReader;
+use crate::serialize::write_response;
+use crate::stream::Stream;
+use crate::{HttpError, Limits};
+
+/// A client-side HTTP connection: send a request, read the response,
+/// optionally reuse the connection (keep-alive).
+pub struct HttpClient<S: Stream> {
+    reader: MessageReader<S>,
+    limits: Limits,
+    /// Set once either side signals `Connection: close`.
+    exhausted: bool,
+}
+
+impl<S: Stream> HttpClient<S> {
+    /// Wraps a connected stream.
+    pub fn new(stream: S) -> Self {
+        HttpClient {
+            reader: MessageReader::new(stream),
+            limits: Limits::default(),
+            exhausted: false,
+        }
+    }
+
+    /// Overrides parser limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the response read timeout (the paper's HTTP/TCP timeout that
+    /// dooms slow RPC responses).
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) -> Result<(), HttpError> {
+        self.reader.stream_mut().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Whether the connection can carry another exchange.
+    pub fn reusable(&self) -> bool {
+        !self.exhausted
+    }
+
+    /// Performs one request/response exchange.
+    pub fn call(&mut self, req: &Request) -> Result<Response, HttpError> {
+        if self.exhausted {
+            return Err(HttpError::Closed);
+        }
+        crate::serialize::write_request(self.reader.stream_mut(), req)?;
+        let resp = self.reader.read_response(&self.limits)?;
+        if !req.keep_alive() || !resp.keep_alive() {
+            self.exhausted = true;
+        }
+        Ok(resp)
+    }
+
+    /// Sends a request without waiting for any response (one-way
+    /// messaging; the MSG-Dispatcher acknowledges with `202 Accepted`
+    /// which the caller may read later or ignore).
+    pub fn send_only(&mut self, req: &Request) -> Result<(), HttpError> {
+        if self.exhausted {
+            return Err(HttpError::Closed);
+        }
+        crate::serialize::write_request(self.reader.stream_mut(), req)?;
+        Ok(())
+    }
+
+    /// Reads one response (pairs with [`send_only`](Self::send_only)).
+    pub fn read_response(&mut self) -> Result<Response, HttpError> {
+        self.reader.read_response(&self.limits)
+    }
+}
+
+/// Serves one connection: reads requests, calls `handler`, writes
+/// responses, until the connection closes, keep-alive ends, or the handler
+/// returns a response with `Connection: close`.
+///
+/// Returns the number of exchanges served, or the error that ended the
+/// loop (a clean close between messages is `Ok`).
+pub fn serve_connection<S: Stream>(
+    stream: S,
+    limits: &Limits,
+    mut handler: impl FnMut(Request) -> Response,
+) -> Result<usize, HttpError> {
+    let mut reader = MessageReader::new(stream);
+    let mut served = 0usize;
+    loop {
+        let req = match reader.read_request(limits) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => return Ok(served),
+            Err(e) => return Err(e),
+        };
+        let client_keep_alive = req.keep_alive();
+        let resp = handler(req);
+        let resp_keep_alive = resp.keep_alive();
+        write_response(reader.stream_mut(), &resp)?;
+        served += 1;
+        if !client_keep_alive || !resp_keep_alive {
+            return Ok(served);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use crate::stream::duplex;
+    use std::thread;
+
+    fn echo_handler(req: Request) -> Response {
+        Response::new(Status::OK, "text/xml", req.body)
+    }
+
+    #[test]
+    fn single_exchange() {
+        let (client, server) = duplex(4096);
+        let h = thread::spawn(move || serve_connection(server, &Limits::default(), echo_handler));
+        let mut c = HttpClient::new(client);
+        let mut req = Request::soap_post("h", "/", "text/xml", b"payload".to_vec());
+        req.headers.set("Connection", "close");
+        let resp = c.call(&req).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body, b"payload");
+        assert!(!c.reusable());
+        assert_eq!(h.join().unwrap().unwrap(), 1);
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let (client, server) = duplex(4096);
+        let h = thread::spawn(move || serve_connection(server, &Limits::default(), echo_handler));
+        let mut c = HttpClient::new(client);
+        for i in 0..5 {
+            let req = Request::soap_post("h", "/", "text/xml", format!("m{i}").into_bytes());
+            let resp = c.call(&req).unwrap();
+            assert_eq!(resp.body, format!("m{i}").into_bytes());
+            assert!(c.reusable());
+        }
+        drop(c);
+        assert_eq!(h.join().unwrap().unwrap(), 5);
+    }
+
+    #[test]
+    fn response_timeout_surfaces_as_io_error() {
+        let (client, _server_kept_open) = duplex(4096);
+        let mut c = HttpClient::new(client);
+        c.set_response_timeout(Some(Duration::from_millis(20))).unwrap();
+        let req = Request::soap_post("h", "/", "text/xml", b"x".to_vec());
+        // No server thread: the send succeeds, the read times out.
+        match c.call(&req) {
+            Err(HttpError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_close_ends_keep_alive_client() {
+        let (client, server) = duplex(4096);
+        let h = thread::spawn(move || {
+            serve_connection(server, &Limits::default(), |req| {
+                let mut resp = Response::new(Status::OK, "text/xml", req.body);
+                resp.headers.set("Connection", "close");
+                resp
+            })
+        });
+        let mut c = HttpClient::new(client);
+        let req = Request::soap_post("h", "/", "text/xml", b"x".to_vec());
+        c.call(&req).unwrap();
+        assert!(!c.reusable());
+        assert_eq!(c.call(&req), Err(HttpError::Closed));
+        assert_eq!(h.join().unwrap().unwrap(), 1);
+    }
+
+    #[test]
+    fn one_way_send_then_read_ack() {
+        let (client, server) = duplex(4096);
+        let h = thread::spawn(move || {
+            serve_connection(server, &Limits::default(), |_req| {
+                Response::empty(Status::ACCEPTED)
+            })
+        });
+        let mut c = HttpClient::new(client);
+        let mut req = Request::soap_post("h", "/msg", "text/xml", b"async".to_vec());
+        req.headers.set("Connection", "close");
+        c.send_only(&req).unwrap();
+        let ack = c.read_response().unwrap();
+        assert_eq!(ack.status, Status::ACCEPTED);
+        drop(c);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_ends_serve_with_error() {
+        let (mut client, server) = duplex(4096);
+        let h = thread::spawn(move || serve_connection(server, &Limits::default(), echo_handler));
+        use std::io::Write;
+        client.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        drop(client);
+        assert!(h.join().unwrap().is_err());
+    }
+}

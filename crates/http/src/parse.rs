@@ -1,0 +1,341 @@
+//! Message parsing, from complete buffers (simulated network) or from
+//! blocking streams (threaded runtime).
+
+use crate::message::{Headers, Method, Request, Response, Status, Version};
+use crate::stream::Stream;
+use crate::{HttpError, Limits};
+
+/// Parses one complete request from a buffer that contains exactly one
+/// message (what the simulated network delivers).
+pub fn parse_request_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+    let (head, body_start) = split_head(bytes)?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(HttpError::BadSyntax("empty head"))?;
+    let mut parts = start.split(' ');
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or(HttpError::BadSyntax("bad method"))?;
+    let target = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or(HttpError::BadSyntax("missing target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .and_then(Version::parse)
+        .ok_or(HttpError::BadSyntax("bad version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadSyntax("extra tokens in start line"));
+    }
+    let headers = parse_headers(lines)?;
+    let body = read_body(bytes, body_start, &headers)?;
+    Ok(Request {
+        method,
+        target,
+        version,
+        headers,
+        body,
+    })
+}
+
+/// Parses one complete response from a buffer.
+pub fn parse_response_bytes(bytes: &[u8]) -> Result<Response, HttpError> {
+    let (head, body_start) = split_head(bytes)?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(HttpError::BadSyntax("empty head"))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts
+        .next()
+        .and_then(Version::parse)
+        .ok_or(HttpError::BadSyntax("bad version"))?;
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .map(Status)
+        .ok_or(HttpError::BadSyntax("bad status code"))?;
+    // The reason phrase is ignored; the code is canonical.
+    let headers = parse_headers(lines)?;
+    let body = read_body(bytes, body_start, &headers)?;
+    Ok(Response {
+        version,
+        status,
+        headers,
+        body,
+    })
+}
+
+fn split_head(bytes: &[u8]) -> Result<(&str, usize), HttpError> {
+    let end = find_head_end(bytes).ok_or(HttpError::UnexpectedEof)?;
+    let head =
+        std::str::from_utf8(&bytes[..end]).map_err(|_| HttpError::BadSyntax("head not UTF-8"))?;
+    Ok((head, end + 4))
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadSyntax("header line without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadSyntax("bad header name"));
+        }
+        headers.add(name, value.trim());
+    }
+    Ok(headers)
+}
+
+fn read_body(bytes: &[u8], body_start: usize, headers: &Headers) -> Result<Vec<u8>, HttpError> {
+    let len = headers.content_length().unwrap_or(0);
+    let available = bytes.len().saturating_sub(body_start);
+    if available < len {
+        return Err(HttpError::UnexpectedEof);
+    }
+    Ok(bytes[body_start..body_start + len].to_vec())
+}
+
+/// A buffered reader that pulls complete messages off a [`Stream`],
+/// preserving any bytes that belong to the next keep-alive message.
+pub struct MessageReader<S: Stream> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: Stream> MessageReader<S> {
+    /// Wraps a stream.
+    pub fn new(stream: S) -> Self {
+        MessageReader {
+            stream,
+            buf: Vec::with_capacity(1024),
+        }
+    }
+
+    /// The underlying stream (for writing replies and setting timeouts).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Consumes the reader, returning the stream. Buffered bytes are
+    /// discarded.
+    pub fn into_stream(self) -> S {
+        self.stream
+    }
+
+    fn fill(&mut self) -> Result<usize, HttpError> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Reads until the buffer holds one complete message (head + declared
+    /// body), then hands its bytes to `parse`.
+    fn read_message<T>(
+        &mut self,
+        limits: &Limits,
+        parse: impl Fn(&[u8]) -> Result<T, HttpError>,
+    ) -> Result<T, HttpError> {
+        // 1. Accumulate the head.
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end + 4;
+            }
+            if self.buf.len() > limits.max_head {
+                return Err(HttpError::TooLarge("head"));
+            }
+            if self.fill()? == 0 {
+                return if self.buf.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::UnexpectedEof)
+                };
+            }
+        };
+        // 2. Find the declared body length (cheap scan of the head).
+        let head = std::str::from_utf8(&self.buf[..head_end - 4])
+            .map_err(|_| HttpError::BadSyntax("head not UTF-8"))?;
+        let mut body_len = 0usize;
+        for line in head.split("\r\n").skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    body_len = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| HttpError::BadSyntax("bad Content-Length"))?;
+                }
+            }
+        }
+        if body_len > limits.max_body {
+            return Err(HttpError::TooLarge("body"));
+        }
+        // 3. Accumulate the body.
+        let total = head_end + body_len;
+        while self.buf.len() < total {
+            if self.fill()? == 0 {
+                return Err(HttpError::UnexpectedEof);
+            }
+        }
+        // 4. Parse and retain any bytes of the next message.
+        let result = parse(&self.buf[..total]);
+        self.buf.drain(..total);
+        result
+    }
+
+    /// Reads one request.
+    pub fn read_request(&mut self, limits: &Limits) -> Result<Request, HttpError> {
+        self.read_message(limits, parse_request_bytes)
+    }
+
+    /// Reads one response.
+    pub fn read_response(&mut self, limits: &Limits) -> Result<Response, HttpError> {
+        self.read_message(limits, parse_response_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::{request_bytes, response_bytes};
+    use crate::stream::duplex;
+    use std::io::Write;
+
+    #[test]
+    fn request_bytes_round_trip() {
+        let req = Request::soap_post("h", "/svc/echo", "text/xml; charset=utf-8", b"<e/>".to_vec());
+        let parsed = parse_request_bytes(&request_bytes(&req)).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn response_bytes_round_trip() {
+        let resp = Response::new(Status::OK, "text/xml", b"<r/>".to_vec());
+        let parsed = parse_response_bytes(&response_bytes(&resp)).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn truncated_body_is_eof() {
+        let req = Request::soap_post("h", "/", "text/xml", b"full body".to_vec());
+        let bytes = request_bytes(&req);
+        let cut = &bytes[..bytes.len() - 3];
+        assert_eq!(parse_request_bytes(cut), Err(HttpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn missing_head_terminator_is_eof() {
+        assert_eq!(
+            parse_request_bytes(b"POST / HTTP/1.1\r\nHost: h\r\n"),
+            Err(HttpError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn bad_start_lines_rejected() {
+        assert!(matches!(
+            parse_request_bytes(b"BREW / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadSyntax(_))
+        ));
+        assert!(matches!(
+            parse_request_bytes(b"POST / HTTP/9.9\r\n\r\n"),
+            Err(HttpError::BadSyntax(_))
+        ));
+        assert!(matches!(
+            parse_response_bytes(b"HTTP/1.1 abc OK\r\n\r\n"),
+            Err(HttpError::BadSyntax(_))
+        ));
+    }
+
+    #[test]
+    fn header_without_colon_rejected() {
+        assert!(matches!(
+            parse_request_bytes(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::BadSyntax(_))
+        ));
+    }
+
+    #[test]
+    fn reason_phrase_with_spaces_ok() {
+        let resp = parse_response_bytes(b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+    }
+
+    #[test]
+    fn reader_handles_pipelined_messages() {
+        let (mut client, server) = duplex(4096);
+        let r1 = Request::soap_post("h", "/a", "text/xml", b"one".to_vec());
+        let r2 = Request::soap_post("h", "/b", "text/xml", b"two!".to_vec());
+        let mut bytes = request_bytes(&r1);
+        bytes.extend_from_slice(&request_bytes(&r2));
+        client.write_all(&bytes).unwrap();
+        let mut reader = MessageReader::new(server);
+        let limits = Limits::default();
+        assert_eq!(reader.read_request(&limits).unwrap(), r1);
+        assert_eq!(reader.read_request(&limits).unwrap(), r2);
+    }
+
+    #[test]
+    fn reader_reports_clean_close_between_messages() {
+        let (client, server) = duplex(64);
+        drop(client);
+        let mut reader = MessageReader::new(server);
+        assert_eq!(
+            reader.read_request(&Limits::default()),
+            Err(HttpError::Closed)
+        );
+    }
+
+    #[test]
+    fn reader_reports_mid_message_close() {
+        let (mut client, server) = duplex(64);
+        client.write_all(b"POST / HTTP/1.1\r\n").unwrap();
+        drop(client);
+        let mut reader = MessageReader::new(server);
+        assert_eq!(
+            reader.read_request(&Limits::default()),
+            Err(HttpError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn reader_enforces_head_limit() {
+        let (mut client, server) = duplex(1 << 20);
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        client.write_all(&big).unwrap();
+        let mut reader = MessageReader::new(server);
+        assert_eq!(
+            reader.read_request(&Limits::default()),
+            Err(HttpError::TooLarge("head"))
+        );
+    }
+
+    #[test]
+    fn reader_enforces_body_limit() {
+        let (mut client, server) = duplex(4096);
+        client
+            .write_all(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+            .unwrap();
+        let mut reader = MessageReader::new(server);
+        assert_eq!(
+            reader.read_request(&Limits::default()),
+            Err(HttpError::TooLarge("body"))
+        );
+    }
+
+    #[test]
+    fn body_with_binary_content_survives() {
+        let mut req = Request::soap_post("h", "/", "application/octet-stream", vec![]);
+        req.body = (0..=255u8).collect();
+        req.headers.set("Content-Length", req.body.len().to_string());
+        let parsed = parse_request_bytes(&request_bytes(&req)).unwrap();
+        assert_eq!(parsed.body, req.body);
+    }
+}

@@ -1,0 +1,113 @@
+//! Message serialization: message → bytes / stream.
+
+use std::io::Write;
+
+use crate::message::{Request, Response};
+use crate::HttpError;
+
+/// Serialized size of a request's head (start line + headers + blank
+/// line), without the body.
+pub fn request_head_len(req: &Request) -> usize {
+    head_bytes_request(req).len()
+}
+
+fn head_bytes_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(req.method.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(req.target.as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(req.version.as_str().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    push_headers(&mut out, req.headers.iter());
+    out
+}
+
+fn head_bytes_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(resp.version.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(resp.status.0.to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(resp.status.reason().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    push_headers(&mut out, resp.headers.iter());
+    out
+}
+
+fn push_headers<'a>(out: &mut Vec<u8>, headers: impl Iterator<Item = (&'a str, &'a str)>) {
+    for (name, value) in headers {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Serializes a full request.
+pub fn request_bytes(req: &Request) -> Vec<u8> {
+    let mut out = head_bytes_request(req);
+    out.extend_from_slice(&req.body);
+    out
+}
+
+/// Serializes a full response.
+pub fn response_bytes(resp: &Response) -> Vec<u8> {
+    let mut out = head_bytes_response(resp);
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Writes a request to a stream.
+pub fn write_request(stream: &mut dyn Write, req: &Request) -> Result<(), HttpError> {
+    stream.write_all(&request_bytes(req))?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Writes a response to a stream.
+pub fn write_response(stream: &mut dyn Write, resp: &Response) -> Result<(), HttpError> {
+    stream.write_all(&response_bytes(resp))?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Status, Version};
+
+    #[test]
+    fn request_wire_format() {
+        let req = Request::soap_post("h.example", "/svc", "text/xml; charset=utf-8", b"<x/>".to_vec());
+        let bytes = request_bytes(&req);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("POST /svc HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("Host: h.example\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\n<x/>"), "{text}");
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let resp = Response::new(Status::OK, "text/xml", b"<ok/>".to_vec());
+        let text = String::from_utf8(response_bytes(&resp)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n<ok/>"));
+    }
+
+    #[test]
+    fn head_len_excludes_body() {
+        let req = Request::soap_post("h", "/", "text/xml", vec![b'x'; 100]);
+        assert_eq!(request_head_len(&req) + 100, request_bytes(&req).len());
+    }
+
+    #[test]
+    fn http10_start_line() {
+        let mut req = Request::get("h", "/");
+        req.version = Version::V10;
+        let text = String::from_utf8(request_bytes(&req)).unwrap();
+        assert!(text.starts_with("GET / HTTP/1.0\r\n"));
+    }
+}

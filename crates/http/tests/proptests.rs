@@ -1,0 +1,92 @@
+//! Property-based invariants for the HTTP layer.
+
+use proptest::prelude::*;
+use wsd_http::{
+    parse_request_bytes, parse_response_bytes, request_bytes, response_bytes, Headers, Method,
+    Request, Response, Status, Version,
+};
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // No CR/LF or leading/trailing whitespace (values are trimmed on parse).
+    "[\\x21-\\x7e]( ?[\\x21-\\x7e]){0,30}"
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        prop_oneof![Just(Method::Get), Just(Method::Post)],
+        "/[a-z0-9/._-]{0,30}",
+        prop_oneof![Just(Version::V10), Just(Version::V11)],
+        proptest::collection::vec((header_name(), header_value()), 0..8),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(method, target, version, hdrs, body)| {
+            let mut headers = Headers::new();
+            let mut seen = std::collections::HashSet::new();
+            for (n, v) in hdrs {
+                let key = n.to_ascii_lowercase();
+                if key == "content-length" || !seen.insert(key) {
+                    continue;
+                }
+                headers.set(n, v);
+            }
+            headers.set("Content-Length", body.len().to_string());
+            Request {
+                method,
+                target,
+                version,
+                headers,
+                body,
+            }
+        })
+}
+
+proptest! {
+    /// serialize ∘ parse = id for requests.
+    #[test]
+    fn request_round_trips(req in request_strategy()) {
+        let parsed = parse_request_bytes(&request_bytes(&req)).unwrap();
+        prop_assert_eq!(parsed, req);
+    }
+
+    /// serialize ∘ parse = id for responses.
+    #[test]
+    fn response_round_trips(
+        code in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let resp = Response::new(Status(code), "text/xml; charset=utf-8", body);
+        let parsed = parse_response_bytes(&response_bytes(&resp)).unwrap();
+        prop_assert_eq!(parsed, resp);
+    }
+
+    /// Declared Content-Length always equals the actual body length for
+    /// constructor-built messages.
+    #[test]
+    fn content_length_matches_body(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let req = Request::soap_post("h", "/svc", "text/xml", body.clone());
+        prop_assert_eq!(req.headers.content_length(), Some(body.len()));
+        let resp = Response::new(Status::OK, "text/xml", body.clone());
+        prop_assert_eq!(resp.headers.content_length(), Some(body.len()));
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_request_bytes(&bytes);
+        let _ = parse_response_bytes(&bytes);
+    }
+
+    /// Any prefix of a valid message either parses to the same message
+    /// (full prefix) or errors — never to a different message.
+    #[test]
+    fn truncation_never_yields_wrong_message(req in request_strategy(), cut in 0usize..64) {
+        let bytes = request_bytes(&req);
+        let cut = cut.min(bytes.len());
+        let prefix = &bytes[..bytes.len() - cut];
+        if let Ok(parsed) = parse_request_bytes(prefix) { prop_assert_eq!(parsed, req) }
+    }
+}

@@ -1,0 +1,129 @@
+//! Load-run statistics.
+
+/// Latency distribution summary over recorded samples (µs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// Maximum, µs.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (consumed; sorted internally). Returns a
+    /// zero summary for an empty set.
+    pub fn of(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p95_us: 0,
+                max_us: 0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        LatencySummary {
+            count,
+            mean_us: sum as f64 / count as f64,
+            p50_us: samples[percentile_index(count, 50.0)],
+            p95_us: samples[percentile_index(count, 95.0)],
+            max_us: samples[count - 1],
+        }
+    }
+}
+
+fn percentile_index(len: usize, pct: f64) -> usize {
+    (((len as f64) * pct / 100.0).ceil() as usize)
+        .saturating_sub(1)
+        .min(len - 1)
+}
+
+/// Totals across a fleet of clients for one run window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTotals {
+    /// Messages successfully completed (the paper's "packets
+    /// transmitted").
+    pub transmitted: u64,
+    /// Attempts that failed (the paper's "packets not sent").
+    pub not_sent: u64,
+    /// Latency summary over completed messages.
+    pub latency: Option<LatencySummary>,
+}
+
+impl RunTotals {
+    /// Transmitted messages per minute of run time.
+    pub fn per_minute(&self, run_secs: f64) -> f64 {
+        if run_secs <= 0.0 {
+            0.0
+        } else {
+            self.transmitted as f64 * 60.0 / run_secs
+        }
+    }
+
+    /// Fraction of attempts that failed.
+    pub fn loss_rate(&self) -> f64 {
+        let attempts = self.transmitted + self.not_sent;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.not_sent as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::of(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let s = LatencySummary::of((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::of(vec![42]);
+        assert_eq!((s.p50_us, s.p95_us, s.max_us), (42, 42, 42));
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = LatencySummary::of(vec![30, 10, 20]);
+        assert_eq!(s.p50_us, 20);
+        assert_eq!(s.max_us, 30);
+    }
+
+    #[test]
+    fn per_minute_and_loss() {
+        let t = RunTotals {
+            transmitted: 300,
+            not_sent: 100,
+            latency: None,
+        };
+        assert!((t.per_minute(30.0) - 600.0).abs() < 1e-9);
+        assert!((t.loss_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(RunTotals::default().loss_rate(), 0.0);
+        assert_eq!(t.per_minute(0.0), 0.0);
+    }
+}

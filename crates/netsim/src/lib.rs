@@ -1,0 +1,80 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! The paper's evaluation ran over real trans-Atlantic links (INRIA ↔
+//! Indiana University ↔ a Bloomington cable modem). This crate is the
+//! substitution (see `DESIGN.md`): a virtual-time simulator modeling the
+//! properties those experiments actually exercise —
+//!
+//! * **asymmetric access links** with finite bandwidth (a 288 kbps cable
+//!   uplink serializes messages one at a time),
+//! * **propagation latency** within and across regions (the Atlantic),
+//! * **TCP-like connections** with a handshake, accept limits whose
+//!   overflow silently drops connection attempts (SYN backlog), connect
+//!   timeouts and half-duplex close,
+//! * **firewalls** that allow only outbound connections — the premise of
+//!   the whole paper,
+//! * **host speed** as a per-byte CPU cost scaling with the paper's
+//!   machine clocks.
+//!
+//! Protocol code runs as [`Process`] actors reacting to [`ProcEvent`]s;
+//! everything is single-threaded and deterministic for a fixed seed, so
+//! every figure regenerates bit-identically (parallelism lives one level
+//! up: experiment sweeps run one simulation per thread).
+//!
+//! # Example
+//!
+//! ```
+//! use wsd_netsim::{Simulation, HostConfig, Process, ProcEvent, Ctx, Payload};
+//!
+//! struct EchoServer;
+//! impl Process for EchoServer {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+//!         if let ProcEvent::Message { conn, bytes } = ev {
+//!             let _ = ctx.send(conn, bytes); // echo back
+//!         }
+//!     }
+//! }
+//!
+//! struct Client { done: std::rc::Rc<std::cell::Cell<bool>> }
+//! impl Process for Client {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+//!         match ev {
+//!             ProcEvent::Start => { ctx.connect("server", 80, wsd_netsim::SimDuration::from_secs(5)); }
+//!             ProcEvent::ConnEstablished { conn } => { let _ = ctx.send(conn, Payload::from_static(b"ping")); }
+//!             ProcEvent::Message { .. } => self.done.set(true),
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let s = sim.add_host(HostConfig::named("server"));
+//! let c = sim.add_host(HostConfig::named("client"));
+//! let server = sim.spawn(s, Box::new(EchoServer));
+//! sim.listen(server, 80);
+//! let done = std::rc::Rc::new(std::cell::Cell::new(false));
+//! sim.spawn(c, Box::new(Client { done: done.clone() }));
+//! sim.run();
+//! assert!(done.get());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod event;
+pub mod host;
+pub mod process;
+pub mod profiles;
+pub mod rand;
+pub mod sim;
+pub mod time;
+
+pub use conn::{ConnId, RefuseReason};
+pub use host::{FirewallPolicy, HostConfig, HostId, OverLimit, Region};
+pub use process::{Ctx, ProcEvent, ProcId, Process, SendError};
+pub use rand::SimRng;
+pub use sim::Simulation;
+pub use time::{SimDuration, SimTime};
+
+/// Message payload carried over simulated connections.
+pub type Payload = bytes::Bytes;

@@ -1,0 +1,170 @@
+//! The actor interface protocol code implements, and the context through
+//! which it acts on the simulated world.
+
+use crate::conn::{ConnId, RefuseReason};
+use crate::time::{SimDuration, SimTime};
+use crate::{Payload, SimRng};
+
+/// Identifies a process within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+/// Events delivered to a [`Process`].
+#[derive(Debug)]
+pub enum ProcEvent {
+    /// Delivered once, right after spawn.
+    Start,
+    /// A timer set with [`Ctx::set_timer`] fired.
+    Timer {
+        /// The token passed to `set_timer`.
+        token: u64,
+    },
+    /// An outbound `connect` completed.
+    ConnEstablished {
+        /// The connection, now usable.
+        conn: ConnId,
+    },
+    /// An outbound `connect` failed.
+    ConnRefused {
+        /// The failed connection id.
+        conn: ConnId,
+        /// Why.
+        reason: RefuseReason,
+    },
+    /// An inbound connection was accepted on a listening port.
+    ConnAccepted {
+        /// The new connection.
+        conn: ConnId,
+        /// The local port it arrived on.
+        port: u16,
+    },
+    /// A framed message arrived.
+    Message {
+        /// Connection it arrived on.
+        conn: ConnId,
+        /// The payload.
+        bytes: Payload,
+    },
+    /// The peer closed (or the connection failed) — no more events for
+    /// this connection.
+    ConnClosed {
+        /// The closed connection.
+        conn: ConnId,
+    },
+}
+
+/// A simulated actor. One `on_event` call runs at a time (the simulator
+/// is single-threaded); reentrancy is impossible.
+pub trait Process {
+    /// Reacts to one event. Use `ctx` to read the clock, set timers,
+    /// connect, send and close.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: ProcEvent);
+}
+
+/// Error returned by [`Ctx::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The connection is closed (or was never established).
+    Closed,
+    /// The connection id is not this process's.
+    NotYours,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Closed => f.write_str("connection closed"),
+            SendError::NotYours => f.write_str("connection belongs to another process"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Deferred operations a process requested during `on_event`; the engine
+/// applies them after the callback returns.
+pub(crate) enum Op {
+    SetTimer { delay: SimDuration, token: u64 },
+    Connect {
+        conn: ConnId,
+        host: String,
+        port: u16,
+        timeout: SimDuration,
+    },
+    Send { conn: ConnId, bytes: Payload },
+    Close { conn: ConnId },
+}
+
+/// The process's handle onto the simulation during one event callback.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) me: ProcId,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) next_conn_id: &'a mut u64,
+    /// Connection table, read-only, for immediate send validation.
+    pub(crate) conns: &'a std::collections::HashMap<ConnId, crate::conn::Connection>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Schedules a [`ProcEvent::Timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.ops.push(Op::SetTimer { delay, token });
+    }
+
+    /// Starts a connection to `host:port`. The outcome arrives later as
+    /// [`ProcEvent::ConnEstablished`] or [`ProcEvent::ConnRefused`]; if
+    /// nothing answers within `timeout`, the refusal reason is
+    /// [`RefuseReason::TimedOut`].
+    pub fn connect(&mut self, host: &str, port: u16, timeout: SimDuration) -> ConnId {
+        let conn = ConnId(*self.next_conn_id);
+        *self.next_conn_id += 1;
+        self.ops.push(Op::Connect {
+            conn,
+            host: host.to_string(),
+            port,
+            timeout,
+        });
+        conn
+    }
+
+    /// Sends one framed message. Delivery time reflects both endpoints'
+    /// link bandwidth, propagation latency and the receiver's CPU cost.
+    pub fn send(&mut self, conn: ConnId, bytes: Payload) -> Result<(), SendError> {
+        use crate::conn::ConnPhase;
+        let record = self.conns.get(&conn).ok_or(SendError::NotYours)?;
+        let my_side_closed = if record.client_proc == self.me {
+            record.close_seen[0]
+        } else if record.server_proc == Some(self.me) {
+            record.close_seen[1]
+        } else {
+            return Err(SendError::NotYours);
+        };
+        if record.phase != ConnPhase::Established || my_side_closed {
+            return Err(SendError::Closed);
+        }
+        self.ops.push(Op::Send { conn, bytes });
+        Ok(())
+    }
+
+    /// Closes a connection; the peer sees [`ProcEvent::ConnClosed`] after
+    /// one propagation delay. Closing twice is a no-op.
+    pub fn close(&mut self, conn: ConnId) {
+        self.ops.push(Op::Close { conn });
+    }
+}

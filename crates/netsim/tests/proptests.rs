@@ -1,0 +1,99 @@
+//! Property-based invariants of the simulator.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use wsd_netsim::{
+    Ctx, HostConfig, Payload, ProcEvent, Process, SimDuration, SimTime, Simulation,
+};
+
+/// A client that opens one connection and sends `count` messages of
+/// `size` bytes, recording arrival times on the echo server side.
+struct Pusher {
+    count: usize,
+    size: usize,
+}
+
+impl Process for Pusher {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start => {
+                ctx.connect("server", 80, SimDuration::from_secs(10));
+            }
+            ProcEvent::ConnEstablished { conn } => {
+                for _ in 0..self.count {
+                    ctx.send(conn, Payload::from(vec![0u8; self.size])).unwrap();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Sink {
+    arrivals: Rc<RefCell<Vec<SimTime>>>,
+}
+
+impl Process for Sink {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        if let ProcEvent::Message { .. } = ev {
+            self.arrivals.borrow_mut().push(ctx.now());
+        }
+    }
+}
+
+fn run_transfer(seed: u64, up_kbps: u32, count: usize, size: usize) -> Vec<SimTime> {
+    let mut sim = Simulation::new(seed);
+    let server_host = sim.add_host(HostConfig::named("server"));
+    let client_host = sim.add_host(HostConfig::named("client").bandwidth(up_kbps, 100_000));
+    let arrivals = Rc::new(RefCell::new(Vec::new()));
+    let server = sim.spawn(
+        server_host,
+        Box::new(Sink {
+            arrivals: arrivals.clone(),
+        }),
+    );
+    sim.listen(server, 80);
+    sim.spawn(client_host, Box::new(Pusher { count, size }));
+    sim.run();
+    let result = arrivals.borrow().clone();
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed and workload → bit-identical event trace.
+    #[test]
+    fn deterministic_replay(seed in 1u64..1000, count in 1usize..20, size in 1usize..2000) {
+        let a = run_transfer(seed, 1000, count, size);
+        let b = run_transfer(seed, 1000, count, size);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every message is delivered, in FIFO order (non-decreasing times).
+    #[test]
+    fn fifo_delivery_no_loss(count in 1usize..30, size in 1usize..1500) {
+        let arrivals = run_transfer(7, 1000, count, size);
+        prop_assert_eq!(arrivals.len(), count);
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// More bandwidth never makes the last byte arrive later.
+    #[test]
+    fn bandwidth_monotonicity(count in 1usize..10, size in 100usize..2000) {
+        let slow = run_transfer(3, 288, count, size);
+        let fast = run_transfer(3, 2739, count, size);
+        prop_assert!(fast.last().unwrap() <= slow.last().unwrap());
+    }
+
+    /// Bigger payloads never arrive earlier than smaller ones.
+    #[test]
+    fn size_monotonicity(small in 1usize..1000, extra in 1usize..5000) {
+        let a = run_transfer(5, 500, 1, small);
+        let b = run_transfer(5, 500, 1, small + extra);
+        prop_assert!(a[0] <= b[0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based invariants for envelope handling.
+
+use proptest::prelude::*;
+use wsd_soap::{rpc::RpcCall, Body, Envelope, Fault, FaultCode, SoapVersion};
+
+fn version() -> impl Strategy<Value = SoapVersion> {
+    prop_oneof![Just(SoapVersion::V11), Just(SoapVersion::V12)]
+}
+
+fn rpc_call() -> impl Strategy<Value = RpcCall> {
+    (
+        "urn:[a-z]{1,10}",
+        "[a-zA-Z_][a-zA-Z0-9]{0,10}",
+        proptest::collection::vec(
+            ("[a-zA-Z_][a-zA-Z0-9]{0,8}", "[^\u{0}-\u{8}\u{b}\u{c}\u{e}-\u{1f}]{0,30}"),
+            0..5,
+        ),
+    )
+        .prop_map(|(ns, op, params)| {
+            let mut call = RpcCall::new(ns, op);
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in params {
+                // Distinct param names so text round-trip is unambiguous.
+                if seen.insert(k.clone()) {
+                    call = call.with_param(k, v);
+                }
+            }
+            call
+        })
+}
+
+proptest! {
+    /// RPC calls survive wrap → serialize → parse → unwrap in both
+    /// versions.
+    #[test]
+    fn rpc_round_trips(call in rpc_call(), v in version()) {
+        let env = call.to_envelope(v);
+        let reparsed = Envelope::parse(&env.to_xml()).unwrap();
+        prop_assert_eq!(reparsed.version, v);
+        let got = RpcCall::from_envelope(&reparsed).unwrap();
+        prop_assert_eq!(got, call);
+    }
+
+    /// Faults survive the wire in both versions (codes mapped to the
+    /// version's vocabulary and back).
+    #[test]
+    fn fault_round_trips(
+        v in version(),
+        reason in "[^\u{0}-\u{8}\u{b}\u{c}\u{e}-\u{1f}]{0,60}",
+        code_ix in 0usize..4,
+    ) {
+        let code = [
+            FaultCode::VersionMismatch,
+            FaultCode::MustUnderstand,
+            FaultCode::Sender,
+            FaultCode::Receiver,
+        ][code_ix].clone();
+        let env = Envelope::fault(v, Fault::new(code.clone(), reason.clone()));
+        let reparsed = Envelope::parse(&env.to_xml()).unwrap();
+        let f = reparsed.as_fault().unwrap();
+        prop_assert_eq!(&f.code, &code);
+        prop_assert_eq!(&f.reason, &reason);
+    }
+
+    /// Whatever the body, serialization always yields a parseable
+    /// envelope of the same version with the same payload element count.
+    #[test]
+    fn envelope_structure_preserved(v in version(), n_parts in 0usize..6) {
+        let parts: Vec<wsd_xml::Element> =
+            (0..n_parts).map(|i| wsd_xml::Element::new(format!("part{i}"))).collect();
+        let env = Envelope { version: v, headers: vec![], body: Body::Payload(parts) };
+        let reparsed = Envelope::parse(&env.to_xml()).unwrap();
+        prop_assert_eq!(reparsed.payload().unwrap().len(), n_parts);
+    }
+}

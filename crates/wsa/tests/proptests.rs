@@ -1,0 +1,81 @@
+//! Property-based invariants for the addressing layer.
+
+use proptest::prelude::*;
+use wsd_soap::{rpc, Envelope, SoapVersion};
+use wsd_wsa::{rewrite_for_forward, EndpointReference, WsaHeaders};
+
+fn uri() -> impl Strategy<Value = String> {
+    "(http|https)://[a-z][a-z0-9.-]{0,20}(:[0-9]{2,5})?/[a-z0-9/_-]{0,20}"
+}
+
+fn headers_strategy() -> impl Strategy<Value = WsaHeaders> {
+    (
+        proptest::option::of(uri()),
+        proptest::option::of(uri()),
+        proptest::option::of(uri()),
+        proptest::option::of("[a-z:/.]{1,30}"),
+        proptest::option::of("uuid:[a-f0-9-]{1,30}"),
+        proptest::collection::vec("uuid:[a-f0-9-]{1,20}", 0..3),
+    )
+        .prop_map(|(to, reply, fault, action, msgid, rel)| {
+            let mut h = WsaHeaders::new();
+            h.to = to;
+            h.reply_to = reply.map(EndpointReference::new);
+            h.fault_to = fault.map(EndpointReference::new);
+            h.action = action;
+            h.message_id = msgid;
+            h.relates_to = rel.into_iter().map(|r| (r, None)).collect();
+            h
+        })
+}
+
+proptest! {
+    /// apply → serialize → parse → read is the identity on header sets.
+    #[test]
+    fn headers_survive_the_wire(h in headers_strategy(), v in prop_oneof![Just(SoapVersion::V11), Just(SoapVersion::V12)]) {
+        let mut env = rpc::echo_request(v, "payload");
+        h.apply(&mut env);
+        let reparsed = Envelope::parse(&env.to_xml()).unwrap();
+        let got = WsaHeaders::from_envelope(&reparsed).unwrap();
+        prop_assert_eq!(got, h);
+    }
+
+    /// The forward rewrite never touches the payload, and always points
+    /// To/ReplyTo where told.
+    #[test]
+    fn forward_rewrite_preserves_payload(h in headers_strategy(), text in "[a-zA-Z0-9 ]{0,40}") {
+        let mut env = rpc::echo_request(SoapVersion::V11, &text);
+        h.apply(&mut env);
+        rewrite_for_forward(&mut env, "http://phys.example/svc", "http://disp.example/msg").unwrap();
+        let reparsed = Envelope::parse(&env.to_xml()).unwrap();
+        prop_assert_eq!(rpc::parse_echo(&reparsed).unwrap(), text);
+        let got = WsaHeaders::from_envelope(&reparsed).unwrap();
+        prop_assert_eq!(got.to.as_deref(), Some("http://phys.example/svc"));
+        prop_assert_eq!(got.reply_to.unwrap().address, "http://disp.example/msg");
+        // Non-rewritten headers intact.
+        prop_assert_eq!(got.action, h.action);
+        prop_assert_eq!(got.message_id, h.message_id);
+    }
+
+    /// Rewrite is idempotent: a second identical forward changes nothing.
+    #[test]
+    fn forward_rewrite_is_idempotent(h in headers_strategy()) {
+        let mut env = rpc::echo_request(SoapVersion::V12, "x");
+        h.apply(&mut env);
+        rewrite_for_forward(&mut env, "http://p/s", "http://d/m").unwrap();
+        let once = env.to_xml();
+        rewrite_for_forward(&mut env, "http://p/s", "http://d/m").unwrap();
+        prop_assert_eq!(env.to_xml(), once);
+    }
+
+    /// EPRs round-trip through their element form.
+    #[test]
+    fn epr_round_trips(addr in uri(), param_text in "[a-z0-9]{1,16}") {
+        let epr = EndpointReference::new(addr)
+            .with_parameter(wsd_xml::Element::new("p").with_text(param_text));
+        let el = epr.to_element("ReplyTo");
+        let root = wsd_xml::parse(&wsd_xml::write_element(&el)).unwrap().root;
+        let got = EndpointReference::from_element(&root, "ReplyTo").unwrap();
+        prop_assert_eq!(got, epr);
+    }
+}

@@ -1,0 +1,74 @@
+//! Parse-error type with source position.
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closing an element opened as `<a>`.
+    MismatchedTag {
+        /// Name on the open tag.
+        expected: String,
+        /// Name on the close tag.
+        found: String,
+    },
+    /// Same attribute name appears twice on one element.
+    DuplicateAttribute(String),
+    /// A prefix with no in-scope `xmlns:prefix` declaration.
+    UnboundPrefix(String),
+    /// `&name;` where `name` is not one of the five predefined entities.
+    UnknownEntity(String),
+    /// A malformed `&#...;` character reference.
+    BadCharRef(String),
+    /// DTDs (`<!DOCTYPE ...>`) are rejected by design (XXE / billion-laughs
+    /// hardening for a network-facing service).
+    DtdRejected,
+    /// Content found after the root element closed, or no root at all.
+    BadDocumentStructure(&'static str),
+    /// An invalid XML name.
+    BadName(String),
+    /// Anything else, with a short description.
+    Other(&'static str),
+}
+
+/// An XML parse error with 1-based line/column of the offending byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Error category and payload.
+    pub kind: XmlErrorKind,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub column: u32,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, line: u32, column: u32) -> Self {
+        XmlError { kind, line, column }
+    }
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => f.write_str("unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::UnboundPrefix(p) => write!(f, "unbound namespace prefix {p:?}"),
+            XmlErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+            XmlErrorKind::BadCharRef(r) => write!(f, "bad character reference &#{r};"),
+            XmlErrorKind::DtdRejected => f.write_str("DTDs are not supported"),
+            XmlErrorKind::BadDocumentStructure(m) => write!(f, "bad document structure: {m}"),
+            XmlErrorKind::BadName(n) => write!(f, "invalid XML name {n:?}"),
+            XmlErrorKind::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,127 @@
+//! Escaping and unescaping of character data and attribute values.
+
+use std::borrow::Cow;
+
+/// Escapes character data (element text): `&`, `<`, `>`.
+///
+/// `>` is only mandatory in the `]]>` sequence but escaping it always is
+/// harmless and round-trips cleanly.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escapes an attribute value for double-quoted output: `&`, `<`, `>`,
+/// `"`, plus tab/CR/LF (so whitespace survives attribute-value
+/// normalization on re-parse).
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn needs_escape(c: char, attr: bool) -> bool {
+    matches!(c, '&' | '<' | '>') || (attr && matches!(c, '"' | '\t' | '\n' | '\r'))
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let first = match s.char_indices().find(|&(_, c)| needs_escape(c, attr)) {
+        None => return Cow::Borrowed(s),
+        Some((i, _)) => i,
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves one predefined entity name (`lt`, `gt`, `amp`, `apos`,
+/// `quot`) to its character.
+pub fn predefined_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => None,
+    }
+}
+
+/// Resolves a character reference body (the part between `&#` and `;`),
+/// e.g. `x41` or `65`.
+pub fn char_ref(body: &str) -> Option<char> {
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    let c = char::from_u32(code)?;
+    // XML 1.0 Char production: forbid most control characters.
+    if matches!(c, '\u{9}' | '\u{A}' | '\u{D}') || c >= '\u{20}' {
+        Some(c)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_markup_characters() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn attr_escapes_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b\tc\nd\re"), "a&quot;b&#9;c&#10;d&#13;e");
+    }
+
+    #[test]
+    fn text_does_not_escape_quotes() {
+        assert_eq!(escape_text("a\"b'c"), "a\"b'c");
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(predefined_entity("lt"), Some('<'));
+        assert_eq!(predefined_entity("gt"), Some('>'));
+        assert_eq!(predefined_entity("amp"), Some('&'));
+        assert_eq!(predefined_entity("apos"), Some('\''));
+        assert_eq!(predefined_entity("quot"), Some('"'));
+        assert_eq!(predefined_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn char_refs_decimal_and_hex() {
+        assert_eq!(char_ref("65"), Some('A'));
+        assert_eq!(char_ref("x41"), Some('A'));
+        assert_eq!(char_ref("X41"), Some('A'));
+        assert_eq!(char_ref("x1F600"), Some('😀'));
+    }
+
+    #[test]
+    fn char_refs_reject_controls_and_garbage() {
+        assert_eq!(char_ref("1"), None); // U+0001 forbidden
+        assert_eq!(char_ref("x0"), None);
+        assert_eq!(char_ref(""), None);
+        assert_eq!(char_ref("xzz"), None);
+        assert_eq!(char_ref("x110000"), None); // beyond Unicode
+        assert_eq!(char_ref("9"), Some('\t')); // tab allowed
+    }
+}

@@ -1,0 +1,440 @@
+//! Streaming pull parser.
+//!
+//! [`PullParser`] walks a UTF-8 document and yields raw [`Event`]s. It
+//! validates token-level syntax (names, attribute quoting, entity
+//! references) but not document structure — tag matching and
+//! single-root-ness are enforced by [`crate::tree::Document::parse`], which
+//! is what the protocol stack uses.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::{char_ref, predefined_entity};
+use crate::name::{is_name_char, is_name_start, is_valid_raw_name};
+
+/// An opening tag with its attributes in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartTag {
+    /// Raw element name as written (possibly `prefix:local`).
+    pub name: String,
+    /// `(raw name, decoded value)` pairs in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Whether the tag ended with `/>`.
+    pub self_closing: bool,
+}
+
+/// A raw parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v">` or `<name/>`.
+    StartElement(StartTag),
+    /// `</name>` (never emitted for self-closing tags).
+    EndElement(String),
+    /// Character data with entities decoded. Adjacent runs are merged.
+    Text(String),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(String),
+    /// `<!--...-->` content, verbatim.
+    Comment(String),
+    /// `<?target data?>`. The XML declaration arrives as target `xml`.
+    Pi {
+        /// PI target.
+        target: String,
+        /// Everything between the target and `?>`, trimmed of one leading
+        /// space.
+        data: String,
+    },
+    /// End of input.
+    Eof,
+}
+
+/// A pull parser over a complete in-memory document.
+pub struct PullParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> PullParser<'a> {
+    /// Creates a parser at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        PullParser { input, pos: 0 }
+    }
+
+    /// Byte offset of the next unread character.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn error(&self, kind: XmlErrorKind) -> XmlError {
+        self.error_at(self.pos, kind)
+    }
+
+    fn error_at(&self, pos: usize, kind: XmlErrorKind) -> XmlError {
+        let prefix = &self.input[..pos.min(self.input.len())];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        let column = prefix
+            .rsplit_once('\n')
+            .map(|(_, tail)| tail)
+            .unwrap_or(prefix)
+            .chars()
+            .count() as u32
+            + 1;
+        XmlError::new(kind, line, column)
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => return Err(self.error(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(self.error(XmlErrorKind::UnexpectedEof)),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c) || c == ':') {
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos];
+        if !is_valid_raw_name(raw) {
+            return Err(self.error_at(start, XmlErrorKind::BadName(raw.to_string())));
+        }
+        Ok(raw.to_string())
+    }
+
+    /// Decodes `&...;` starting just after the `&`.
+    fn read_entity(&mut self) -> Result<char, XmlError> {
+        let start = self.pos;
+        let semi = match self.rest().find(';') {
+            // Entities are short; cap the scan so broken input fails fast.
+            Some(i) if i <= 12 => i,
+            _ => {
+                return Err(self.error_at(
+                    start,
+                    XmlErrorKind::UnknownEntity(
+                        self.rest().chars().take(8).collect::<String>(),
+                    ),
+                ))
+            }
+        };
+        let body = &self.rest()[..semi];
+        let decoded = if let Some(num) = body.strip_prefix('#') {
+            char_ref(num)
+                .ok_or_else(|| self.error_at(start, XmlErrorKind::BadCharRef(num.to_string())))?
+        } else {
+            predefined_entity(body)
+                .ok_or_else(|| self.error_at(start, XmlErrorKind::UnknownEntity(body.to_string())))?
+        };
+        self.pos += semi + 1;
+        Ok(decoded)
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(self.error(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(self.error(XmlErrorKind::UnexpectedEof)),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => return Ok(out),
+                Some('&') => out.push(self.read_entity()?),
+                Some('<') => return Err(self.error(XmlErrorKind::UnexpectedChar('<'))),
+                Some(c) => out.push(c),
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn read_until(&mut self, terminator: &str, what: &'static str) -> Result<String, XmlError> {
+        match self.rest().find(terminator) {
+            Some(i) => {
+                let content = self.rest()[..i].to_string();
+                self.pos += i + terminator.len();
+                Ok(content)
+            }
+            None => {
+                let _ = what;
+                self.pos = self.input.len();
+                Err(self.error(XmlErrorKind::UnexpectedEof))
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<StartTag, XmlError> {
+        let name = self.read_name()?;
+        let mut attributes: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    return Ok(StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                Some('/') => {
+                    self.bump();
+                    if !self.eat(">") {
+                        return Err(match self.peek() {
+                            Some(c) => self.error(XmlErrorKind::UnexpectedChar(c)),
+                            None => self.error(XmlErrorKind::UnexpectedEof),
+                        });
+                    }
+                    return Ok(StartTag {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_start = self.pos;
+                    let aname = self.read_name()?;
+                    self.skip_ws();
+                    if !self.eat("=") {
+                        return Err(match self.peek() {
+                            Some(c) => self.error(XmlErrorKind::UnexpectedChar(c)),
+                            None => self.error(XmlErrorKind::UnexpectedEof),
+                        });
+                    }
+                    self.skip_ws();
+                    let value = self.read_attr_value()?;
+                    if attributes.iter().any(|(n, _)| n == &aname) {
+                        return Err(
+                            self.error_at(attr_start, XmlErrorKind::DuplicateAttribute(aname))
+                        );
+                    }
+                    attributes.push((aname, value));
+                }
+                Some(c) => return Err(self.error(XmlErrorKind::UnexpectedChar(c))),
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn read_text(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some('<') => return Ok(out),
+                Some('&') => {
+                    self.bump();
+                    out.push(self.read_entity()?);
+                }
+                Some(c) => {
+                    self.bump();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    /// Returns the next event, or [`Event::Eof`] at end of input.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if self.pos >= self.input.len() {
+            return Ok(Event::Eof);
+        }
+        if self.eat("<") {
+            if self.eat("!--") {
+                let body = self.read_until("-->", "comment")?;
+                return Ok(Event::Comment(body));
+            }
+            if self.eat("![CDATA[") {
+                let body = self.read_until("]]>", "CDATA section")?;
+                return Ok(Event::CData(body));
+            }
+            if self.rest().starts_with('!') {
+                return Err(self.error_at(self.pos - 1, XmlErrorKind::DtdRejected));
+            }
+            if self.eat("?") {
+                let target = self.read_name()?;
+                let data = self.read_until("?>", "processing instruction")?;
+                return Ok(Event::Pi {
+                    target,
+                    data: data.strip_prefix(' ').unwrap_or(&data).to_string(),
+                });
+            }
+            if self.eat("/") {
+                let name = self.read_name()?;
+                self.skip_ws();
+                if !self.eat(">") {
+                    return Err(match self.peek() {
+                        Some(c) => self.error(XmlErrorKind::UnexpectedChar(c)),
+                        None => self.error(XmlErrorKind::UnexpectedEof),
+                    });
+                }
+                return Ok(Event::EndElement(name));
+            }
+            return Ok(Event::StartElement(self.read_start_tag()?));
+        }
+        Ok(Event::Text(self.read_text()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Result<Vec<Event>, XmlError> {
+        let mut p = PullParser::new(input);
+        let mut out = Vec::new();
+        loop {
+            match p.next_event()? {
+                Event::Eof => return Ok(out),
+                e => out.push(e),
+            }
+        }
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a>hi</a>").unwrap();
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartElement(StartTag {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                }),
+                Event::Text("hi".into()),
+                Event::EndElement("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let ev = events(r#"<a x="1" y='2'/>"#).unwrap();
+        match &ev[0] {
+            Event::StartElement(t) => {
+                assert!(t.self_closing);
+                assert_eq!(
+                    t.attributes,
+                    vec![("x".to_string(), "1".to_string()), ("y".into(), "2".into())]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entity_decoding_in_text_and_attrs() {
+        let ev = events(r#"<a v="&lt;&quot;&#65;">&amp;&gt;&#x41;</a>"#).unwrap();
+        match &ev[0] {
+            Event::StartElement(t) => assert_eq!(t.attributes[0].1, "<\"A"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ev[1], Event::Text("&>A".into()));
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let err = events("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(ref e) if e == "nbsp"));
+    }
+
+    #[test]
+    fn bad_char_ref_is_error() {
+        let err = events("<a>&#xZZ;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadCharRef(_)));
+    }
+
+    #[test]
+    fn comment_and_cdata_and_pi() {
+        let ev = events("<?xml version=\"1.0\"?><a><!-- c --><![CDATA[<raw>]]></a>").unwrap();
+        assert_eq!(
+            ev[0],
+            Event::Pi {
+                target: "xml".into(),
+                data: "version=\"1.0\"".into()
+            }
+        );
+        assert_eq!(ev[2], Event::Comment(" c ".into()));
+        assert_eq!(ev[3], Event::CData("<raw>".into()));
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        let err = events("<!DOCTYPE html><a/>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::DtdRejected);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(ref a) if a == "x"));
+    }
+
+    #[test]
+    fn mismatched_quote_is_eof_error() {
+        let err = events(r#"<a x="1/>"#).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn lt_in_attr_value_rejected() {
+        let err = events(r#"<a x="<"/>"#).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedChar('<'));
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = events("<a>\n  <b x='1' x='2'/>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(events("<1a/>").is_err());
+        assert!(events("<a:b:c/>").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_eof() {
+        let err = events("<a><!-- never closed").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn whitespace_in_end_tag_ok() {
+        let ev = events("<a></a >").unwrap();
+        assert_eq!(ev[1], Event::EndElement("a".into()));
+    }
+
+    #[test]
+    fn utf8_text_survives() {
+        let ev = events("<a>héllo — 世界</a>").unwrap();
+        assert_eq!(ev[1], Event::Text("héllo — 世界".into()));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based invariants for the XML substrate.
+
+use proptest::prelude::*;
+use wsd_xml::{parse, write, Document, Element, Node};
+
+/// Safe name: ASCII letter/underscore start, then letters/digits/-/._
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}"
+}
+
+/// Arbitrary text content (any unicode except unpaired surrogates, which
+/// proptest never generates). Control chars below 0x20 other than \t\n\r
+/// are not valid XML chars, so filter them.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[^\u{0}-\u{8}\u{b}\u{c}\u{e}-\u{1f}]{0,40}").unwrap()
+}
+
+fn leaf_strategy() -> impl Strategy<Value = Element> {
+    (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+        text_strategy(),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut el = Element::new(name);
+            for (k, v) in attrs {
+                // set_attr dedupes names, matching the parser's duplicate
+                // rejection.
+                el.set_attr(k, v);
+            }
+            if !text.is_empty() {
+                el.children.push(Node::Text(text));
+            }
+            el
+        })
+}
+
+fn tree_strategy() -> impl Strategy<Value = Element> {
+    leaf_strategy().prop_recursive(4, 32, 5, |inner| {
+        (leaf_strategy(), proptest::collection::vec(inner, 0..5)).prop_map(|(mut el, kids)| {
+            for k in kids {
+                el.children.push(Node::Element(k));
+            }
+            el
+        })
+    })
+}
+
+proptest! {
+    /// write → parse reproduces the tree (after text normalization, since
+    /// the parser merges adjacent text runs).
+    #[test]
+    fn write_then_parse_round_trips(mut root in tree_strategy()) {
+        root.normalize();
+        let doc = Document::with_root(root.clone());
+        let text = write(&doc);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(reparsed.root, root);
+    }
+
+    /// The parser never panics, whatever bytes arrive (it may error).
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser never panics on inputs that look like XML.
+    #[test]
+    fn parser_never_panics_on_xmlish_input(input in "[<>&;/='\"a-z0-9 \\-!\\[\\]?]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Escaping then parsing as text content is the identity.
+    #[test]
+    fn escape_round_trips_any_text(text in text_strategy()) {
+        let el = Element::new("t").with_text(text.clone());
+        let doc = Document::with_root(el);
+        let reparsed = parse(&write(&doc)).unwrap();
+        prop_assert_eq!(reparsed.root.text(), text);
+    }
+
+    /// Attribute escaping round-trips, including quotes and whitespace.
+    #[test]
+    fn escape_round_trips_any_attribute(value in text_strategy()) {
+        let el = Element::new("t").with_attr("k", value.clone());
+        let doc = Document::with_root(el);
+        let reparsed = parse(&write(&doc)).unwrap();
+        prop_assert_eq!(reparsed.root.attr("k"), Some(value.as_str()));
+    }
+
+    /// Parsing is deterministic: same input, same result.
+    #[test]
+    fn parse_is_deterministic(input in "[<>a-z/ =\"']{0,120}") {
+        let a = parse(&input);
+        let b = parse(&input);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+//! The registry as a browseable service — the paper's "Yellow Pages"
+//! (§4.1) and liveness-checking (§4.4) future work.
+//!
+//! ```text
+//! cargo run --example registry_browser
+//! ```
+//!
+//! Plain HTTP GET against the registry service: list everything, inspect
+//! one entry's endpoints and WSDL, and actively probe a service farm,
+//! letting the registry mark dead endpoints down.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ws_dispatcher::core::registry::Registry;
+use ws_dispatcher::core::rt::{EchoServer, Network, RegistryServer};
+use ws_dispatcher::core::url::Url;
+use ws_dispatcher::http::{HttpClient, Request};
+
+fn get(net: &Arc<Network>, target: &str) -> String {
+    let stream = net.connect("registry", 8090).expect("connect");
+    let mut client = HttpClient::new(stream);
+    let mut req = Request::get("registry:8090", target);
+    req.headers.set("Connection", "close");
+    let resp = client.call(&req).expect("GET");
+    resp.body_utf8().to_string()
+}
+
+fn main() {
+    let net = Network::new();
+
+    // A farm of two echo workers — but only one is actually running.
+    let live_worker = EchoServer::start(&net, "worker-0", 8888, 2, Duration::ZERO);
+    let registry = Arc::new(Registry::new());
+    registry.register_many(
+        "EchoService",
+        vec![
+            Url::parse("http://worker-0:8888/echo").unwrap(),
+            Url::parse("http://worker-1:8888/echo").unwrap(), // never started
+        ],
+        Some("<definitions name=\"EchoService\" targetNamespace=\"urn:wsd:echo\"/>".into()),
+    );
+    registry.register(
+        "ReportService",
+        Url::parse("http://reports:9001/run").unwrap(),
+    );
+
+    let server = RegistryServer::start(&net, "registry", 8090, Arc::clone(&registry));
+
+    println!("== GET /registry (the Yellow Pages)\n{}", get(&net, "/registry"));
+    println!("== GET /registry/EchoService\n{}", get(&net, "/registry/EchoService"));
+
+    println!("== GET /alive/EchoService (active probe)");
+    let probe = get(&net, "/alive/EchoService");
+    println!("{probe}");
+    assert!(probe.contains("worker-0:8888/echo alive"));
+    assert!(probe.contains("worker-1:8888/echo down"));
+
+    // The probe updated the registry: the dispatcher would now skip the
+    // dead endpoint.
+    let entry = registry.entry("EchoService").unwrap();
+    println!(
+        "live endpoints after probe: {:?}",
+        entry
+            .live_endpoints()
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(entry.live_endpoints().len(), 1);
+
+    server.shutdown();
+    live_worker.shutdown();
+    println!("ok");
+}

@@ -1,0 +1,87 @@
+//! The paper's qualitative claims, asserted as a single cross-experiment
+//! test suite over short windows (shape, not absolute numbers — see
+//! EXPERIMENTS.md).
+
+use wsd_experiments_shim::*;
+
+// The experiments crate is not part of the facade's public API; pull it
+// in directly for these assertions.
+mod wsd_experiments_shim {
+    pub use wsd_experiments::{fig4, fig5, fig6, table1};
+}
+
+const SECS: u64 = 10;
+
+#[test]
+fn figure4_shape_holds() {
+    // Loss is zero at 10 clients, visible at 500, catastrophic at 2000 —
+    // and the dispatcher's curve tracks the direct one.
+    let rows = fig4::run(SECS, &[10, 500, 2000]);
+    let at = |n: usize| rows.iter().find(|r| r.clients == n).unwrap();
+    assert_eq!(at(10).direct.not_sent, 0);
+    assert!(at(500).direct.not_sent > at(500).direct.transmitted);
+    assert!(at(2000).direct.not_sent > 20 * at(2000).direct.transmitted.max(1));
+    // Dispatcher within 2x of direct on deliveries at every point.
+    for r in &rows {
+        assert!(
+            r.dispatched.transmitted * 2 >= r.direct.transmitted,
+            "clients={}: direct {:?} vs dispatched {:?}",
+            r.clients,
+            r.direct.transmitted,
+            r.dispatched.transmitted
+        );
+    }
+}
+
+#[test]
+fn figure5_shape_holds() {
+    // Throughput grows toward a plateau; no loss anywhere; dispatcher
+    // hugs direct.
+    let rows = fig5::run(SECS, &[25, 100, 200, 300]);
+    let per_min = |n: usize| rows.iter().find(|r| r.clients == n).unwrap();
+    assert!(per_min(100).direct_per_min > per_min(25).direct_per_min * 2.0);
+    assert!(per_min(300).direct_per_min <= per_min(200).direct_per_min * 1.1);
+    for r in &rows {
+        assert_eq!(r.direct_not_sent, 0, "clients={}", r.clients);
+        assert_eq!(r.dispatched_not_sent, 0, "clients={}", r.clients);
+        assert!(
+            r.dispatched_per_min >= r.direct_per_min * 0.6,
+            "clients={}",
+            r.clients
+        );
+    }
+}
+
+#[test]
+fn figure6_ordering_holds_at_scale() {
+    // At 30+ clients: msgbox > dispatcher-alone > direct-blocked.
+    let a = fig6::run_one(fig6::Series::DirectBlocked, 30, SECS);
+    let b = fig6::run_one(fig6::Series::Dispatcher, 30, SECS);
+    let c = fig6::run_one(fig6::Series::DispatcherWithMsgBox, 30, SECS);
+    assert!(
+        c.ws_processed > b.ws_processed && b.ws_processed > a.ws_processed,
+        "a={} b={} c={}",
+        a.ws_processed,
+        b.ws_processed,
+        c.ws_processed
+    );
+}
+
+#[test]
+fn table1_verdicts_hold() {
+    let rows = table1::run(SECS);
+    let get = |q: table1::Quadrant| rows.iter().find(|r| r.quadrant == q).unwrap();
+    assert!(get(table1::Quadrant::RpcToRpc).exchanges_per_min > 100.0);
+    assert_eq!(get(table1::Quadrant::RpcToMsg).exchanges_per_min, 0.0);
+    assert!(get(table1::Quadrant::RpcToMsg).failures > 0);
+    assert!(get(table1::Quadrant::MsgToRpc).exchanges_per_min > 50.0);
+    assert!(get(table1::Quadrant::MsgToMsg).exchanges_per_min > 50.0);
+}
+
+#[test]
+fn msgbox_bug_and_fix() {
+    let o = fig6::run_oom(60, 15);
+    assert!(o.thread_per_message_oom);
+    assert!(!o.pooled_oom);
+    assert!(o.pooled_peak < o.thread_per_message_peak);
+}
