@@ -9,7 +9,9 @@
 //! Exhausting the budget is the Rust stand-in for the JVM's OOM.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use wsd_telemetry::{Counter, Gauge, Scope};
 
 /// Error raised when the budget is exhausted — the analogue of the paper's
 /// `OutOfMemoryError` from unbounded native-thread creation.
@@ -41,7 +43,16 @@ pub struct ThreadBudget {
 struct Inner {
     live: AtomicUsize,
     peak: AtomicUsize,
+    denials: AtomicUsize,
     limit: usize,
+    tele: OnceLock<BudgetTelemetry>,
+}
+
+/// Instruments registered by [`ThreadBudget::bind_telemetry`].
+struct BudgetTelemetry {
+    live: Gauge,
+    acquired: Counter,
+    denials: Counter,
 }
 
 impl ThreadBudget {
@@ -51,7 +62,9 @@ impl ThreadBudget {
             inner: Arc::new(Inner {
                 live: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                denials: AtomicUsize::new(0),
                 limit,
+                tele: OnceLock::new(),
             }),
         }
     }
@@ -62,12 +75,27 @@ impl ThreadBudget {
         Self::new(usize::MAX)
     }
 
+    /// Binds telemetry instruments (`live` gauge, `acquired`/`denials`
+    /// counters) under `scope`. Only the first bind takes effect; later
+    /// calls are ignored.
+    pub fn bind_telemetry(&self, scope: &Scope) {
+        let _ = self.inner.tele.set(BudgetTelemetry {
+            live: scope.gauge("live"),
+            acquired: scope.counter("acquired"),
+            denials: scope.counter("denials"),
+        });
+    }
+
     /// Acquires one thread's worth of budget, or fails with the simulated
     /// out-of-memory error. Dropping the returned lease releases it.
     pub fn try_acquire(&self) -> Result<ThreadLease, BudgetError> {
         let mut cur = self.inner.live.load(Ordering::Relaxed);
         loop {
             if cur >= self.inner.limit {
+                self.inner.denials.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.inner.tele.get() {
+                    t.denials.inc();
+                }
                 return Err(BudgetError {
                     limit: self.inner.limit,
                 });
@@ -80,6 +108,10 @@ impl ThreadBudget {
             ) {
                 Ok(_) => {
                     self.inner.peak.fetch_max(cur + 1, Ordering::Relaxed);
+                    if let Some(t) = self.inner.tele.get() {
+                        t.live.inc();
+                        t.acquired.inc();
+                    }
                     return Ok(ThreadLease {
                         budget: self.clone(),
                     });
@@ -104,8 +136,16 @@ impl ThreadBudget {
         self.inner.limit
     }
 
+    /// Number of acquisitions denied because the budget was exhausted.
+    pub fn denials(&self) -> usize {
+        self.inner.denials.load(Ordering::Relaxed)
+    }
+
     fn release(&self) {
         self.inner.live.fetch_sub(1, Ordering::AcqRel);
+        if let Some(t) = self.inner.tele.get() {
+            t.live.dec();
+        }
     }
 }
 
@@ -170,6 +210,22 @@ mod tests {
         let e = b.try_acquire().unwrap_err();
         assert!(e.to_string().contains("out of memory"));
         assert_eq!(e.limit, 0);
+    }
+
+    #[test]
+    fn telemetry_tracks_live_peak_and_denials() {
+        let reg = wsd_telemetry::Registry::new();
+        let b = ThreadBudget::new(2);
+        b.bind_telemetry(&reg.scope("msgbox.budget"));
+        let l1 = b.try_acquire().unwrap();
+        let _l2 = b.try_acquire().unwrap();
+        assert!(b.try_acquire().is_err());
+        drop(l1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("msgbox.budget.acquired"), 2);
+        assert_eq!(snap.counter("msgbox.budget.denials"), 1);
+        assert_eq!(snap.gauge_peak("msgbox.budget.live"), 2);
+        assert_eq!(b.denials(), 1);
     }
 
     #[test]

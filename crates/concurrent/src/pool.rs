@@ -12,6 +12,7 @@ use std::thread;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use wsd_telemetry::{Counter, Gauge, Scope};
 
 use crate::budget::{ThreadBudget, ThreadLease};
 use crate::queue::{FifoQueue, PopError, PushError};
@@ -74,6 +75,9 @@ pub struct PoolConfig {
     pub rejection: RejectionPolicy,
     /// Optional shared thread budget; workers hold a lease while alive.
     pub budget: Option<ThreadBudget>,
+    /// Telemetry scope the pool's instruments live under; the default
+    /// no-op scope keeps instrumentation invisible and free of exports.
+    pub telemetry: Scope,
 }
 
 impl PoolConfig {
@@ -87,6 +91,7 @@ impl PoolConfig {
             keep_alive: Duration::from_millis(500),
             rejection: RejectionPolicy::Block,
             budget: None,
+            telemetry: Scope::noop(),
         }
     }
 
@@ -100,6 +105,7 @@ impl PoolConfig {
             keep_alive: Duration::from_millis(500),
             rejection: RejectionPolicy::Abort,
             budget: None,
+            telemetry: Scope::noop(),
         }
     }
 
@@ -126,6 +132,14 @@ impl PoolConfig {
         self.keep_alive = d;
         self
     }
+
+    /// Attaches a telemetry scope; the pool registers `workers`, `active`
+    /// and `queue_depth` gauges plus `completed`, `rejected`, `discarded`
+    /// and `oom` counters under it.
+    pub fn telemetry(mut self, scope: Scope) -> Self {
+        self.telemetry = scope;
+        self
+    }
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -137,6 +151,34 @@ struct PoolShared {
     completed: AtomicU64,
     shutdown: AtomicBool,
     config: PoolConfigFrozen,
+    tele: PoolTelemetry,
+}
+
+/// Instrument handles mirroring the pool's internal counters; under a
+/// no-op scope these record into unregistered cells and cost one relaxed
+/// atomic op per update.
+struct PoolTelemetry {
+    workers: Gauge,
+    active: Gauge,
+    queue_depth: Gauge,
+    completed: Counter,
+    rejected: Counter,
+    discarded: Counter,
+    oom: Counter,
+}
+
+impl PoolTelemetry {
+    fn new(scope: &Scope) -> Self {
+        PoolTelemetry {
+            workers: scope.gauge("workers"),
+            active: scope.gauge("active"),
+            queue_depth: scope.gauge("queue_depth"),
+            completed: scope.counter("completed"),
+            rejected: scope.counter("rejected"),
+            discarded: scope.counter("discarded"),
+            oom: scope.counter("oom"),
+        }
+    }
 }
 
 struct PoolConfigFrozen {
@@ -175,6 +217,7 @@ impl ThreadPool {
             active: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            tele: PoolTelemetry::new(&config.telemetry),
             config: PoolConfigFrozen {
                 name: config.name,
                 core_threads: config.core_threads,
@@ -196,11 +239,15 @@ impl ThreadPool {
 
     fn spawn_worker(&self, core: bool) -> Result<(), TaskError> {
         let lease: Option<ThreadLease> = match &self.shared.config.budget {
-            Some(b) => Some(b.try_acquire().map_err(|_| TaskError::OutOfMemory)?),
+            Some(b) => Some(b.try_acquire().map_err(|_| {
+                self.shared.tele.oom.inc();
+                TaskError::OutOfMemory
+            })?),
             None => None,
         };
         let shared = Arc::clone(&self.shared);
         let idx = shared.workers.fetch_add(1, Ordering::AcqRel);
+        shared.tele.workers.inc();
         let name = format!("{}-{}", shared.config.name, idx);
         let builder = thread::Builder::new().name(name);
         let handle = builder
@@ -210,6 +257,8 @@ impl ThreadPool {
             })
             .map_err(|_| {
                 self.shared.workers.fetch_sub(1, Ordering::AcqRel);
+                self.shared.tele.workers.dec();
+                self.shared.tele.oom.inc();
                 TaskError::OutOfMemory
             })?;
         self.handles.lock().push(handle);
@@ -227,6 +276,7 @@ impl ThreadPool {
         }
         match self.shared.queue.try_push(job) {
             Ok(()) => {
+                self.note_queue_depth();
                 self.maybe_grow();
                 Ok(())
             }
@@ -238,11 +288,16 @@ impl ThreadPool {
                     if let Err(e) = self.shared.queue.try_push(job) {
                         return self.apply_rejection(e);
                     }
+                    self.note_queue_depth();
                     return Ok(());
                 }
                 self.apply_rejection(PushError::Full(job))
             }
         }
+    }
+
+    fn note_queue_depth(&self) {
+        self.shared.tele.queue_depth.set(self.shared.queue.len() as i64);
     }
 
     fn apply_rejection(&self, err: PushError<Job>) -> Result<(), TaskError> {
@@ -251,15 +306,25 @@ impl ThreadPool {
             PushError::Full(job) => job,
         };
         match self.rejection {
-            RejectionPolicy::Abort => Err(TaskError::Rejected),
-            RejectionPolicy::Discard => Ok(()),
+            RejectionPolicy::Abort => {
+                self.shared.tele.rejected.inc();
+                Err(TaskError::Rejected)
+            }
+            RejectionPolicy::Discard => {
+                self.shared.tele.discarded.inc();
+                Ok(())
+            }
             RejectionPolicy::CallerRuns => {
                 job();
                 self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                self.shared.tele.completed.inc();
                 Ok(())
             }
             RejectionPolicy::Block => match self.shared.queue.push(job) {
-                Ok(()) => Ok(()),
+                Ok(()) => {
+                    self.note_queue_depth();
+                    Ok(())
+                }
                 Err(_) => Err(TaskError::Shutdown),
             },
         }
@@ -354,11 +419,15 @@ fn worker_loop(shared: &PoolShared, core: bool) {
             }
         };
         shared.active.fetch_add(1, Ordering::AcqRel);
+        shared.tele.active.inc();
         job();
         shared.active.fetch_sub(1, Ordering::AcqRel);
+        shared.tele.active.dec();
         shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.tele.completed.inc();
     }
     shared.workers.fetch_sub(1, Ordering::AcqRel);
+    shared.tele.workers.dec();
 }
 
 /// Handle to a [`ThreadPool::submit`] result.
@@ -528,6 +597,28 @@ mod tests {
         let pool = ThreadPool::new(PoolConfig::fixed("t", 1)).unwrap();
         pool.shutdown();
         assert_eq!(pool.execute(|| {}), Err(TaskError::Shutdown));
+    }
+
+    #[test]
+    fn telemetry_scope_observes_pool_activity() {
+        let reg = wsd_telemetry::Registry::new();
+        let pool = ThreadPool::new(
+            PoolConfig::fixed("t", 2).telemetry(reg.scope("pool{t}")),
+        )
+        .unwrap();
+        for _ in 0..10 {
+            pool.execute(|| {}).unwrap();
+        }
+        pool.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pool{t}.completed"), 10);
+        assert_eq!(snap.gauge_peak("pool{t}.workers"), 2);
+        // All workers retired at shutdown.
+        let (value, _) = match snap.get("pool{t}.workers") {
+            Some(wsd_telemetry::MetricValue::Gauge { value, peak }) => (*value, *peak),
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        assert_eq!(value, 0);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! order over a single kept-open connection.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use wsd_telemetry::{Counter, Gauge, Scope};
 
 /// Error returned by push operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,37 @@ struct Shared<T> {
     state: Mutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    tele: OnceLock<QueueTelemetry>,
+}
+
+/// Instruments registered by [`FifoQueue::bind_telemetry`].
+struct QueueTelemetry {
+    depth: Gauge,
+    pushed: Counter,
+    popped: Counter,
+    rejected: Counter,
+}
+
+impl<T> Shared<T> {
+    fn note_push(&self, depth: usize) {
+        if let Some(t) = self.tele.get() {
+            t.pushed.inc();
+            t.depth.set(depth as i64);
+        }
+    }
+
+    fn note_pop(&self, depth: usize) {
+        if let Some(t) = self.tele.get() {
+            t.popped.inc();
+            t.depth.set(depth as i64);
+        }
+    }
+
+    fn note_rejected(&self) {
+        if let Some(t) = self.tele.get() {
+            t.rejected.inc();
+        }
+    }
 }
 
 impl<T> Clone for FifoQueue<T> {
@@ -80,6 +112,7 @@ impl<T> FifoQueue<T> {
                 }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
+                tele: OnceLock::new(),
             }),
         }
     }
@@ -87,6 +120,18 @@ impl<T> FifoQueue<T> {
     /// Creates a queue with no practical capacity limit.
     pub fn unbounded() -> Self {
         Self::bounded(usize::MAX)
+    }
+
+    /// Binds telemetry instruments (`depth` gauge, `pushed`/`popped`/
+    /// `rejected` counters) under `scope`. Only the first bind takes
+    /// effect; later calls are ignored.
+    pub fn bind_telemetry(&self, scope: &Scope) {
+        let _ = self.inner.tele.set(QueueTelemetry {
+            depth: scope.gauge("depth"),
+            pushed: scope.counter("pushed"),
+            popped: scope.counter("popped"),
+            rejected: scope.counter("rejected"),
+        });
     }
 
     /// Pushes an element, blocking while the queue is full.
@@ -98,7 +143,9 @@ impl<T> FifoQueue<T> {
             }
             if st.items.len() < st.capacity {
                 st.items.push_back(value);
+                let depth = st.items.len();
                 drop(st);
+                self.inner.note_push(depth);
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
@@ -113,10 +160,14 @@ impl<T> FifoQueue<T> {
             return Err(PushError::Closed(value));
         }
         if st.items.len() >= st.capacity {
+            drop(st);
+            self.inner.note_rejected();
             return Err(PushError::Full(value));
         }
         st.items.push_back(value);
+        let depth = st.items.len();
         drop(st);
+        self.inner.note_push(depth);
         self.inner.not_empty.notify_one();
         Ok(())
     }
@@ -131,11 +182,15 @@ impl<T> FifoQueue<T> {
             }
             if st.items.len() < st.capacity {
                 st.items.push_back(value);
+                let depth = st.items.len();
                 drop(st);
+                self.inner.note_push(depth);
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
             if self.inner.not_full.wait_until(&mut st, deadline).timed_out() {
+                drop(st);
+                self.inner.note_rejected();
                 return Err(PushError::Full(value));
             }
         }
@@ -148,7 +203,9 @@ impl<T> FifoQueue<T> {
         let mut st = self.inner.state.lock();
         loop {
             if let Some(v) = st.items.pop_front() {
+                let depth = st.items.len();
                 drop(st);
+                self.inner.note_pop(depth);
                 self.inner.not_full.notify_one();
                 return Ok(v);
             }
@@ -163,7 +220,9 @@ impl<T> FifoQueue<T> {
     pub fn try_pop(&self) -> Result<T, PopError> {
         let mut st = self.inner.state.lock();
         if let Some(v) = st.items.pop_front() {
+            let depth = st.items.len();
             drop(st);
+            self.inner.note_pop(depth);
             self.inner.not_full.notify_one();
             return Ok(v);
         }
@@ -180,7 +239,9 @@ impl<T> FifoQueue<T> {
         let mut st = self.inner.state.lock();
         loop {
             if let Some(v) = st.items.pop_front() {
+                let depth = st.items.len();
                 drop(st);
+                self.inner.note_pop(depth);
                 self.inner.not_full.notify_one();
                 return Ok(v);
             }
@@ -203,6 +264,10 @@ impl<T> FifoQueue<T> {
         let mut st = self.inner.state.lock();
         let out: Vec<T> = st.items.drain(..).collect();
         drop(st);
+        if let Some(t) = self.inner.tele.get() {
+            t.popped.add(out.len() as u64);
+            t.depth.set(0);
+        }
         self.inner.not_full.notify_all();
         out
     }
@@ -433,5 +498,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = FifoQueue::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn telemetry_counts_pushes_pops_and_rejections() {
+        let reg = wsd_telemetry::Registry::new();
+        let q = FifoQueue::bounded(2);
+        q.bind_telemetry(&reg.scope("msg_dispatcher.queue"));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!(q.try_push(3).is_err());
+        assert_eq!(q.pop().unwrap(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("msg_dispatcher.queue.pushed"), 2);
+        assert_eq!(snap.counter("msg_dispatcher.queue.popped"), 1);
+        assert_eq!(snap.counter("msg_dispatcher.queue.rejected"), 1);
+        assert_eq!(snap.gauge_peak("msg_dispatcher.queue.depth"), 2);
     }
 }

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use wsd_concurrent::{FifoQueue, PoolConfig, RejectionPolicy, ShardedMap, ThreadPool};
 use wsd_http::{serve_connection, HttpClient, Limits, Request, Response, Status};
 use wsd_soap::{Envelope, SoapVersion};
+use wsd_telemetry::{Counter, Scope};
 
 use crate::config::DispatcherConfig;
 use crate::msg::{MsgCore, Routed};
@@ -35,6 +36,32 @@ struct Dest {
     active: AtomicBool,
 }
 
+/// Telemetry instruments mirroring [`MsgServerStats`], plus a counter
+/// for connection reuse on the `WsThread` side.
+struct RtMsgTelemetry {
+    scope: Scope,
+    accepted: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    rejected: Counter,
+    connects: Counter,
+    reused_sends: Counter,
+}
+
+impl RtMsgTelemetry {
+    fn new(scope: &Scope) -> Self {
+        RtMsgTelemetry {
+            scope: scope.clone(),
+            accepted: scope.counter("accepted"),
+            delivered: scope.counter("delivered"),
+            dropped: scope.counter("dropped"),
+            rejected: scope.counter("rejected"),
+            connects: scope.counter("connects"),
+            reused_sends: scope.counter("reused_sends"),
+        }
+    }
+}
+
 /// A running MSG dispatcher.
 pub struct MsgDispatcherServer {
     core: Arc<MsgCore>,
@@ -43,6 +70,7 @@ pub struct MsgDispatcherServer {
     ws_pool: Arc<ThreadPool>,
     dests: Arc<ShardedMap<String, Arc<Dest>>>,
     stats: Arc<MsgServerStats>,
+    tele: RtMsgTelemetry,
     net: Arc<Network>,
     conns: Arc<crate::rt::ConnTracker>,
     host: String,
@@ -58,6 +86,21 @@ impl MsgDispatcherServer {
         core: MsgCore,
         config: DispatcherConfig,
     ) -> Arc<MsgDispatcherServer> {
+        Self::start_with_telemetry(net, host, port, core, config, &Scope::noop())
+    }
+
+    /// Like [`MsgDispatcherServer::start`], with telemetry instruments
+    /// registered under `scope`: message counters, `cx_pool`/`ws_pool`
+    /// sub-scopes, and one labeled `dest{host:port}` queue scope per
+    /// destination.
+    pub fn start_with_telemetry(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        core: MsgCore,
+        config: DispatcherConfig,
+        scope: &Scope,
+    ) -> Arc<MsgDispatcherServer> {
         let cx_pool = Arc::new(
             ThreadPool::new(
                 PoolConfig::growable(
@@ -65,7 +108,8 @@ impl MsgDispatcherServer {
                     config.cx_core_threads,
                     config.cx_max_threads,
                 )
-                .rejection(RejectionPolicy::Block),
+                .rejection(RejectionPolicy::Block)
+                .telemetry(scope.child("cx_pool")),
             )
             .expect("cx pool"),
         );
@@ -76,7 +120,8 @@ impl MsgDispatcherServer {
                     config.ws_core_threads,
                     config.ws_max_threads,
                 )
-                .rejection(RejectionPolicy::Block),
+                .rejection(RejectionPolicy::Block)
+                .telemetry(scope.child("ws_pool")),
             )
             .expect("ws pool"),
         );
@@ -111,6 +156,7 @@ impl MsgDispatcherServer {
             ws_pool,
             dests: Arc::new(ShardedMap::new()),
             stats: Arc::new(MsgServerStats::default()),
+            tele: RtMsgTelemetry::new(scope),
             net: Arc::clone(net),
             conns: crate::rt::ConnTracker::new(),
             host: host.to_string(),
@@ -158,20 +204,24 @@ impl MsgDispatcherServer {
     fn accept(self: &Arc<Self>, config: &DispatcherConfig, req: Request) -> Response {
         let Ok(env) = Envelope::parse(&req.body_utf8()) else {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.tele.rejected.inc();
             return Response::empty(Status::BAD_REQUEST);
         };
         match self.core.route(env, req.body.len(), now_us()) {
             Ok(Routed::Forward { to, envelope, .. }) | Ok(Routed::Reply { to, envelope }) => {
                 if self.enqueue(config, &to, envelope) {
                     self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.tele.accepted.inc();
                     Response::empty(Status::ACCEPTED)
                 } else {
                     self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.tele.dropped.inc();
                     Response::empty(Status::SERVICE_UNAVAILABLE)
                 }
             }
             Err(e) => {
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.tele.rejected.inc();
                 crate::rpc::error_response(SoapVersion::V11, &e)
             }
         }
@@ -185,11 +235,13 @@ impl MsgDispatcherServer {
             envelope.to_xml().into_bytes(),
         );
         let authority = to.authority();
-        let dest = self.dests.get_or_insert_with(authority, || {
+        let dest = self.dests.get_or_insert_with(authority.clone(), || {
+            let queue = FifoQueue::bounded(config.queue_capacity);
+            queue.bind_telemetry(&self.tele.scope.labeled("dest", &authority));
             Arc::new(Dest {
                 host: to.host.clone(),
                 port: to.port,
-                queue: FifoQueue::bounded(config.queue_capacity),
+                queue,
                 active: AtomicBool::new(false),
             })
         });
@@ -219,9 +271,13 @@ impl MsgDispatcherServer {
         while let Ok(req) = dest.queue.pop_timeout(config.connection_linger) {
             let mut delivered = false;
             for _attempt in 0..2 {
-                if client.is_none() {
+                let fresh_conn = client.is_none();
+                if fresh_conn {
                     match self.net.connect(&dest.host, dest.port) {
-                        Ok(stream) => client = Some(HttpClient::new(stream)),
+                        Ok(stream) => {
+                            self.tele.connects.inc();
+                            client = Some(HttpClient::new(stream));
+                        }
                         Err(_) => break, // dead destination
                     }
                 }
@@ -229,6 +285,9 @@ impl MsgDispatcherServer {
                 match c.call(&req) {
                     Ok(resp) => {
                         delivered = true;
+                        if !fresh_conn {
+                            self.tele.reused_sends.inc();
+                        }
                         if resp.status.0 == 200 {
                             // An RPC service answered synchronously:
                             // translate the response into a reply message
@@ -245,8 +304,10 @@ impl MsgDispatcherServer {
             }
             if delivered {
                 self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                self.tele.delivered.inc();
             } else {
                 self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                self.tele.dropped.inc();
             }
         }
         dest.active.store(false, Ordering::Release);
@@ -410,6 +471,46 @@ mod tests {
         assert_eq!(ws.served(), 5);
         disp.shutdown();
         ws.shutdown();
+    }
+
+    #[test]
+    fn telemetry_counts_messages_and_connection_reuse() {
+        let reg = wsd_telemetry::Registry::new();
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 4, Duration::ZERO);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 3);
+        let disp = MsgDispatcherServer::start_with_telemetry(
+            &net,
+            "dispatcher",
+            8080,
+            core,
+            quick_config(),
+            &reg.scope("rt.msg"),
+        );
+        for i in 0..5 {
+            let status = one_way(&net, "http://client:9000/cb", &format!("uuid:t{i}"), "x");
+            assert_eq!(status, Status::ACCEPTED);
+        }
+        for _ in 0..100 {
+            if disp.stats().delivered.load(Ordering::Relaxed) == 5 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        disp.shutdown();
+        ws.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rt.msg.accepted"), 5);
+        assert_eq!(snap.counter("rt.msg.delivered"), 5);
+        // One kept-open connection serves the whole run: at least one
+        // send must have reused it.
+        assert!(snap.counter("rt.msg.connects") < 5);
+        assert!(snap.counter("rt.msg.reused_sends") >= 1);
+        // Per-destination queue instruments appear under a labeled scope.
+        assert_eq!(snap.counter("rt.msg.dest{ws:8888}.pushed"), 5);
+        assert!(snap.counter("rt.msg.cx_pool.completed") >= 1);
     }
 
     #[test]

@@ -12,10 +12,30 @@ use std::sync::Arc;
 use wsd_concurrent::{PoolConfig, RejectionPolicy, ThreadBudget, ThreadPool};
 use wsd_http::{serve_connection, Limits, Request, Response, Status};
 use wsd_soap::Envelope;
+use wsd_telemetry::{Counter, Scope};
 
 use crate::config::{MsgBoxConfig, MsgBoxStrategy};
 use crate::msgbox::{handle_soap, MsgBoxStore};
 use crate::rt::{now_us, Network};
+
+/// Telemetry instruments for the threaded WS-MsgBox service. The
+/// thread budget binds its own `budget` sub-scope (live gauge plus
+/// acquired/denials counters).
+struct MsgBoxTelemetry {
+    deposits: Counter,
+    rpc_calls: Counter,
+    crashes: Counter,
+}
+
+impl MsgBoxTelemetry {
+    fn new(scope: &Scope) -> Self {
+        MsgBoxTelemetry {
+            deposits: scope.counter("deposits"),
+            rpc_calls: scope.counter("rpc_calls"),
+            crashes: scope.counter("crashes"),
+        }
+    }
+}
 
 /// A running WS-MsgBox service.
 pub struct MsgBoxServer {
@@ -25,6 +45,7 @@ pub struct MsgBoxServer {
     crashed: Arc<AtomicBool>,
     deposits: Arc<AtomicU64>,
     rpc_calls: Arc<AtomicU64>,
+    tele: MsgBoxTelemetry,
     net: Arc<Network>,
     conns: Arc<crate::rt::ConnTracker>,
     host: String,
@@ -40,13 +61,29 @@ impl MsgBoxServer {
         config: MsgBoxConfig,
         seed: u64,
     ) -> Arc<MsgBoxServer> {
+        Self::start_with_telemetry(net, host, port, config, seed, &Scope::noop())
+    }
+
+    /// Like [`MsgBoxServer::start`], with telemetry instruments
+    /// registered under `scope` (operation counters, a `budget`
+    /// sub-scope, and a `pool` sub-scope in the pooled design).
+    pub fn start_with_telemetry(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        config: MsgBoxConfig,
+        seed: u64,
+        scope: &Scope,
+    ) -> Arc<MsgBoxServer> {
         let store = Arc::new(MsgBoxStore::new(config.clone(), seed));
         let budget = ThreadBudget::new(config.thread_budget);
+        budget.bind_telemetry(&scope.child("budget"));
         let pool = match config.strategy {
             MsgBoxStrategy::Pooled { workers } => Some(Arc::new(
                 ThreadPool::new(
                     PoolConfig::fixed(format!("msgbox-{host}"), workers)
-                        .rejection(RejectionPolicy::Block),
+                        .rejection(RejectionPolicy::Block)
+                        .telemetry(scope.child("pool")),
                 )
                 .expect("pool"),
             )),
@@ -59,6 +96,7 @@ impl MsgBoxServer {
             crashed: Arc::new(AtomicBool::new(false)),
             deposits: Arc::new(AtomicU64::new(0)),
             rpc_calls: Arc::new(AtomicU64::new(0)),
+            tele: MsgBoxTelemetry::new(scope),
             net: Arc::clone(net),
             conns: crate::rt::ConnTracker::new(),
             host: host.to_string(),
@@ -105,6 +143,7 @@ impl MsgBoxServer {
 
     fn mark_crashed(&self) {
         if !self.crashed.swap(true, Ordering::AcqRel) {
+            self.tele.crashes.inc();
             // OutOfMemoryError: stop accepting anything new.
             self.net.unlisten(&self.host, self.port);
         }
@@ -126,6 +165,7 @@ impl MsgBoxServer {
             return match self.store.deposit(&box_id, req.body_utf8().to_string(), now_us()) {
                 Ok(()) => {
                     self.deposits.fetch_add(1, Ordering::Relaxed);
+                    self.tele.deposits.inc();
                     Response::empty(Status::ACCEPTED)
                 }
                 Err(_) => Response::empty(Status::NOT_FOUND),
@@ -135,6 +175,7 @@ impl MsgBoxServer {
             return Response::empty(Status::BAD_REQUEST);
         };
         self.rpc_calls.fetch_add(1, Ordering::Relaxed);
+        self.tele.rpc_calls.inc();
         let resp_env = handle_soap(&self.store, &env, now_us());
         Response::new(
             Status::OK,
@@ -227,13 +268,15 @@ mod tests {
 
     #[test]
     fn thread_per_message_crashes_past_budget() {
+        let reg = wsd_telemetry::Registry::new();
         let net = Network::new();
         let cfg = MsgBoxConfig {
             strategy: MsgBoxStrategy::ThreadPerMessage,
             thread_budget: 8,
             ..MsgBoxConfig::default()
         };
-        let server = MsgBoxServer::start(&net, "msgbox", 8082, cfg, 11);
+        let server =
+            MsgBoxServer::start_with_telemetry(&net, "msgbox", 8082, cfg, 11, &reg.scope("mb"));
         // Open many connections that hold their thread by keeping the
         // exchange open (slow readers).
         let mut held = Vec::new();
@@ -255,6 +298,10 @@ mod tests {
         assert!(server.peak_threads() >= 8);
         // The crashed service no longer accepts connections.
         assert!(net.connect("msgbox", 8082).is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mb.crashes"), 1);
+        assert!(snap.counter("mb.budget.denials") >= 1);
+        assert!(snap.gauge_peak("mb.budget.live") >= 8);
         server.shutdown();
     }
 

@@ -9,12 +9,34 @@ use parking_lot::Mutex;
 use wsd_concurrent::{PoolConfig, RejectionPolicy, ThreadPool};
 use wsd_http::{serve_connection, HttpClient, Limits, Request, Response};
 use wsd_soap::SoapVersion;
+use wsd_telemetry::{Counter, Scope};
 
 use crate::config::DispatcherConfig;
 use crate::registry::Registry;
 use crate::rpc::{error_response, plan_forward, upstream_failure_response, RpcDispatchStats};
 use crate::rt::Network;
 use crate::security::PolicyChain;
+
+/// Telemetry instruments mirroring [`RpcDispatchStats`].
+struct RtRpcTelemetry {
+    received: Counter,
+    forwarded: Counter,
+    relayed: Counter,
+    refused: Counter,
+    upstream_failures: Counter,
+}
+
+impl RtRpcTelemetry {
+    fn new(scope: &Scope) -> Self {
+        RtRpcTelemetry {
+            received: scope.counter("received"),
+            forwarded: scope.counter("forwarded"),
+            relayed: scope.counter("relayed"),
+            refused: scope.counter("refused"),
+            upstream_failures: scope.counter("upstream_failures"),
+        }
+    }
+}
 
 /// A running RPC dispatcher.
 pub struct RpcDispatcherServer {
@@ -36,6 +58,22 @@ impl RpcDispatcherServer {
         policies: PolicyChain,
         config: DispatcherConfig,
     ) -> RpcDispatcherServer {
+        Self::start_with_telemetry(net, host, port, registry, policies, config, &Scope::noop())
+    }
+
+    /// Like [`RpcDispatcherServer::start`], with telemetry instruments
+    /// registered under `scope` (request counters plus a `pool` sub-scope
+    /// for the connection-handling thread pool).
+    pub fn start_with_telemetry(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        registry: Arc<Registry>,
+        policies: PolicyChain,
+        config: DispatcherConfig,
+        scope: &Scope,
+    ) -> RpcDispatcherServer {
+        let tele = Arc::new(RtRpcTelemetry::new(scope));
         let pool = Arc::new(
             ThreadPool::new(
                 PoolConfig::growable(
@@ -43,7 +81,8 @@ impl RpcDispatcherServer {
                     config.cx_core_threads,
                     config.cx_max_threads,
                 )
-                .rejection(RejectionPolicy::Block),
+                .rejection(RejectionPolicy::Block)
+                .telemetry(scope.child("pool")),
             )
             .expect("pool"),
         );
@@ -55,16 +94,18 @@ impl RpcDispatcherServer {
             let stats = Arc::clone(&stats);
             let net2 = Arc::clone(net);
             let conns = Arc::clone(&conns);
+            let tele = Arc::clone(&tele);
             let response_timeout = config.response_timeout;
             net.listen(host, port, move |stream| {
                 let registry = Arc::clone(&registry);
                 let policies = Arc::clone(&policies);
                 let stats = Arc::clone(&stats);
                 let net = Arc::clone(&net2);
+                let tele = Arc::clone(&tele);
                 conns.track(&stream);
                 let _ = pool2.execute(move || {
                     let _ = serve_connection(stream, &Limits::default(), |req| {
-                        handle(&net, &registry, &policies, &stats, response_timeout, req)
+                        handle(&net, &registry, &policies, &stats, &tele, response_timeout, req)
                     });
                 });
             });
@@ -97,14 +138,17 @@ fn handle(
     registry: &Registry,
     policies: &PolicyChain,
     stats: &Mutex<RpcDispatchStats>,
+    tele: &RtRpcTelemetry,
     response_timeout: Duration,
     req: Request,
 ) -> Response {
     stats.lock().received += 1;
+    tele.received.inc();
     let (url, logical, fwd) = match plan_forward(registry, policies, &req) {
         Ok(plan) => plan,
         Err(e) => {
             stats.lock().refused += 1;
+            tele.refused.inc();
             return error_response(SoapVersion::V11, &e);
         }
     };
@@ -115,6 +159,8 @@ fn handle(
         Ok(mut resp) => {
             stats.lock().forwarded += 1;
             stats.lock().relayed += 1;
+            tele.forwarded.inc();
+            tele.relayed.inc();
             // The upstream hop's connection semantics must not leak to
             // the client connection.
             resp.headers.remove("connection");
@@ -122,6 +168,7 @@ fn handle(
         }
         Err(why) => {
             stats.lock().upstream_failures += 1;
+            tele.upstream_failures.inc();
             // A dead endpoint is marked down so the balancer can fail
             // over (the liveness future-work item).
             registry.mark_down(&logical, &url);
@@ -195,6 +242,32 @@ mod tests {
         assert_eq!((s.received, s.forwarded, s.relayed), (1, 1, 1));
         disp.shutdown();
         ws.shutdown();
+    }
+
+    #[test]
+    fn telemetry_counts_relays_and_pool_work() {
+        let reg = wsd_telemetry::Registry::new();
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 4, Duration::ZERO);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let disp = RpcDispatcherServer::start_with_telemetry(
+            &net,
+            "dispatcher",
+            8081,
+            registry,
+            PolicyChain::new(),
+            DispatcherConfig::default(),
+            &reg.scope("rt.rpc"),
+        );
+        let resp = call_dispatcher(&net, "counted");
+        assert_eq!(resp.status, Status::OK);
+        disp.shutdown();
+        ws.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rt.rpc.received"), 1);
+        assert_eq!(snap.counter("rt.rpc.relayed"), 1);
+        assert!(snap.counter("rt.rpc.pool.completed") >= 1);
     }
 
     #[test]

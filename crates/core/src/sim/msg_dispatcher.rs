@@ -21,6 +21,7 @@ use std::rc::Rc;
 use wsd_http::{parse_request_bytes, Request, Response, Status};
 use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
 use wsd_soap::{Envelope, SoapVersion};
+use wsd_telemetry::{Counter, EventTrace, Gauge, Scope, TraceStage};
 
 use crate::msg::{MsgCore, Routed};
 use crate::reliable::RetryPolicy;
@@ -118,6 +119,59 @@ impl Default for WsThreadConfig {
 
 type DestKey = (String, u16);
 
+/// Telemetry handles mirroring [`MsgDispatcherStats`] into a registry,
+/// plus per-destination queue-depth gauges and message-lifecycle trace
+/// events keyed by WS-Addressing `MessageID`. Built from a
+/// [`Scope::noop`] by default, so unobserved runs record into thin air.
+struct DispatcherTelemetry {
+    scope: Scope,
+    trace: EventTrace,
+    received: Counter,
+    acked: Counter,
+    forwarded: Counter,
+    replies_routed: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    rejected: Counter,
+    enqueued: Counter,
+    active_threads: Gauge,
+    dest_queue_depth: HashMap<DestKey, Gauge>,
+}
+
+impl DispatcherTelemetry {
+    fn new(scope: &Scope) -> Self {
+        DispatcherTelemetry {
+            trace: scope.trace(),
+            received: scope.counter("received"),
+            acked: scope.counter("acked"),
+            forwarded: scope.counter("forwarded"),
+            replies_routed: scope.counter("replies_routed"),
+            delivered: scope.counter("delivered"),
+            dropped: scope.counter("dropped"),
+            rejected: scope.counter("rejected"),
+            enqueued: scope.counter("queue_enqueued"),
+            active_threads: scope.gauge("active_threads"),
+            dest_queue_depth: HashMap::new(),
+            scope: scope.clone(),
+        }
+    }
+
+    fn dest_queue_depth(&mut self, key: &DestKey) -> &Gauge {
+        let scope = &self.scope;
+        self.dest_queue_depth.entry(key.clone()).or_insert_with(|| {
+            scope
+                .labeled("dest", &format!("{}:{}", key.0, key.1))
+                .gauge("queue_depth")
+        })
+    }
+
+    fn stage(&self, msg_id: &str, stage: TraceStage, at_us: u64) {
+        if !msg_id.is_empty() {
+            self.trace.push(msg_id, stage, at_us);
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DestConn {
     Idle,
@@ -181,6 +235,7 @@ pub struct SimMsgDispatcher {
     /// idle dispatcher schedules no events and `run()` can drain).
     janitor_token: u64,
     janitor_armed: bool,
+    tele: DispatcherTelemetry,
 }
 
 impl SimMsgDispatcher {
@@ -203,7 +258,16 @@ impl SimMsgDispatcher {
             linger_timers: HashMap::new(),
             janitor_token: 0,
             janitor_armed: false,
+            tele: DispatcherTelemetry::new(&Scope::noop()),
         }
+    }
+
+    /// Attaches telemetry: counters mirroring [`MsgDispatcherStats`], an
+    /// `active_threads` gauge, per-destination `dest{host:port}.queue_depth`
+    /// gauges, and message-lifecycle trace events.
+    pub fn with_telemetry(mut self, scope: &Scope) -> Self {
+        self.tele = DispatcherTelemetry::new(scope);
+        self
     }
 
     /// A handle to the live counters.
@@ -231,6 +295,7 @@ impl SimMsgDispatcher {
             .and_then(|req| Envelope::parse(&req.body_utf8()).ok().map(|e| (req, e)));
         let Some((_req, env)) = parsed else {
             self.stats.inner.borrow_mut().rejected += 1;
+            self.tele.rejected.inc();
             if let Some(conn) = client_conn {
                 let resp = Response::empty(Status::BAD_REQUEST);
                 let _ = ctx.send(conn, response_payload(&resp));
@@ -240,6 +305,7 @@ impl SimMsgDispatcher {
         match self.core.route(env, raw.len(), ctx.now().as_micros()) {
             Ok(Routed::Forward { to, envelope, .. }) => {
                 self.stats.inner.borrow_mut().forwarded += 1;
+                self.tele.forwarded.inc();
                 if let Some(conn) = client_conn {
                     self.ack(ctx, conn);
                 }
@@ -248,6 +314,7 @@ impl SimMsgDispatcher {
             }
             Ok(Routed::Reply { to, envelope }) => {
                 self.stats.inner.borrow_mut().replies_routed += 1;
+                self.tele.replies_routed.inc();
                 if let Some(conn) = client_conn {
                     self.ack(ctx, conn);
                 }
@@ -255,6 +322,7 @@ impl SimMsgDispatcher {
             }
             Err(_) => {
                 self.stats.inner.borrow_mut().rejected += 1;
+                self.tele.rejected.inc();
                 if let Some(conn) = client_conn {
                     let resp = Response::empty(Status::BAD_REQUEST);
                     let _ = ctx.send(conn, response_payload(&resp));
@@ -267,6 +335,7 @@ impl SimMsgDispatcher {
         let ack = Response::empty(Status::ACCEPTED);
         if ctx.send(conn, response_payload(&ack)).is_ok() {
             self.stats.inner.borrow_mut().acked += 1;
+            self.tele.acked.inc();
         }
     }
 
@@ -290,9 +359,19 @@ impl SimMsgDispatcher {
             .or_insert_with(|| Dest::new(to.path.clone()));
         if dest.queue.len() >= cap {
             self.stats.inner.borrow_mut().dropped += 1;
+            self.tele.dropped.inc();
+            self.tele
+                .stage(&msg_id, TraceStage::Dropped, ctx.now().as_micros());
             return;
         }
+        self.tele
+            .stage(&msg_id, TraceStage::Rewritten, ctx.now().as_micros());
+        self.tele
+            .stage(&msg_id, TraceStage::Enqueued, ctx.now().as_micros());
         dest.queue.push_back((msg_id, payload));
+        let depth = dest.queue.len();
+        self.tele.enqueued.inc();
+        self.tele.dest_queue_depth(&key).set(depth as i64);
         self.schedule_dest(ctx, key);
     }
 
@@ -310,6 +389,7 @@ impl SimMsgDispatcher {
             let mut s = self.stats.inner.borrow_mut();
             s.peak_active_threads = s.peak_active_threads.max(self.active_threads);
             drop(s);
+            self.tele.active_threads.set(self.active_threads as i64);
             self.work_dest(ctx, key);
         } else if !self.waiting.contains(&key) {
             self.waiting.push_back(key);
@@ -339,8 +419,11 @@ impl SimMsgDispatcher {
         };
         let mut sent = 0u64;
         let mut broken = false;
+        let now_us = ctx.now().as_micros();
         while let Some((msg_id, payload)) = dest.queue.pop_front() {
             if ctx.send(conn, payload.clone()).is_ok() {
+                self.tele.stage(&msg_id, TraceStage::Drained, now_us);
+                self.tele.stage(&msg_id, TraceStage::Delivered, now_us);
                 dest.outstanding.push_back(msg_id);
                 sent += 1;
             } else {
@@ -350,7 +433,10 @@ impl SimMsgDispatcher {
                 break;
             }
         }
+        let depth = dest.queue.len();
         self.stats.inner.borrow_mut().delivered += sent;
+        self.tele.delivered.add(sent);
+        self.tele.dest_queue_depth(&key).set(depth as i64);
         if broken {
             self.ready_conns.remove(&conn);
             let dest = self.dests.get_mut(&key).expect("dest exists");
@@ -376,6 +462,7 @@ impl SimMsgDispatcher {
             dest.has_thread = false;
         }
         self.active_threads = self.active_threads.saturating_sub(1);
+        self.tele.active_threads.set(self.active_threads as i64);
         // Hand the slot to the next waiting destination with work.
         while let Some(next) = self.waiting.pop_front() {
             let ready = self
@@ -390,6 +477,7 @@ impl SimMsgDispatcher {
                 let mut s = self.stats.inner.borrow_mut();
                 s.peak_active_threads = s.peak_active_threads.max(self.active_threads);
                 drop(s);
+                self.tele.active_threads.set(self.active_threads as i64);
                 self.work_dest(ctx, next);
                 break;
             }
@@ -441,10 +529,15 @@ impl SimMsgDispatcher {
     fn give_up(&mut self, ctx: &mut Ctx<'_>, key: DestKey) {
         if let Some(dest) = self.dests.get_mut(&key) {
             let n = dest.queue.len() as u64;
-            dest.queue.clear();
+            let now_us = ctx.now().as_micros();
+            for (msg_id, _) in dest.queue.drain(..) {
+                self.tele.stage(&msg_id, TraceStage::Dropped, now_us);
+            }
             dest.conn = DestConn::Idle;
             dest.attempts = 0;
             self.stats.inner.borrow_mut().dropped += n;
+            self.tele.dropped.add(n);
+            self.tele.dest_queue_depth(&key).set(0);
         }
         self.release_thread(ctx, &key);
     }
@@ -464,6 +557,7 @@ impl Process for SimMsgDispatcher {
                     return;
                 }
                 self.stats.inner.borrow_mut().received += 1;
+                self.tele.received.inc();
                 let done_at = self.cpu.reserve(ctx.now(), self.dispatch_time);
                 let token = self.token();
                 self.routing.insert(token, (Some(conn), bytes));

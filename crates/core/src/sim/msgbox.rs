@@ -16,6 +16,7 @@ use std::rc::Rc;
 use wsd_http::{parse_request_bytes, Response, Status};
 use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
 use wsd_soap::Envelope;
+use wsd_telemetry::{Counter, Gauge, Scope};
 
 use crate::config::{MsgBoxConfig, MsgBoxStrategy};
 use crate::msgbox::{handle_soap, MsgBoxStore};
@@ -65,6 +66,35 @@ impl SimMsgBoxStats {
     }
 }
 
+/// Telemetry instruments for one [`SimMsgBox`]. The `threads` gauge and
+/// the budget counters (`thread_spawns`, `budget_exhausted`) expose the
+/// thread-accounting dynamic that drives the paper's §4.3.2 OOM.
+struct BoxTelemetry {
+    deposits: Counter,
+    rpc_calls: Counter,
+    fetched: Counter,
+    thread_spawns: Counter,
+    budget_exhausted: Counter,
+    dropped_after_crash: Counter,
+    backlog_depth: Gauge,
+    threads: Gauge,
+}
+
+impl BoxTelemetry {
+    fn new(scope: &Scope) -> Self {
+        BoxTelemetry {
+            deposits: scope.counter("deposits"),
+            rpc_calls: scope.counter("rpc_calls"),
+            fetched: scope.counter("fetched"),
+            thread_spawns: scope.counter("thread_spawns"),
+            budget_exhausted: scope.counter("budget_exhausted"),
+            dropped_after_crash: scope.counter("dropped_after_crash"),
+            backlog_depth: scope.gauge("backlog_depth"),
+            threads: scope.gauge("threads"),
+        }
+    }
+}
+
 /// The WS-MsgBox service as a simulation actor.
 pub struct SimMsgBox {
     store: MsgBoxStore,
@@ -75,6 +105,7 @@ pub struct SimMsgBox {
     /// thread-per-message strategy.
     thrash_factor: f64,
     stats: SimMsgBoxStats,
+    tele: BoxTelemetry,
     cpu: CpuQueue,
     next_token: u64,
     /// Work finishing later: token → (conn to answer on, response).
@@ -95,6 +126,7 @@ impl SimMsgBox {
             service_time,
             thrash_factor: 0.02,
             stats: SimMsgBoxStats::default(),
+            tele: BoxTelemetry::new(&Scope::noop()),
             cpu: CpuQueue::default(),
             next_token: 0,
             pending: HashMap::new(),
@@ -108,6 +140,13 @@ impl SimMsgBox {
     /// Overrides the thrash factor. Returns `self` for chaining.
     pub fn with_thrash_factor(mut self, f: f64) -> Self {
         self.thrash_factor = f;
+        self
+    }
+
+    /// Registers telemetry instruments under `scope`. Returns `self`
+    /// for chaining.
+    pub fn with_telemetry(mut self, scope: &Scope) -> Self {
+        self.tele = BoxTelemetry::new(scope);
         self
     }
 
@@ -133,6 +172,7 @@ impl SimMsgBox {
             return match self.store.deposit(box_id, body, now_us) {
                 Ok(()) => {
                     self.stats.inner.borrow_mut().deposits += 1;
+                    self.tele.deposits.inc();
                     response_payload(&Response::empty(Status::ACCEPTED))
                 }
                 Err(_) => response_payload(&Response::empty(Status::NOT_FOUND)),
@@ -146,11 +186,13 @@ impl SimMsgBox {
         {
             let mut s = self.stats.inner.borrow_mut();
             s.rpc_calls += 1;
+            self.tele.rpc_calls.inc();
             if let Some(parts) = resp_env.payload() {
                 if let Some(op) = parts.first() {
                     if op.name.local == "fetchResponse" {
-                        s.messages_fetched +=
-                            op.find_children(None, "message").count() as u64;
+                        let n = op.find_children(None, "message").count() as u64;
+                        s.messages_fetched += n;
+                        self.tele.fetched.add(n);
                     }
                 }
             }
@@ -166,6 +208,9 @@ impl SimMsgBox {
     fn crash(&mut self, ctx: &mut Ctx<'_>) {
         self.crashed = true;
         self.stats.inner.borrow_mut().oom = true;
+        self.tele.budget_exhausted.inc();
+        self.tele.threads.set(0);
+        self.tele.backlog_depth.set(0);
         // A dying JVM drops its sockets.
         for conn in self.conns.drain() {
             ctx.close(conn);
@@ -185,6 +230,8 @@ impl SimMsgBox {
                     s.peak_threads = s.peak_threads.max(s.live_threads);
                     s.live_threads
                 };
+                self.tele.thread_spawns.inc();
+                self.tele.threads.set(live as i64);
                 if live > self.config.thread_budget {
                     self.crash(ctx);
                     return;
@@ -204,6 +251,8 @@ impl SimMsgBox {
                         s.live_threads = self.busy_workers;
                         s.peak_threads = s.peak_threads.max(self.busy_workers);
                     }
+                    self.tele.thread_spawns.inc();
+                    self.tele.threads.set(self.busy_workers as i64);
                     let done_at = self.cpu.reserve(ctx.now(), self.service_time);
                     let response = self.respond_to(&bytes, ctx.now().as_micros());
                     let token = self.token();
@@ -211,6 +260,7 @@ impl SimMsgBox {
                     ctx.set_timer(done_at.since(ctx.now()), token);
                 } else {
                     self.backlog.push_back((conn, bytes));
+                    self.tele.backlog_depth.set(self.backlog.len() as i64);
                 }
             }
         }
@@ -222,6 +272,7 @@ impl Process for SimMsgBox {
         if self.crashed {
             if let ProcEvent::Message { .. } = event {
                 self.stats.inner.borrow_mut().dropped_after_crash += 1;
+                self.tele.dropped_after_crash.inc();
             }
             return;
         }
@@ -239,12 +290,16 @@ impl Process for SimMsgBox {
                     let _ = ctx.send(conn, response);
                     match self.config.strategy {
                         MsgBoxStrategy::ThreadPerMessage => {
-                            self.stats.inner.borrow_mut().live_threads -= 1;
+                            let mut s = self.stats.inner.borrow_mut();
+                            s.live_threads -= 1;
+                            self.tele.threads.set(s.live_threads as i64);
                         }
                         MsgBoxStrategy::Pooled { .. } => {
                             self.busy_workers = self.busy_workers.saturating_sub(1);
                             self.stats.inner.borrow_mut().live_threads = self.busy_workers;
+                            self.tele.threads.set(self.busy_workers as i64);
                             if let Some((conn, bytes)) = self.backlog.pop_front() {
+                                self.tele.backlog_depth.set(self.backlog.len() as i64);
                                 self.on_request(ctx, conn, bytes);
                             }
                         }
@@ -491,6 +546,42 @@ mod tests {
         assert!(stats.peak_threads() <= 8);
         // Every client got its answer.
         assert!(resp_handles.iter().all(|r| r.borrow().len() == 1));
+    }
+
+    #[test]
+    fn telemetry_tracks_threads_and_budget_exhaustion() {
+        let reg = wsd_telemetry::Registry::new();
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::ThreadPerMessage,
+            thread_budget: 40,
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(50), 5)
+            .with_thrash_factor(0.1)
+            .with_telemetry(&reg.scope("msgbox"));
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        for i in 0..60 {
+            let ch = sim.add_host(HostConfig::named(format!("c{i}")));
+            sim.spawn(
+                ch,
+                Box::new(Scripted {
+                    steps: vec![rpc_payload(&ops::create(SoapVersion::V11))],
+                    at: 0,
+                    responses: Rc::new(RefCell::new(vec![])),
+                }),
+            );
+        }
+        sim.run();
+        assert!(stats.oom());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("msgbox.budget_exhausted"), 1);
+        assert!(snap.counter("msgbox.thread_spawns") > 40);
+        assert!(snap.gauge_peak("msgbox.threads") > 40);
+        assert_eq!(snap.gauge_peak("msgbox.threads") as usize, stats.peak_threads());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use wsd_http::{parse_request_bytes, Status};
 use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
 use wsd_soap::SoapVersion;
+use wsd_telemetry::{Counter, Gauge, Scope};
 
 use crate::registry::Registry;
 use crate::rpc::{error_response, plan_forward, upstream_failure_response};
@@ -65,6 +66,30 @@ struct UpstreamJob {
     payload: Payload,
 }
 
+/// Telemetry instruments mirroring [`RpcDispatcherStats`], plus an
+/// `inflight` gauge over upstream requests awaiting a response.
+struct RpcTelemetry {
+    received: Counter,
+    forwarded: Counter,
+    relayed: Counter,
+    refused: Counter,
+    upstream_failures: Counter,
+    inflight: Gauge,
+}
+
+impl RpcTelemetry {
+    fn new(scope: &Scope) -> Self {
+        RpcTelemetry {
+            received: scope.counter("received"),
+            forwarded: scope.counter("forwarded"),
+            relayed: scope.counter("relayed"),
+            refused: scope.counter("refused"),
+            upstream_failures: scope.counter("upstream_failures"),
+            inflight: scope.gauge("inflight"),
+        }
+    }
+}
+
 /// The RPC-Dispatcher as a simulation actor.
 pub struct SimRpcDispatcher {
     registry: Arc<Registry>,
@@ -76,6 +101,7 @@ pub struct SimRpcDispatcher {
     response_timeout: SimDuration,
     cpu: CpuQueue,
     stats: RpcDispatcherStats,
+    tele: RpcTelemetry,
     next_token: u64,
     /// Requests waiting for dispatcher CPU: token → (client conn, raw).
     pending_plan: HashMap<u64, (ConnId, Payload)>,
@@ -103,6 +129,7 @@ impl SimRpcDispatcher {
             response_timeout,
             cpu: CpuQueue::default(),
             stats: RpcDispatcherStats::default(),
+            tele: RpcTelemetry::new(&Scope::noop()),
             next_token: 0,
             pending_plan: HashMap::new(),
             connecting: HashMap::new(),
@@ -114,6 +141,13 @@ impl SimRpcDispatcher {
     /// Installs security policies. Returns `self` for chaining.
     pub fn with_policies(mut self, policies: PolicyChain) -> Self {
         self.policies = policies;
+        self
+    }
+
+    /// Registers telemetry instruments under `scope`. Returns `self`
+    /// for chaining.
+    pub fn with_telemetry(mut self, scope: &Scope) -> Self {
+        self.tele = RpcTelemetry::new(scope);
         self
     }
 
@@ -130,6 +164,7 @@ impl SimRpcDispatcher {
     fn plan(&mut self, ctx: &mut Ctx<'_>, client_conn: ConnId, raw: Payload) {
         let Ok(req) = parse_request_bytes(&raw) else {
             self.stats.inner.borrow_mut().refused += 1;
+            self.tele.refused.inc();
             let resp = wsd_http::Response::empty(Status::BAD_REQUEST);
             let _ = ctx.send(client_conn, response_payload(&resp));
             return;
@@ -147,6 +182,7 @@ impl SimRpcDispatcher {
             }
             Err(e) => {
                 self.stats.inner.borrow_mut().refused += 1;
+                self.tele.refused.inc();
                 let resp = error_response(SoapVersion::V11, &e);
                 let _ = ctx.send(client_conn, response_payload(&resp));
             }
@@ -161,13 +197,16 @@ impl Process for SimRpcDispatcher {
             ProcEvent::Message { conn, bytes } => {
                 if let Some(client_conn) = self.awaiting.remove(&conn) {
                     // Upstream response: relay on the original connection.
+                    self.tele.inflight.dec();
                     if ctx.send(client_conn, bytes).is_ok() {
                         self.stats.inner.borrow_mut().relayed += 1;
+                        self.tele.relayed.inc();
                     }
                     ctx.close(conn);
                 } else {
                     // Fresh client request: queue for dispatcher CPU.
                     self.stats.inner.borrow_mut().received += 1;
+                    self.tele.received.inc();
                     let done_at = self.cpu.reserve(ctx.now(), self.dispatch_time);
                     let token = self.token();
                     self.pending_plan.insert(token, (conn, bytes));
@@ -180,7 +219,9 @@ impl Process for SimRpcDispatcher {
                 } else if let Some(upstream) = self.timeouts.remove(&token) {
                     if let Some(client_conn) = self.awaiting.remove(&upstream) {
                         // The WS took longer than the HTTP/TCP timeout.
+                        self.tele.inflight.dec();
                         self.stats.inner.borrow_mut().upstream_failures += 1;
+                        self.tele.upstream_failures.inc();
                         let resp =
                             upstream_failure_response(SoapVersion::V11, "response timed out");
                         let _ = ctx.send(client_conn, response_payload(&resp));
@@ -192,12 +233,15 @@ impl Process for SimRpcDispatcher {
                 if let Some(job) = self.connecting.remove(&conn) {
                     if ctx.send(conn, job.payload).is_ok() {
                         self.stats.inner.borrow_mut().forwarded += 1;
+                        self.tele.forwarded.inc();
+                        self.tele.inflight.inc();
                         self.awaiting.insert(conn, job.client_conn);
                         let token = self.token();
                         self.timeouts.insert(token, conn);
                         ctx.set_timer(self.response_timeout, token);
                     } else {
                         self.stats.inner.borrow_mut().upstream_failures += 1;
+                        self.tele.upstream_failures.inc();
                         let resp = upstream_failure_response(SoapVersion::V11, "send failed");
                         let _ = ctx.send(job.client_conn, response_payload(&resp));
                     }
@@ -206,6 +250,7 @@ impl Process for SimRpcDispatcher {
             ProcEvent::ConnRefused { conn, reason } => {
                 if let Some(job) = self.connecting.remove(&conn) {
                     self.stats.inner.borrow_mut().upstream_failures += 1;
+                    self.tele.upstream_failures.inc();
                     let resp = upstream_failure_response(
                         SoapVersion::V11,
                         &format!("connect failed: {reason:?}"),
@@ -216,7 +261,9 @@ impl Process for SimRpcDispatcher {
             ProcEvent::ConnClosed { conn } => {
                 if let Some(client_conn) = self.awaiting.remove(&conn) {
                     // Upstream died before responding.
+                    self.tele.inflight.dec();
                     self.stats.inner.borrow_mut().upstream_failures += 1;
+                    self.tele.upstream_failures.inc();
                     let resp = upstream_failure_response(
                         SoapVersion::V11,
                         "upstream closed before responding",
@@ -306,6 +353,46 @@ mod tests {
             }),
         );
         (sim, stats, responses)
+    }
+
+    #[test]
+    fn telemetry_mirrors_forward_counters() {
+        let reg = wsd_telemetry::Registry::new();
+        let mut sim = Simulation::new(1);
+        let ws_host = sim.add_host(HostConfig::named("ws"));
+        let disp_host = sim.add_host(HostConfig::named("dispatcher"));
+        let client_host = sim.add_host(HostConfig::named("client"));
+        let ws = sim.spawn(
+            ws_host,
+            Box::new(SimEchoService::new(EchoMode::Rpc, SimDuration::from_millis(5))),
+        );
+        sim.listen(ws, 8888);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let dispatcher = SimRpcDispatcher::new(
+            registry,
+            SimDuration::from_millis(3),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(30),
+        )
+        .with_telemetry(&reg.scope("rpc_dispatcher"));
+        let dp = sim.spawn(disp_host, Box::new(dispatcher));
+        sim.listen(dp, 8081);
+        let responses = Rc::new(RefCell::new(vec![]));
+        sim.spawn(
+            client_host,
+            Box::new(TestClient {
+                body: dispatcher_request("observed"),
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rpc_dispatcher.received"), 1);
+        assert_eq!(snap.counter("rpc_dispatcher.forwarded"), 1);
+        assert_eq!(snap.counter("rpc_dispatcher.relayed"), 1);
+        assert_eq!(snap.gauge_peak("rpc_dispatcher.inflight"), 1);
+        assert_eq!(snap.counter("rpc_dispatcher.refused"), 0);
     }
 
     #[test]

@@ -48,7 +48,31 @@ pub struct Fig4Row {
 
 /// Runs one series point.
 pub fn run_one(clients: usize, via_dispatcher: bool, seconds: u64) -> RunTotals {
+    run_point(clients, via_dispatcher, seconds, None)
+}
+
+/// Runs one series point with telemetry, returning the totals plus the
+/// point's metric snapshot (timestamped in virtual time).
+pub fn run_one_observed(
+    clients: usize,
+    via_dispatcher: bool,
+    seconds: u64,
+) -> (RunTotals, wsd_telemetry::Snapshot) {
+    let obs = crate::Observed::new();
+    let totals = run_point(clients, via_dispatcher, seconds, Some(&obs));
+    (totals, obs.registry.snapshot())
+}
+
+fn run_point(
+    clients: usize,
+    via_dispatcher: bool,
+    seconds: u64,
+    obs: Option<&crate::Observed>,
+) -> RunTotals {
     let mut sim = Simulation::new(0x0F16_0400 + clients as u64);
+    if let Some(o) = obs {
+        sim.bind_telemetry(&o.registry.scope("net"), o.clock.clone());
+    }
     let ws_host = sim.add_host(
         light_cpu(profiles::inria_slow("ws"))
             .firewall(wsd_netsim::FirewallPolicy::Open)
@@ -74,7 +98,8 @@ pub fn run_one(clients: usize, via_dispatcher: bool, seconds: u64) -> RunTotals 
             dispatch_time(3.4),
             SimDuration::from_secs(3),
             SimDuration::from_secs(30),
-        );
+        )
+        .with_telemetry(&crate::Observed::scope_or_noop(obs, "rpc_dispatcher"));
         let dp = sim.spawn(disp_host, Box::new(dispatcher));
         sim.listen(dp, 8081);
         ("dispatcher".to_string(), 8081, "/svc/Echo".to_string())
@@ -101,7 +126,7 @@ pub fn run_one(clients: usize, via_dispatcher: bool, seconds: u64) -> RunTotals 
         SimDuration::from_secs(seconds.min(5)),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(seconds));
-    fleet.totals()
+    fleet.totals_with_telemetry(&crate::Observed::scope_or_noop(obs, "loadgen"))
 }
 
 /// Runs the full figure (both series, all points, in parallel).
@@ -112,6 +137,30 @@ pub fn run(seconds: u64, counts: &[usize]) -> Vec<Fig4Row> {
         direct: run_one(clients, false, seconds),
         dispatched: run_one(clients, true, seconds),
     })
+}
+
+/// Runs the full figure with telemetry: the rows plus one snapshot
+/// merged across every point and series.
+pub fn run_observed(seconds: u64, counts: &[usize]) -> (Vec<Fig4Row>, wsd_telemetry::Snapshot) {
+    let results = crate::parallel_map(counts.to_vec(), |clients| {
+        let (direct, s1) = run_one_observed(clients, false, seconds);
+        let (dispatched, s2) = run_one_observed(clients, true, seconds);
+        (
+            Fig4Row {
+                clients,
+                direct,
+                dispatched,
+            },
+            [s1, s2],
+        )
+    });
+    let mut rows = Vec::new();
+    let mut snaps = Vec::new();
+    for (row, s) in results {
+        rows.push(row);
+        snaps.extend(s);
+    }
+    (rows, crate::merge_snapshots(snaps))
 }
 
 /// Prints the figure's series as aligned rows.

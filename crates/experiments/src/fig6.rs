@@ -75,7 +75,31 @@ pub struct SeriesPoint {
 
 /// Runs one (series, clients) point.
 pub fn run_one(series: Series, clients: usize, seconds: u64) -> SeriesPoint {
+    run_point(series, clients, seconds, None)
+}
+
+/// Runs one (series, clients) point with telemetry, returning the point
+/// plus its metric snapshot (timestamped in virtual time).
+pub fn run_one_observed(
+    series: Series,
+    clients: usize,
+    seconds: u64,
+) -> (SeriesPoint, wsd_telemetry::Snapshot) {
+    let obs = crate::Observed::new();
+    let point = run_point(series, clients, seconds, Some(&obs));
+    (point, obs.registry.snapshot())
+}
+
+fn run_point(
+    series: Series,
+    clients: usize,
+    seconds: u64,
+    obs: Option<&crate::Observed>,
+) -> SeriesPoint {
     let mut sim = Simulation::new(0x0F16_0600 + clients as u64);
+    if let Some(o) = obs {
+        sim.bind_telemetry(&o.registry.scope("net"), o.clock.clone());
+    }
     // The WS lives on the fast INRIA machine, reachable from the
     // dispatcher (the dispatcher is the firewall's designated opening).
     let ws_host = sim.add_host(
@@ -116,7 +140,8 @@ pub fn run_one(series: Series, clients: usize, seconds: u64) -> SeriesPoint {
                     threads: 8,
                     ..WsThreadConfig::default()
                 },
-            );
+            )
+            .with_telemetry(&crate::Observed::scope_or_noop(obs, "msg_dispatcher"));
             let dp = sim.spawn(disp_host, Box::new(dispatcher));
             sim.listen(dp, 8080);
             (
@@ -137,7 +162,8 @@ pub fn run_one(series: Series, clients: usize, seconds: u64) -> SeriesPoint {
             },
             SimDuration::from_millis(2),
             13,
-        );
+        )
+        .with_telemetry(&crate::Observed::scope_or_noop(obs, "msgbox"));
         let stats = mbox.stats();
         let mp = sim.spawn(mb_host, Box::new(mbox));
         sim.listen(mp, 8082);
@@ -179,7 +205,8 @@ pub fn run_one(series: Series, clients: usize, seconds: u64) -> SeriesPoint {
         SimDuration::from_secs(seconds.min(5)),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(seconds));
-    let (sent, _failures, responses) = fleet.totals();
+    let (sent, _failures, responses) =
+        fleet.totals_with_telemetry(&crate::Observed::scope_or_noop(obs, "loadgen"));
     let _ = mbox_stats; // deposits show up as client-fetched responses
     SeriesPoint {
         ws_processed: svc_stats.processed(),
@@ -203,6 +230,32 @@ pub fn run(seconds: u64, counts: &[usize]) -> Vec<Fig6Row> {
             responses_fetched: c.responses_fetched,
         }
     })
+}
+
+/// Runs the full figure with telemetry: the rows plus one snapshot
+/// merged across every point and series.
+pub fn run_observed(seconds: u64, counts: &[usize]) -> (Vec<Fig6Row>, wsd_telemetry::Snapshot) {
+    let results = crate::parallel_map(counts.to_vec(), |clients| {
+        let (a, s1) = run_one_observed(Series::DirectBlocked, clients, seconds);
+        let (b, s2) = run_one_observed(Series::Dispatcher, clients, seconds);
+        let (c, s3) = run_one_observed(Series::DispatcherWithMsgBox, clients, seconds);
+        let scale = 60.0 / seconds as f64;
+        let row = Fig6Row {
+            clients,
+            direct_blocked_per_min: a.ws_processed as f64 * scale,
+            dispatcher_per_min: b.ws_processed as f64 * scale,
+            msgbox_per_min: c.ws_processed as f64 * scale,
+            responses_fetched: c.responses_fetched,
+        };
+        (row, [s1, s2, s3])
+    });
+    let mut rows = Vec::new();
+    let mut snaps = Vec::new();
+    for (row, s) in results {
+        rows.push(row);
+        snaps.extend(s);
+    }
+    (rows, crate::merge_snapshots(snaps))
 }
 
 /// Prints the figure's series.

@@ -25,6 +25,59 @@ pub mod fig6;
 pub mod table1;
 pub mod topology;
 
+use std::sync::Arc;
+
+use wsd_telemetry::{Registry, Scope, Snapshot, VirtualClock};
+
+/// Per-point observation context: a telemetry registry whose snapshot
+/// timestamp follows the simulation's virtual clock.
+///
+/// Each sweep point builds its own `Observed` (the points run in
+/// parallel), and the figure runner merges the per-point snapshots into
+/// one figure-level snapshot: counters sum, gauge peaks max.
+pub struct Observed {
+    /// The registry the point's actors publish into.
+    pub registry: Registry,
+    /// Clock handle the simulation advances.
+    pub clock: VirtualClock,
+}
+
+impl Observed {
+    /// A fresh registry on a fresh virtual clock at t=0.
+    pub fn new() -> Observed {
+        let clock = VirtualClock::new();
+        Observed {
+            registry: Registry::with_clock(Arc::new(clock.clone())),
+            clock,
+        }
+    }
+
+    /// A scope under this point's registry, or a no-op scope when
+    /// observation is disabled (`obs` is `None`).
+    pub(crate) fn scope_or_noop(obs: Option<&Observed>, name: &str) -> Scope {
+        match obs {
+            Some(o) => o.registry.scope(name),
+            None => Scope::noop(),
+        }
+    }
+}
+
+impl Default for Observed {
+    fn default() -> Self {
+        Observed::new()
+    }
+}
+
+/// Merges per-point snapshots into one figure-level snapshot.
+pub(crate) fn merge_snapshots(snaps: Vec<Snapshot>) -> Snapshot {
+    let mut iter = snaps.into_iter();
+    let mut merged = iter.next().unwrap_or_default();
+    for s in iter {
+        merged.merge(&s);
+    }
+    merged
+}
+
 /// Runs sweep points in parallel, preserving input order.
 pub(crate) fn parallel_map<T: Send, R: Send>(
     inputs: Vec<T>,

@@ -3,12 +3,19 @@
 //! ```text
 //! experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom]
 //!             [--calibration] [--all] [--seconds N] [--quick]
+//!             [--json PATH]
 //! ```
 //!
 //! `--quick` shortens the virtual run window and thins the sweeps (for
 //! smoke runs); the default regenerates the paper's one-minute windows.
+//! `--json PATH` writes every selected figure's series plus its merged
+//! telemetry snapshot as one JSON document. The figure runners observe
+//! through `wsd-telemetry` scopes, which never feed back into the
+//! simulation: the series are identical with or without observation.
 
 use wsd_experiments::{calibration, fig4, fig5, fig6, table1};
+use wsd_loadgen::{LatencySummary, RunTotals};
+use wsd_telemetry::Snapshot;
 
 struct Options {
     table1: bool,
@@ -19,6 +26,7 @@ struct Options {
     calibration: bool,
     seconds: u64,
     quick: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         calibration: false,
         seconds: 60,
         quick: false,
+        json: None,
     };
     let mut any = false;
     let mut args = std::env::args().skip(1);
@@ -78,6 +87,12 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad --seconds value {v:?}"))?;
             }
+            "--json" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--json needs a path".to_string())?;
+                opts.json = Some(v);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -90,6 +105,112 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// One line of operational context after each figure: losses, the
+/// deepest any queue got, and how well connections were amortized.
+fn print_telemetry_summary(fig: &str, snap: &Snapshot) {
+    let drops = snap.counter_sum("dropped")
+        + snap.counter("loadgen.not_sent")
+        + snap.counter("loadgen.send_failures");
+    let queue_hwm = snap
+        .gauge_peak_max("queue_depth")
+        .max(snap.gauge_peak_max("backlog_depth"))
+        .max(snap.gauge_peak_max("depth"));
+    let attempts = snap.counter("net.connect_attempts");
+    let established = snap.counter("net.conns_established");
+    let delivered = snap.counter("net.messages_delivered");
+    let reuse = if established > 0 {
+        delivered as f64 / established as f64
+    } else {
+        0.0
+    };
+    println!(
+        "telemetry[{fig}]: drops={drops} queue_hwm={queue_hwm} \
+         conns={established}/{attempts} msgs_per_conn={reuse:.1}"
+    );
+}
+
+fn json_latency(l: &Option<LatencySummary>) -> String {
+    match l {
+        None => "null".to_string(),
+        Some(l) => format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"max_us\":{}}}",
+            l.count, l.mean_us, l.p50_us, l.p95_us, l.max_us
+        ),
+    }
+}
+
+fn json_totals(t: &RunTotals) -> String {
+    format!(
+        "{{\"transmitted\":{},\"not_sent\":{},\"latency\":{}}}",
+        t.transmitted,
+        t.not_sent,
+        json_latency(&t.latency)
+    )
+}
+
+fn json_fig4(rows: &[fig4::Fig4Row], snap: &Snapshot) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"clients\":{},\"direct\":{},\"dispatched\":{}}}",
+                r.clients,
+                json_totals(&r.direct),
+                json_totals(&r.dispatched)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"rows\":[{}],\"telemetry\":{}}}",
+        rows.join(","),
+        snap.to_json()
+    )
+}
+
+fn json_fig5(rows: &[fig5::Fig5Row], snap: &Snapshot) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"clients\":{},\"direct_per_min\":{},\"dispatched_per_min\":{},\
+                 \"direct_not_sent\":{},\"dispatched_not_sent\":{}}}",
+                r.clients,
+                r.direct_per_min,
+                r.dispatched_per_min,
+                r.direct_not_sent,
+                r.dispatched_not_sent
+            )
+        })
+        .collect();
+    format!(
+        "{{\"rows\":[{}],\"telemetry\":{}}}",
+        rows.join(","),
+        snap.to_json()
+    )
+}
+
+fn json_fig6(rows: &[fig6::Fig6Row], snap: &Snapshot) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"clients\":{},\"direct_blocked_per_min\":{},\"dispatcher_per_min\":{},\
+                 \"msgbox_per_min\":{},\"responses_fetched\":{}}}",
+                r.clients,
+                r.direct_blocked_per_min,
+                r.dispatcher_per_min,
+                r.msgbox_per_min,
+                r.responses_fetched
+            )
+        })
+        .collect();
+    format!(
+        "{{\"rows\":[{}],\"telemetry\":{}}}",
+        rows.join(","),
+        snap.to_json()
+    )
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -97,11 +218,12 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom] \
-                 [--calibration] [--all] [--seconds N] [--quick]"
+                 [--calibration] [--all] [--seconds N] [--quick] [--json PATH]"
             );
             std::process::exit(2);
         }
     };
+    let mut json_figures: Vec<(&str, String)> = Vec::new();
     if opts.calibration {
         calibration::print(&calibration::run());
         println!();
@@ -116,7 +238,10 @@ fn main() {
         } else {
             fig4::CLIENT_COUNTS
         };
-        fig4::print(&fig4::run(opts.seconds, counts));
+        let (rows, snap) = fig4::run_observed(opts.seconds, counts);
+        fig4::print(&rows);
+        print_telemetry_summary("fig4", &snap);
+        json_figures.push(("fig4", json_fig4(&rows, &snap)));
         println!();
     }
     if opts.fig5 {
@@ -125,7 +250,10 @@ fn main() {
         } else {
             fig5::CLIENT_COUNTS
         };
-        fig5::print(&fig5::run(opts.seconds, counts));
+        let (rows, snap) = fig5::run_observed(opts.seconds, counts);
+        fig5::print(&rows);
+        print_telemetry_summary("fig5", &snap);
+        json_figures.push(("fig5", json_fig5(&rows, &snap)));
         println!();
     }
     if opts.fig6 {
@@ -134,11 +262,30 @@ fn main() {
         } else {
             fig6::CLIENT_COUNTS
         };
-        fig6::print(&fig6::run(opts.seconds, counts));
+        let (rows, snap) = fig6::run_observed(opts.seconds, counts);
+        fig6::print(&rows);
+        print_telemetry_summary("fig6", &snap);
+        json_figures.push(("fig6", json_fig6(&rows, &snap)));
         println!();
     }
     if opts.fig6_oom {
         fig6::print_oom(&fig6::run_oom(60, opts.seconds.min(30)));
         println!();
+    }
+    if let Some(path) = &opts.json {
+        let figs: Vec<String> = json_figures
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let doc = format!(
+            "{{\"seconds\":{},\"figures\":{{{}}}}}\n",
+            opts.seconds,
+            figs.join(",")
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
     }
 }

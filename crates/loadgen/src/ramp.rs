@@ -2,6 +2,7 @@
 //! ramp-up) and collect their statistics.
 
 use wsd_netsim::{HostConfig, HostId, SimDuration, SimTime, Simulation};
+use wsd_telemetry::Scope;
 
 use crate::msg_client::{MsgClientConfig, MsgClientStats, SimMsgClient};
 use crate::rpc_client::{RpcClientConfig, RpcClientStats, SimRpcClient};
@@ -16,18 +17,28 @@ pub struct FleetResult<S> {
 impl FleetResult<RpcClientStats> {
     /// Aggregates the fleet's counters.
     pub fn totals(&self) -> RunTotals {
+        self.totals_with_telemetry(&Scope::noop())
+    }
+
+    /// Aggregates the fleet's counters, publishing a `latency_us`
+    /// histogram and `transmitted`/`not_sent` counters under `scope`.
+    pub fn totals_with_telemetry(&self, scope: &Scope) -> RunTotals {
         let mut transmitted = 0;
         let mut not_sent = 0;
-        let mut latencies = Vec::new();
+        let hist = scope.histogram("latency_us");
         for c in &self.clients {
             transmitted += c.transmitted();
             not_sent += c.not_sent();
-            latencies.extend(c.latencies());
+            for v in c.latencies() {
+                hist.record(v);
+            }
         }
+        scope.counter("transmitted").add(transmitted);
+        scope.counter("not_sent").add(not_sent);
         RunTotals {
             transmitted,
             not_sent,
-            latency: Some(LatencySummary::of(latencies)),
+            latency: Some(LatencySummary::from_histogram(&hist)),
         }
     }
 }
@@ -35,6 +46,12 @@ impl FleetResult<RpcClientStats> {
 impl FleetResult<MsgClientStats> {
     /// Aggregates `(sent, failures, responses)` across the fleet.
     pub fn totals(&self) -> (u64, u64, u64) {
+        self.totals_with_telemetry(&Scope::noop())
+    }
+
+    /// Aggregates `(sent, failures, responses)`, publishing matching
+    /// counters under `scope`.
+    pub fn totals_with_telemetry(&self, scope: &Scope) -> (u64, u64, u64) {
         let mut sent = 0;
         let mut failures = 0;
         let mut responses = 0;
@@ -43,6 +60,9 @@ impl FleetResult<MsgClientStats> {
             failures += c.send_failures();
             responses += c.responses_received();
         }
+        scope.counter("sent").add(sent);
+        scope.counter("send_failures").add(failures);
+        scope.counter("responses").add(responses);
         (sent, failures, responses)
     }
 }
@@ -150,7 +170,14 @@ mod tests {
             SimDuration::from_millis(500),
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
-        let totals = fleet.totals();
+        let reg = wsd_telemetry::Registry::new();
+        let totals = fleet.totals_with_telemetry(&reg.scope("loadgen"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("loadgen.transmitted"), totals.transmitted);
+        assert!(matches!(
+            snap.get("loadgen.latency_us"),
+            Some(wsd_telemetry::MetricValue::Histogram(h)) if h.count == totals.transmitted
+        ));
         assert_eq!(fleet.clients.len(), 5);
         assert!(totals.transmitted > 20, "{}", totals.transmitted);
         assert_eq!(totals.not_sent, 0);

@@ -1,6 +1,12 @@
 //! Load-run statistics.
 
+use wsd_telemetry::Histogram;
+
 /// Latency distribution summary over recorded samples (µs).
+///
+/// Backed by the shared [`wsd_telemetry::Histogram`]: `count`, `mean_us`
+/// and `max_us` are exact; the percentiles are log-bucket lower bounds
+/// (≤12.5% relative error), which is plenty for the paper's figures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencySummary {
     /// Number of samples.
@@ -16,35 +22,25 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes a sample set (consumed; sorted internally). Returns a
-    /// zero summary for an empty set.
-    pub fn of(mut samples: Vec<u64>) -> LatencySummary {
-        if samples.is_empty() {
-            return LatencySummary {
-                count: 0,
-                mean_us: 0.0,
-                p50_us: 0,
-                p95_us: 0,
-                max_us: 0,
-            };
+    /// Summarizes a sample set. Returns a zero summary for an empty set.
+    pub fn of(samples: Vec<u64>) -> LatencySummary {
+        let hist = Histogram::new();
+        for v in samples {
+            hist.record(v);
         }
-        samples.sort_unstable();
-        let count = samples.len();
-        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        Self::from_histogram(&hist)
+    }
+
+    /// Summarizes an already-populated latency histogram.
+    pub fn from_histogram(hist: &Histogram) -> LatencySummary {
         LatencySummary {
-            count,
-            mean_us: sum as f64 / count as f64,
-            p50_us: samples[percentile_index(count, 50.0)],
-            p95_us: samples[percentile_index(count, 95.0)],
-            max_us: samples[count - 1],
+            count: hist.count() as usize,
+            mean_us: hist.mean(),
+            p50_us: hist.percentile(50.0),
+            p95_us: hist.percentile(95.0),
+            max_us: hist.max(),
         }
     }
-}
-
-fn percentile_index(len: usize, pct: f64) -> usize {
-    (((len as f64) * pct / 100.0).ceil() as usize)
-        .saturating_sub(1)
-        .min(len - 1)
 }
 
 /// Totals across a fleet of clients for one run window.
@@ -92,13 +88,25 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_order_statistics() {
+    fn percentiles_are_bucket_lower_bounds() {
         let s = LatencySummary::of((1..=100).collect());
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_us, 50);
-        assert_eq!(s.p95_us, 95);
+        // The 50th/95th order statistics are 50 and 95; the histogram
+        // reports their log-bucket lower bounds.
+        assert_eq!(s.p50_us, 48);
+        assert_eq!(s.p95_us, 88);
+        // Count, max and mean stay exact.
         assert_eq!(s.max_us, 100);
         assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_histogram_matches_of() {
+        let hist = wsd_telemetry::Histogram::new();
+        for v in 1..=100u64 {
+            hist.record(v);
+        }
+        assert_eq!(LatencySummary::from_histogram(&hist), LatencySummary::of((1..=100).collect()));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use wsd_telemetry::{Counter, Scope, VirtualClock};
+
 use crate::conn::{ConnId, ConnPhase, Connection, RefuseReason, Side};
 use crate::event::{EventQueue, SimEvent};
 use crate::host::{propagation, FirewallPolicy, Host, HostConfig, HostId, OverLimit};
@@ -31,6 +33,26 @@ pub struct Simulation {
     next_conn: u64,
     events_processed: u64,
     messages_delivered: u64,
+    tele: Option<NetTelemetry>,
+}
+
+/// Network-level instruments bound by [`Simulation::bind_telemetry`]: the
+/// accept/refuse/timeout outcomes of the TCP-like handshake model, plus a
+/// [`VirtualClock`] the event loop advances so registry snapshots and the
+/// trace ring stamp virtual (not wall) time.
+struct NetTelemetry {
+    clock: VirtualClock,
+    connect_attempts: Counter,
+    conns_established: Counter,
+    syn_dropped_firewall: Counter,
+    syn_dropped_backlog: Counter,
+    refused_backlog: Counter,
+    refused_no_listener: Counter,
+    refused_local_limit: Counter,
+    refused_no_host: Counter,
+    connect_timeouts: Counter,
+    messages_delivered: Counter,
+    bytes_delivered: Counter,
 }
 
 impl Simulation {
@@ -48,6 +70,35 @@ impl Simulation {
             next_conn: 0,
             events_processed: 0,
             messages_delivered: 0,
+            tele: None,
+        }
+    }
+
+    /// Binds network-level instruments under `scope` and hands the event
+    /// loop the [`VirtualClock`] to advance as virtual time progresses.
+    /// Pass the clock the owning registry was built with
+    /// ([`wsd_telemetry::Registry::with_clock`]) so snapshot and trace
+    /// timestamps are in virtual microseconds.
+    pub fn bind_telemetry(&mut self, scope: &Scope, clock: VirtualClock) {
+        self.tele = Some(NetTelemetry {
+            clock,
+            connect_attempts: scope.counter("connect_attempts"),
+            conns_established: scope.counter("conns_established"),
+            syn_dropped_firewall: scope.counter("syn_dropped_firewall"),
+            syn_dropped_backlog: scope.counter("syn_dropped_backlog"),
+            refused_backlog: scope.counter("refused_backlog"),
+            refused_no_listener: scope.counter("refused_no_listener"),
+            refused_local_limit: scope.counter("refused_local_limit"),
+            refused_no_host: scope.counter("refused_no_host"),
+            connect_timeouts: scope.counter("connect_timeouts"),
+            messages_delivered: scope.counter("messages_delivered"),
+            bytes_delivered: scope.counter("bytes_delivered"),
+        });
+    }
+
+    fn tele_count(&self, pick: impl Fn(&NetTelemetry) -> &Counter) {
+        if let Some(t) = &self.tele {
+            pick(t).inc();
         }
     }
 
@@ -134,6 +185,9 @@ impl Simulation {
             self.step();
         }
         self.now = self.now.max(deadline);
+        if let Some(t) = &self.tele {
+            t.clock.advance_to(self.now.as_micros());
+        }
     }
 
     /// Processes one event; returns `false` when the queue is empty.
@@ -143,6 +197,9 @@ impl Simulation {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        if let Some(t) = &self.tele {
+            t.clock.advance_to(at.as_micros());
+        }
         self.events_processed += 1;
         self.handle(event);
         true
@@ -160,6 +217,7 @@ impl Simulation {
                 if c.phase == ConnPhase::Established && !c.client_notified {
                     c.client_notified = true;
                     let client = c.client_proc;
+                    self.tele_count(|t| &t.conns_established);
                     self.dispatch(client, ProcEvent::ConnEstablished { conn });
                 }
             }
@@ -186,6 +244,7 @@ impl Simulation {
                     let server = c.server_proc;
                     self.release_inbound(conn);
                     self.release_outbound(conn);
+                    self.tele_count(|t| &t.connect_timeouts);
                     if let Some(server) = server {
                         self.dispatch(server, ProcEvent::ConnClosed { conn });
                     }
@@ -210,6 +269,10 @@ impl Simulation {
                 }
                 if let (_, Some(proc)) = c.endpoint(to) {
                     self.messages_delivered += 1;
+                    if let Some(t) = &self.tele {
+                        t.messages_delivered.inc();
+                        t.bytes_delivered.add(bytes.len() as u64);
+                    }
                     self.dispatch(proc, ProcEvent::Message { conn, bytes });
                 }
             }
@@ -249,11 +312,13 @@ impl Simulation {
         );
         // Firewalls drop inbound SYNs silently: the client just times out.
         if host_cfg.firewall == FirewallPolicy::OutboundOnly {
+            self.tele_count(|t| &t.syn_dropped_firewall);
             return;
         }
         let listener = self.listeners.get(&(server_host, port)).copied();
         let Some(listener) = listener else {
             // Active refusal: RST travels back.
+            self.tele_count(|t| &t.refused_no_listener);
             self.queue.push(
                 self.now + back_prop,
                 SimEvent::RefusedAtClient {
@@ -264,11 +329,16 @@ impl Simulation {
             return;
         };
         // Accept-limit check (the SYN backlog).
-        let host = &mut self.hosts[server_host.0];
+        let host = &self.hosts[server_host.0];
         if host.inbound_established >= host.config.accept_limit {
-            match host.config.over_limit {
-                OverLimit::Drop => {} // silence — client times out
+            let over_limit = host.config.over_limit;
+            match over_limit {
+                OverLimit::Drop => {
+                    // Silence — client times out.
+                    self.tele_count(|t| &t.syn_dropped_backlog);
+                }
                 OverLimit::Refuse => {
+                    self.tele_count(|t| &t.refused_backlog);
                     self.queue.push(
                         self.now + back_prop,
                         SimEvent::RefusedAtClient {
@@ -280,7 +350,7 @@ impl Simulation {
             }
             return;
         }
-        host.inbound_established += 1;
+        self.hosts[server_host.0].inbound_established += 1;
         let c = self.conns.get_mut(&conn).expect("conn vanished");
         c.counted_inbound = true;
         c.server_proc = Some(listener);
@@ -365,6 +435,7 @@ impl Simulation {
                 timeout,
             } => {
                 let client_host = self.procs[proc.0].host;
+                self.tele_count(|t| &t.connect_attempts);
                 // Local socket exhaustion fails before any packet moves.
                 {
                     let h = &self.hosts[client_host.0];
@@ -385,6 +456,7 @@ impl Simulation {
                                 locally_closed: [false; 2],
                             },
                         );
+                        self.tele_count(|t| &t.refused_local_limit);
                         self.queue.push(
                             self.now + SimDuration::from_micros(10),
                             SimEvent::RefusedAtClient {
@@ -412,6 +484,7 @@ impl Simulation {
                             locally_closed: [false; 2],
                         },
                     );
+                    self.tele_count(|t| &t.refused_no_host);
                     self.queue.push(
                         self.now + SimDuration::from_micros(1),
                         SimEvent::RefusedAtClient {
@@ -883,6 +956,34 @@ mod tests {
         // the process is gone, so dispatch is a no-op; the client still
         // sees TCP establish (the OS accepts), which mirrors a hung JVM.
         assert!(slog.borrow().len() <= 1);
+    }
+
+    #[test]
+    fn telemetry_clock_tracks_virtual_time_and_counts_outcomes() {
+        let clock = wsd_telemetry::VirtualClock::new();
+        let reg = wsd_telemetry::Registry::with_clock(std::sync::Arc::new(clock.clone()));
+        let mut sim = Simulation::new(1);
+        sim.bind_telemetry(&reg.scope("net"), clock);
+        let a = sim.add_host(HostConfig::named("a"));
+        let b = sim.add_host(HostConfig::named("b").firewall(FirewallPolicy::OutboundOnly));
+        let sp = sim.spawn(b, Box::new(Recorder::new(Rc::new(RefCell::new(vec![])))));
+        sim.listen(sp, 80);
+        let mut blocked = Recorder::new(Rc::new(RefCell::new(vec![])));
+        blocked.target = Some(("b".into(), 80));
+        sim.spawn(a, Box::new(blocked));
+        let mut lost = Recorder::new(Rc::new(RefCell::new(vec![])));
+        lost.target = Some(("nowhere".into(), 80));
+        sim.spawn(a, Box::new(lost));
+        sim.run();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net.connect_attempts"), 2);
+        assert_eq!(snap.counter("net.syn_dropped_firewall"), 1);
+        assert_eq!(snap.counter("net.refused_no_host"), 1);
+        assert_eq!(snap.counter("net.connect_timeouts"), 1);
+        // The registry clock advanced with virtual time: the blocked
+        // connect timed out at 3 virtual seconds.
+        assert_eq!(snap.at_us(), sim.now().as_micros());
+        assert!(snap.at_us() >= 3_000_000);
     }
 
     #[test]

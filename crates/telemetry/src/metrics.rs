@@ -1,0 +1,184 @@
+//! Counters and gauges.
+//!
+//! [`Counter`] is striped across cache-line-padded atomic shards — the
+//! same sharding idiom as `wsd-concurrent`'s `ShardedMap` — so
+//! multi-producer hot paths (the real-threaded servers) don't serialize
+//! on one cache line. Reads sum the stripes; increments never lose
+//! counts. [`Gauge`] is a single signed cell with a high-water mark,
+//! because gauges are read-modify-read and striping would break `peak`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of stripes per counter. Power of two; sized for the worker
+/// counts this workspace uses (pools default to ≤ 32 threads).
+const STRIPES: usize = 16;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// Thread-stripe selector: cheap, stable per thread.
+fn stripe_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut ix = s.get();
+        if ix == usize::MAX {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            ix = NEXT.fetch_add(1, Ordering::Relaxed) as usize % STRIPES;
+            s.set(ix);
+        }
+        ix
+    })
+}
+
+/// A monotonically increasing event counter. Cloning shares the cells.
+#[derive(Clone, Default)]
+pub struct Counter {
+    stripes: Arc<[PaddedCell; STRIPES]>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A point-in-time signed level with a high-water mark.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Default)]
+struct GaugeInner {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.inner.value.store(v, Ordering::Relaxed);
+        self.inner.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        let now = self.inner.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.inner.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn peak(&self) -> i64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("value", &self.get())
+            .field("peak", &self.peak())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_sums_stripes() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counter_clones_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.inc();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn counter_concurrent_increments_all_land() {
+        let c = Counter::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(3);
+        g.add(-6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 8);
+        g.set(1);
+        assert_eq!(g.peak(), 8);
+    }
+}

@@ -1,0 +1,266 @@
+//! Bounded, droppable event trace.
+//!
+//! A ring of message lifecycle events — accepted → rewritten → enqueued
+//! → drained → delivered — correlated by the WS-Addressing `MessageID`
+//! string. The ring is bounded: when full, the oldest events are
+//! overwritten and a drop counter keeps the books honest. Tracing must
+//! never be able to stall a hot path, so pushes are a short mutex
+//! critical section (one slot write) and the ring defaults to a few
+//! thousand entries.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::SharedClock;
+
+/// Default ring capacity for a registry's trace.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Lifecycle stage of a traced message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceStage {
+    /// Connection/request accepted by a listener.
+    Accepted,
+    /// Envelope rewritten (WS-Addressing redirection).
+    Rewritten,
+    /// Queued at the MSG-Dispatcher for a destination.
+    Enqueued,
+    /// Pulled off a queue by a worker.
+    Drained,
+    /// Handed to the final receiver.
+    Delivered,
+    /// Discarded (queue full, budget exhausted, linger expiry).
+    Dropped,
+    /// Refused at the transport (accept queue overflow, firewall).
+    Rejected,
+}
+
+impl TraceStage {
+    /// Stable lowercase name used by exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceStage::Accepted => "accepted",
+            TraceStage::Rewritten => "rewritten",
+            TraceStage::Enqueued => "enqueued",
+            TraceStage::Drained => "drained",
+            TraceStage::Delivered => "delivered",
+            TraceStage::Dropped => "dropped",
+            TraceStage::Rejected => "rejected",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Correlation key — typically the `wsa:MessageID`.
+    pub message_id: String,
+    /// Which lifecycle stage this event marks.
+    pub stage: TraceStage,
+    /// Clock timestamp in microseconds.
+    pub at_us: u64,
+    /// Sequence number, strictly increasing per ring.
+    pub seq: u64,
+}
+
+struct TraceInner {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    clock: SharedClock,
+}
+
+/// A bounded ring of [`TraceEvent`]s. Clones share the ring.
+#[derive(Clone)]
+pub struct EventTrace {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl EventTrace {
+    /// A ring holding at most `capacity` events, stamping with `clock`.
+    pub fn new(capacity: usize, clock: SharedClock) -> Self {
+        if capacity == 0 {
+            return EventTrace::noop();
+        }
+        EventTrace {
+            inner: Some(Arc::new(TraceInner {
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                clock,
+            })),
+        }
+    }
+
+    /// A trace that records nothing (used by [`crate::Scope::noop`]).
+    pub fn noop() -> Self {
+        EventTrace { inner: None }
+    }
+
+    /// Whether events pushed here are actually retained.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records `stage` for `message_id` at the ring clock's current time.
+    pub fn record(&self, message_id: &str, stage: TraceStage) {
+        if let Some(inner) = &self.inner {
+            let at = inner.clock.now_us();
+            self.push_inner(inner, message_id, stage, at);
+        }
+    }
+
+    /// Records `stage` for `message_id` at an explicit timestamp (used
+    /// by simulation actors that know their virtual time directly).
+    pub fn push(&self, message_id: &str, stage: TraceStage, at_us: u64) {
+        if let Some(inner) = &self.inner {
+            self.push_inner(inner, message_id, stage, at_us);
+        }
+    }
+
+    fn push_inner(&self, inner: &TraceInner, message_id: &str, stage: TraceStage, at_us: u64) {
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = inner.ring.lock().expect("trace lock");
+        if ring.len() == inner.capacity {
+            ring.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(TraceEvent {
+            message_id: message_id.to_string(),
+            stage,
+            at_us,
+            seq,
+        });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.ring.lock().expect("trace lock").len(),
+        }
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Removes and returns all retained events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.ring.lock().expect("trace lock").drain(..).collect(),
+        }
+    }
+
+    /// Copies the retained events without clearing the ring.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .ring
+                .lock()
+                .expect("trace lock")
+                .iter()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Retained events for one message, oldest first — the message's
+    /// lifecycle as far as the ring still remembers it.
+    pub fn lifecycle(&self, message_id: &str) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.message_id == message_id)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for EventTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventTrace")
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn trace(cap: usize) -> (EventTrace, VirtualClock) {
+        let clock = VirtualClock::new();
+        (EventTrace::new(cap, Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn records_lifecycle_in_order() {
+        let (t, clock) = trace(16);
+        t.record("msg-1", TraceStage::Accepted);
+        clock.advance_to(10);
+        t.record("msg-1", TraceStage::Enqueued);
+        clock.advance_to(25);
+        t.record("msg-2", TraceStage::Accepted);
+        t.record("msg-1", TraceStage::Delivered);
+
+        let life = t.lifecycle("msg-1");
+        assert_eq!(
+            life.iter().map(|e| e.stage).collect::<Vec<_>>(),
+            vec![
+                TraceStage::Accepted,
+                TraceStage::Enqueued,
+                TraceStage::Delivered
+            ]
+        );
+        assert_eq!(life[0].at_us, 0);
+        assert_eq!(life[1].at_us, 10);
+        assert_eq!(life[2].at_us, 25);
+        assert!(life.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let (t, _clock) = trace(4);
+        for i in 0..10 {
+            t.push(&format!("m{i}"), TraceStage::Accepted, i);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let drained = t.drain();
+        assert_eq!(drained.first().unwrap().message_id, "m6");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn noop_trace_retains_nothing() {
+        let t = EventTrace::noop();
+        t.record("m", TraceStage::Accepted);
+        t.push("m", TraceStage::Dropped, 5);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn zero_capacity_is_noop() {
+        let clock = VirtualClock::new();
+        let t = EventTrace::new(0, Arc::new(clock));
+        assert!(!t.is_active());
+    }
+}

@@ -1,0 +1,140 @@
+//! Model tests for the telemetry instruments (ISSUE satellite):
+//! histogram quantiles vs exact order statistics, and sharded counters
+//! under multi-producer stress.
+
+use proptest::prelude::*;
+use wsd_telemetry::{Counter, Histogram, MetricValue, Snapshot};
+
+/// Exact order statistic with the same rank convention the histogram
+/// documents: index = ceil(n * pct/100) - 1, clamped.
+fn exact_percentile(sorted: &[u64], pct: f64) -> u64 {
+    let n = sorted.len();
+    let ix = ((n as f64 * pct / 100.0).ceil() as usize)
+        .saturating_sub(1)
+        .min(n - 1);
+    sorted[ix]
+}
+
+/// One log-bucket's relative error bound: 8 sub-buckets per octave, so
+/// a bucket spans at most 12.5% of its lower bound (values < 8 exact).
+fn within_one_bucket(estimate: u64, exact: u64) -> bool {
+    if exact < 8 {
+        return estimate == exact;
+    }
+    // The estimate is the lower bound of the bucket containing `exact`.
+    estimate <= exact && (exact - estimate) as f64 <= exact as f64 * 0.125
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_track_order_statistics(
+        mut samples in proptest::collection::vec(0u64..1_000_000, 1..400),
+        pct_tenths in 1u64..=1000,
+    ) {
+        let pct = pct_tenths as f64 / 10.0;
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let exact = exact_percentile(&samples, pct);
+        let est = h.percentile(pct);
+        prop_assert!(
+            within_one_bucket(est, exact),
+            "pct {} est {} exact {} (n={})", pct, est, exact, samples.len()
+        );
+    }
+
+    #[test]
+    fn quantiles_survive_snapshot_merge(
+        a in proptest::collection::vec(0u64..100_000, 0..200),
+        b in proptest::collection::vec(0u64..100_000, 0..200),
+    ) {
+        // Recording a and b into separate histograms and merging their
+        // summaries must equal recording everything into one histogram —
+        // the invariant the experiment harness relies on when folding
+        // per-worker registries.
+        let ha = Histogram::new();
+        for &s in &a { ha.record(s); }
+        let hb = Histogram::new();
+        for &s in &b { hb.record(s); }
+        let mut snap_a = Snapshot::new(0);
+        snap_a.push("h".into(), MetricValue::from_histogram(&ha));
+        let mut snap_b = Snapshot::new(0);
+        snap_b.push("h".into(), MetricValue::from_histogram(&hb));
+        snap_a.merge(&snap_b);
+
+        let hall = Histogram::new();
+        for &s in a.iter().chain(&b) { hall.record(s); }
+        let mut direct = Snapshot::new(0);
+        direct.push("h".into(), MetricValue::from_histogram(&hall));
+
+        prop_assert_eq!(snap_a.get("h"), direct.get("h"));
+    }
+
+    #[test]
+    fn histogram_extrema_and_mass_are_exact(
+        samples in proptest::collection::vec(0u64..u64::MAX / 2, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.percentile(100.0), h.max());
+        let bucket_mass: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_mass, h.count());
+    }
+}
+
+#[test]
+fn sharded_counter_never_loses_increments_under_contention() {
+    // Heavier than the unit test: many producers, mixed inc/add, clones
+    // handed across threads — the total must be exact.
+    let threads = 16;
+    let per_thread = 50_000u64;
+    let c = Counter::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let c = c.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    if (i + t) % 4 == 0 {
+                        c.add(3);
+                    } else {
+                        c.inc();
+                    }
+                }
+            });
+        }
+    });
+    let mut expected = 0u64;
+    for t in 0..threads {
+        for i in 0..per_thread {
+            expected += if (i + t) % 4 == 0 { 3 } else { 1 };
+        }
+    }
+    assert_eq!(c.get(), expected);
+}
+
+#[test]
+fn concurrent_histogram_recording_keeps_total_mass() {
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    h.record(t * 1_000 + i % 977);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), 160_000);
+    let mass: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+    assert_eq!(mass, 160_000);
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Offline-safe verification: build, test, lint. No network access needed
+# (all dependencies are vendored path crates).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace -- -D warnings

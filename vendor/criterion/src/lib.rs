@@ -1,0 +1,324 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Throughput`, `BatchSize`, `black_box` — backed by a
+//! simple wall-clock timer: each benchmark is warmed up briefly, then
+//! timed over a fixed number of iterations and reported as mean
+//! time/iteration on stdout. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark (accepted, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last = Some(start.elapsed() / self.samples as u32);
+    }
+
+    /// Times `routine` with a fresh `setup` output per iteration
+    /// (setup time excluded).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last = Some(total / self.samples as u32);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Sets measurement time (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher) -> R,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I) -> R,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run<R>(&self, id: &str, mut f: impl FnMut(&mut Bencher) -> R) {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples),
+            last: None,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match bencher.last {
+            Some(per_iter) => {
+                let tp = match self.throughput {
+                    Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+                        let gib = n as f64 / per_iter.as_secs_f64() / (1 << 30) as f64;
+                        format!("  ({gib:.3} GiB/s)")
+                    }
+                    Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+                        format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                println!("bench: {label:<60} {per_iter:>12.3?}/iter{tp}");
+            }
+            None => println!("bench: {label:<60} (no measurement)"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_samples: u64,
+    max_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: these benches wrap whole simulations. The
+        // sample count can be raised via CRITERION_SAMPLES.
+        let default_samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion {
+            default_samples,
+            max_samples: u64::MAX,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: self.default_samples,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<R>(
+        &mut self,
+        id: &str,
+        f: impl FnMut(&mut Bencher) -> R,
+    ) -> &mut Self {
+        let group = BenchmarkGroup {
+            criterion: self,
+            name: "criterion".into(),
+            sample_size: self.default_samples,
+            throughput: None,
+        };
+        group.run(id, f);
+        self
+    }
+
+    /// Configures sample size (accepted for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_samples = (n as u64).max(1);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        // warmup + samples
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2).throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_each_time() {
+        let mut b = Bencher {
+            samples: 5,
+            last: None,
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 6);
+        assert!(b.last.is_some());
+    }
+}

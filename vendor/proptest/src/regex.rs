@@ -1,0 +1,440 @@
+//! Generator for a practical regex subset.
+//!
+//! Supports exactly the constructs the workspace's strategies use:
+//! literals, `.`, character classes (`[a-z0-9_]`, negation, `\xHH`
+//! escapes, escaped punctuation), groups, alternation, and the
+//! quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`. Generation picks uniformly
+//! among class members and within repetition bounds.
+
+use crate::rng::TestRng;
+
+/// A parse error for an unsupported or malformed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Unbounded repetitions (`*`, `+`) generate at most this many copies.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    /// A sequence of nodes matched in order.
+    Seq(Vec<Node>),
+    /// One alternative among several.
+    Alt(Vec<Node>),
+    /// A single literal char.
+    Lit(char),
+    /// `.` — any char except newline.
+    AnyChar,
+    /// A character class.
+    Class(CharClass),
+    /// A repetition of the inner node.
+    Repeat(Box<Node>, u32, u32),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct CharClass {
+    negated: bool,
+    /// Inclusive ranges of allowed (or excluded) chars.
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+        inside != self.negated
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        if !self.negated {
+            // Pick a range weighted by its size, then a char within it.
+            let total: u64 = self
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in &self.ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    // Skip the surrogate gap.
+                    let mut v = lo as u32 + pick as u32;
+                    if (0xD800..=0xDFFF).contains(&v) {
+                        v = 0xE000 + (v - 0xD800);
+                    }
+                    return char::from_u32(v).unwrap_or('a');
+                }
+                pick -= span;
+            }
+            return 'a';
+        }
+        // Negated: rejection-sample, mostly printable ASCII with an
+        // occasional wider unicode scalar to keep coverage honest.
+        for _ in 0..64 {
+            let candidate = if rng.chance(7, 8) {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+            } else {
+                let v = rng.below(0x2FFF) as u32 + 0xA0;
+                match char::from_u32(v) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if self.contains(candidate) {
+                return candidate;
+            }
+        }
+        // Dense exclusion set: scan for any permitted char.
+        for v in 0x20u32..0xFFFF {
+            if let Some(c) = char::from_u32(v) {
+                if self.contains(c) {
+                    return c;
+                }
+            }
+        }
+        'a'
+    }
+}
+
+/// A parsed, generatable pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    root: Node,
+}
+
+impl Pattern {
+    /// Parses `pattern`, rejecting constructs outside the subset.
+    pub fn parse(pattern: &str) -> Result<Pattern, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let root = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(RegexError(format!(
+                "trailing input at {pos} in {pattern:?}"
+            )));
+        }
+        Ok(Pattern { root })
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        gen_node(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                gen_node(item, rng, out);
+            }
+        }
+        Node::Alt(alts) => {
+            let ix = rng.range(0, alts.len());
+            gen_node(&alts[ix], rng, out);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::AnyChar => {
+            // Mostly printable ASCII, sometimes wider unicode; never '\n'.
+            let c = loop {
+                let c = if rng.chance(3, 4) {
+                    char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+                } else {
+                    match char::from_u32(rng.below(0xFFFF) as u32) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                };
+                if c != '\n' {
+                    break c;
+                }
+            };
+            out.push(c);
+        }
+        Node::Class(class) => out.push(class.sample(rng)),
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as u64) as u32;
+            for _ in 0..n {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    let mut alts = vec![parse_seq(chars, pos)?];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        alts.push(parse_seq(chars, pos)?);
+    }
+    if alts.len() == 1 {
+        Ok(alts.pop().unwrap())
+    } else {
+        Ok(Node::Alt(alts))
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    let mut items = Vec::new();
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' | '|' => break,
+            _ => {
+                let atom = parse_atom(chars, pos)?;
+                items.push(parse_quantifier(chars, pos, atom)?);
+            }
+        }
+    }
+    Ok(Node::Seq(items))
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            // Non-capturing group marker is tolerated.
+            if chars[*pos..].starts_with(&['?', ':']) {
+                *pos += 2;
+            }
+            let inner = parse_alt(chars, pos)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err(RegexError("unclosed group".into()));
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '.' => {
+            *pos += 1;
+            Ok(Node::AnyChar)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = parse_escape(chars, pos)?;
+            Ok(Node::Lit(c))
+        }
+        c @ ('*' | '+' | '?' | '{') => Err(RegexError(format!("dangling quantifier {c:?}"))),
+        c => {
+            *pos += 1;
+            Ok(Node::Lit(c))
+        }
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize) -> Result<char, RegexError> {
+    let c = *chars
+        .get(*pos)
+        .ok_or_else(|| RegexError("trailing backslash".into()))?;
+    *pos += 1;
+    match c {
+        'x' => {
+            let hex: String = chars
+                .get(*pos..*pos + 2)
+                .ok_or_else(|| RegexError("truncated \\x escape".into()))?
+                .iter()
+                .collect();
+            *pos += 2;
+            let v = u32::from_str_radix(&hex, 16)
+                .map_err(|_| RegexError(format!("bad \\x escape {hex:?}")))?;
+            char::from_u32(v).ok_or_else(|| RegexError("bad \\x codepoint".into()))
+        }
+        'n' => Ok('\n'),
+        'r' => Ok('\r'),
+        't' => Ok('\t'),
+        // Escaped punctuation/metachars stand for themselves.
+        other => Ok(other),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, RegexError> {
+    let negated = *pos < chars.len() && chars[*pos] == '^';
+    if negated {
+        *pos += 1;
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut first = true;
+    loop {
+        let c = *chars
+            .get(*pos)
+            .ok_or_else(|| RegexError("unclosed class".into()))?;
+        if c == ']' && !first {
+            *pos += 1;
+            break;
+        }
+        first = false;
+        let lo = if c == '\\' {
+            *pos += 1;
+            parse_escape(chars, pos)?
+        } else {
+            *pos += 1;
+            c
+        };
+        // Range if a '-' follows and isn't the closing position.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let hc = chars[*pos];
+            let hi = if hc == '\\' {
+                *pos += 1;
+                parse_escape(chars, pos)?
+            } else {
+                *pos += 1;
+                hc
+            };
+            if hi < lo {
+                return Err(RegexError(format!("inverted range {lo:?}-{hi:?}")));
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if ranges.is_empty() {
+        return Err(RegexError("empty class".into()));
+    }
+    Ok(Node::Class(CharClass { negated, ranges }))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, RegexError> {
+    let Some(&c) = chars.get(*pos) else {
+        return Ok(atom);
+    };
+    match c {
+        '?' => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 0, 1))
+        }
+        '*' => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP))
+        }
+        '+' => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP))
+        }
+        '{' => {
+            *pos += 1;
+            let mut lo = String::new();
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                lo.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: u32 = lo
+                .parse()
+                .map_err(|_| RegexError("bad repetition lower bound".into()))?;
+            let hi = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut hi = String::new();
+                    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                        hi.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if hi.is_empty() {
+                        lo + UNBOUNDED_CAP
+                    } else {
+                        hi.parse()
+                            .map_err(|_| RegexError("bad repetition upper bound".into()))?
+                    }
+                }
+                _ => lo,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err(RegexError("unclosed repetition".into()));
+            }
+            *pos += 1;
+            if hi < lo {
+                return Err(RegexError("inverted repetition bounds".into()));
+            }
+            Ok(Node::Repeat(Box::new(atom), lo, hi))
+        }
+        _ => Ok(atom),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, verify: impl Fn(&str) -> bool) {
+        let p = Pattern::parse(pattern).unwrap_or_else(|e| panic!("{pattern:?}: {e}"));
+        let mut rng = TestRng::seeded(42);
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!(verify(&s), "{pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn simple_class_with_bounds() {
+        check("[a-z]{1,8}", |s| {
+            (1..=8).contains(&s.chars().count())
+                && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn leading_char_then_tail() {
+        check("[a-zA-Z_][a-zA-Z0-9_.-]{0,12}", |s| {
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            (head.is_ascii_alphabetic() || head == '_')
+                && cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c))
+        });
+    }
+
+    #[test]
+    fn negated_control_class() {
+        check("[^\u{0}-\u{8}\u{b}\u{c}\u{e}-\u{1f}]{0,40}", |s| {
+            s.chars().all(|c| {
+                let v = c as u32;
+                !(v <= 8 || v == 0xb || v == 0xc || (0xe..=0x1f).contains(&v))
+            })
+        });
+    }
+
+    #[test]
+    fn hex_escapes_and_groups() {
+        check("[\\x21-\\x7e]( ?[\\x21-\\x7e]){0,30}", |s| {
+            !s.is_empty() && s.chars().all(|c| c == ' ' || ('\x21'..='\x7e').contains(&c))
+        });
+    }
+
+    #[test]
+    fn dot_never_emits_newline() {
+        check(".{0,300}", |s| !s.contains('\n'));
+    }
+
+    #[test]
+    fn escaped_punctuation_in_class() {
+        check("[<>&;/='\"a-z0-9 \\-!\\[\\]?]{0,200}", |s| {
+            s.chars()
+                .all(|c| "<>&;/='\" -![]?".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn alternation_picks_both_sides() {
+        let p = Pattern::parse("ab|cd").unwrap();
+        let mut rng = TestRng::seeded(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(p.generate(&mut rng));
+        }
+        assert_eq!(
+            seen,
+            ["ab".to_string(), "cd".to_string()].into_iter().collect()
+        );
+    }
+}
