@@ -9,6 +9,7 @@
 
 use wsd_concurrent::ShardedMap;
 use wsd_soap::Envelope;
+use wsd_telemetry::{Counter, Scope};
 use wsd_wsa::{correlation_id, rewrite_for_forward, rewrite_for_reply, MsgIdGen, RouteRecord, WsaHeaders};
 
 use crate::error::WsdError;
@@ -36,6 +37,52 @@ pub enum Routed {
         /// The rewritten envelope.
         envelope: Envelope,
     },
+}
+
+/// [`Routed`] for the raw hot path: the rewritten envelope is already
+/// serialized (spliced byte-for-byte when the fast path applied), and the
+/// `MessageID` the queues need for correlation is carried alongside so no
+/// stage downstream has to re-parse the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutedRaw {
+    /// A client request: forward to the resolved service endpoint.
+    Forward {
+        /// Physical destination.
+        to: Url,
+        /// Logical name it resolved from.
+        logical: String,
+        /// The rewritten envelope, serialized.
+        body: String,
+        /// `MessageID` of the forwarded request (always present: the
+        /// dispatcher mints one when the client sent none).
+        message_id: String,
+    },
+    /// A service reply: deliver to the client's original reply endpoint
+    /// (or its mailbox).
+    Reply {
+        /// Destination (reply endpoint or mailbox service).
+        to: Url,
+        /// The rewritten envelope, serialized.
+        body: String,
+        /// The reply's own `MessageID`, if it carries one.
+        message_id: Option<String>,
+    },
+}
+
+/// Hot-path instruments: how many envelopes the single-pass splice
+/// rewrite handled vs. fell back to parse + tree rewrite + re-serialize.
+struct CoreTelemetry {
+    fastpath_hits: Counter,
+    fastpath_fallbacks: Counter,
+}
+
+impl CoreTelemetry {
+    fn new(scope: &Scope) -> Self {
+        CoreTelemetry {
+            fastpath_hits: scope.counter("fastpath_hits"),
+            fastpath_fallbacks: scope.counter("fastpath_fallbacks"),
+        }
+    }
 }
 
 /// Stats the MSG dispatcher keeps.
@@ -74,6 +121,7 @@ pub struct MsgCore {
     pub mailbox_fallback: Option<String>,
     ids: MsgIdGen,
     policies: PolicyChain,
+    tele: CoreTelemetry,
 }
 
 impl MsgCore {
@@ -91,7 +139,14 @@ impl MsgCore {
             mailbox_fallback: None,
             ids: MsgIdGen::new(seed),
             policies: PolicyChain::new(),
+            tele: CoreTelemetry::new(&Scope::noop()),
         }
+    }
+
+    /// Registers the fast-path counters (`fastpath_hits`,
+    /// `fastpath_fallbacks`) under `scope`.
+    pub fn bind_telemetry(&mut self, scope: &Scope) {
+        self.tele = CoreTelemetry::new(scope);
     }
 
     /// Sets the mailbox fallback address. Returns `self` for chaining.
@@ -185,6 +240,118 @@ impl MsgCore {
             to: physical,
             logical,
             envelope: env,
+        })
+    }
+
+    /// Routes one serialized envelope, avoiding the parse → rebuild →
+    /// re-serialize cycle whenever possible.
+    ///
+    /// The fast path runs [`wsd_wsa::scan`] — one streaming pass locating
+    /// the WS-Addressing headers — and splices the rewritten headers into
+    /// the original bytes; the body is copied verbatim, never parsed. Any
+    /// anomaly (non-canonical serialization, foreign headers, reference
+    /// parameters, …) and the fast path declines: the envelope takes
+    /// [`MsgCore::route`] instead. Installed security policies also force
+    /// the tree path, since they inspect the parsed envelope. Both
+    /// outcomes are counted (`fastpath_hits` / `fastpath_fallbacks`) when
+    /// telemetry is bound.
+    pub fn route_raw(
+        &self,
+        xml: &str,
+        serialized_len: usize,
+        now: u64,
+    ) -> Result<RoutedRaw, WsdError> {
+        if self.policies.is_empty() {
+            if let Some(scanned) = wsd_wsa::scan(xml) {
+                self.tele.fastpath_hits.inc();
+                return self.route_spliced(&scanned, now);
+            }
+        }
+        self.tele.fastpath_fallbacks.inc();
+        let env = Envelope::parse(xml)?;
+        match self.route(env, serialized_len, now)? {
+            Routed::Forward { to, logical, envelope } => {
+                let message_id = WsaHeaders::from_envelope(&envelope)
+                    .ok()
+                    .and_then(|h| h.message_id)
+                    .unwrap_or_default();
+                Ok(RoutedRaw::Forward {
+                    to,
+                    logical,
+                    body: envelope.to_xml(),
+                    message_id,
+                })
+            }
+            Routed::Reply { to, envelope } => {
+                let message_id = WsaHeaders::from_envelope(&envelope)
+                    .ok()
+                    .and_then(|h| h.message_id);
+                Ok(RoutedRaw::Reply {
+                    to,
+                    body: envelope.to_xml(),
+                    message_id,
+                })
+            }
+        }
+    }
+
+    /// The splice fast path: same decisions as [`MsgCore::route`], output
+    /// byte-identical to the tree rewrite for canonical envelopes.
+    fn route_spliced(
+        &self,
+        scanned: &wsd_wsa::ScannedWsa<'_>,
+        now: u64,
+    ) -> Result<RoutedRaw, WsdError> {
+        // Reply path: correlate via RelatesTo.
+        if let Some(rel) = scanned.correlation_id() {
+            if let Some(pending) = self.routes.remove(rel) {
+                let destination = pending
+                    .record
+                    .original_reply_to
+                    .as_ref()
+                    .filter(|epr| !epr.is_anonymous())
+                    .map(|epr| epr.address.clone())
+                    .or_else(|| self.mailbox_fallback.clone())
+                    .ok_or(WsdError::NoDestination)?;
+                let to = Url::parse(&destination)?;
+                let body = scanned.splice_reply(Some(&destination));
+                return Ok(RoutedRaw::Reply {
+                    to,
+                    body,
+                    message_id: scanned.message_id().map(str::to_string),
+                });
+            }
+        }
+        // Request path: resolve the logical To.
+        let logical_to = scanned.to().ok_or(WsdError::NoDestination)?;
+        let logical = Url::parse(logical_to)?
+            .logical_service()
+            .map(str::to_string)
+            .ok_or_else(|| WsdError::UnknownService(logical_to.to_string()))?;
+        let physical = self.registry.lookup(&logical)?;
+        // Ensure the request has a MessageID so the reply can correlate.
+        let minted = match scanned.message_id() {
+            Some(_) => None,
+            None => Some(self.ids.next_id()),
+        };
+        let (body, record) = scanned.splice_forward(
+            &physical.to_string(),
+            &self.dispatcher_address,
+            minted.as_deref(),
+        );
+        let message_id = record.message_id.clone().expect("forward always carries an id");
+        self.routes.insert(
+            message_id.clone(),
+            PendingRoute {
+                record,
+                stored_at: now,
+            },
+        );
+        Ok(RoutedRaw::Forward {
+            to: physical,
+            logical,
+            body,
+            message_id,
         })
     }
 }
@@ -357,6 +524,89 @@ mod tests {
             .with_policies(crate::security::PolicyChain::new().with(crate::security::MaxSize(100)));
         let env = request(Some("http://cl/cb"), Some("uuid:1"));
         assert!(matches!(c.route(env, 500, 0), Err(WsdError::Rejected(_))));
+    }
+
+    #[test]
+    fn route_raw_fastpath_is_byte_identical_to_tree_route() {
+        // Two cores with the same seed mint the same ids; exercising the
+        // minting path (no MessageID) covers the hardest case.
+        let fast = core();
+        let tree = core();
+        let xml = request(Some("http://client/cb"), None).to_xml();
+        let raw = fast.route_raw(&xml, xml.len(), 0).unwrap();
+        let routed = tree
+            .route(Envelope::parse(&xml).unwrap(), xml.len(), 0)
+            .unwrap();
+        match (raw, routed) {
+            (
+                RoutedRaw::Forward { to, logical, body, message_id },
+                Routed::Forward { to: t_to, logical: t_logical, envelope },
+            ) => {
+                assert_eq!(to, t_to);
+                assert_eq!(logical, t_logical);
+                assert_eq!(body, envelope.to_xml(), "spliced bytes must match the tree path");
+                let h = WsaHeaders::from_envelope(&envelope).unwrap();
+                assert_eq!(Some(message_id), h.message_id);
+            }
+            other => panic!("expected two Forwards, got {other:?}"),
+        }
+        assert_eq!(fast.pending_routes(), 1);
+    }
+
+    #[test]
+    fn route_raw_reply_round_trip_counts_fastpath_hits() {
+        let reg = wsd_telemetry::Registry::new();
+        let mut c = core();
+        c.bind_telemetry(&reg.scope("core"));
+        let req_xml = request(Some("http://client:9999/cb"), Some("uuid:42")).to_xml();
+        c.route_raw(&req_xml, req_xml.len(), 0).unwrap();
+        let mut reply = soap_rpc::echo_response(SoapVersion::V11, "pong");
+        WsaHeaders::new()
+            .to("http://dispatcher/msg")
+            .relates_to("uuid:42")
+            .message_id("uuid:r1")
+            .apply(&mut reply);
+        let xml = reply.to_xml();
+        match c.route_raw(&xml, xml.len(), 1).unwrap() {
+            RoutedRaw::Reply { to, body, message_id } => {
+                assert_eq!(to, Url::parse("http://client:9999/cb").unwrap());
+                assert!(body.contains("http://client:9999/cb"));
+                assert_eq!(message_id.as_deref(), Some("uuid:r1"));
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+        assert_eq!(c.pending_routes(), 0, "route must be consumed");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("core.fastpath_hits"), 2);
+        assert_eq!(snap.counter("core.fastpath_fallbacks"), 0);
+    }
+
+    #[test]
+    fn route_raw_policies_force_the_tree_path() {
+        let reg = wsd_telemetry::Registry::new();
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws-host:8888/echo").unwrap());
+        let mut c = MsgCore::new(registry, "http://dispatcher/msg", 7).with_policies(
+            crate::security::PolicyChain::new().with(crate::security::MaxSize(1 << 20)),
+        );
+        c.bind_telemetry(&reg.scope("core"));
+        let xml = request(Some("http://client/cb"), Some("uuid:p1")).to_xml();
+        assert!(matches!(
+            c.route_raw(&xml, xml.len(), 0),
+            Ok(RoutedRaw::Forward { .. })
+        ));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("core.fastpath_hits"), 0);
+        assert_eq!(snap.counter("core.fastpath_fallbacks"), 1);
+    }
+
+    #[test]
+    fn route_raw_malformed_envelope_is_soap_error() {
+        let c = core();
+        assert!(matches!(
+            c.route_raw("<not-xml", 8, 0),
+            Err(WsdError::Soap(_))
+        ));
     }
 
     #[test]

@@ -161,7 +161,7 @@ mod tests {
         let registry = setup();
         let policies = PolicyChain::new().with(MaxSize(1_000_000));
         let mut req = echo_request("/svc/Echo");
-        req.body = b"not xml at all".to_vec();
+        req.body = b"not xml at all".to_vec().into();
         assert!(plan_forward(&registry, &policies, &req).is_err());
         // Without policies the proxy does not look inside (fast path).
         assert!(plan_forward(&registry, &PolicyChain::new(), &req).is_ok());

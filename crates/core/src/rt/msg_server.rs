@@ -11,7 +11,7 @@ use wsd_soap::{Envelope, SoapVersion};
 use wsd_telemetry::{Counter, Scope};
 
 use crate::config::DispatcherConfig;
-use crate::msg::{MsgCore, Routed};
+use crate::msg::{MsgCore, RoutedRaw};
 use crate::rt::{now_us, Network};
 use crate::url::Url;
 
@@ -28,10 +28,18 @@ pub struct MsgServerStats {
     pub rejected: AtomicU64,
 }
 
+/// One queued outbound message: the serialized request plus the
+/// `MessageID` captured at enqueue time, so translating a synchronous RPC
+/// response never re-parses the request envelope.
+struct QueuedMsg {
+    req: Request,
+    msg_id: Option<String>,
+}
+
 struct Dest {
     host: String,
     port: u16,
-    queue: FifoQueue<Request>,
+    queue: FifoQueue<QueuedMsg>,
     /// Whether a `WsThread` currently owns this destination.
     active: AtomicBool,
 }
@@ -125,6 +133,8 @@ impl MsgDispatcherServer {
             )
             .expect("ws pool"),
         );
+        let mut core = core;
+        core.bind_telemetry(&scope.child("core"));
         let core = Arc::new(core);
         // Route-table janitor: drop forwarded requests whose replies
         // never came (paper §4.4's expiration-time future work).
@@ -200,24 +210,19 @@ impl MsgDispatcherServer {
         self.ws_pool.shutdown();
     }
 
-    /// CxThread work: parse, route, enqueue, ack.
+    /// CxThread work: route (splice fast path when possible), enqueue, ack.
     fn accept(self: &Arc<Self>, config: &DispatcherConfig, req: Request) -> Response {
-        let Ok(env) = Envelope::parse(&req.body_utf8()) else {
+        let Some(xml) = req.body_str() else {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             self.tele.rejected.inc();
             return Response::empty(Status::BAD_REQUEST);
         };
-        match self.core.route(env, req.body.len(), now_us()) {
-            Ok(Routed::Forward { to, envelope, .. }) | Ok(Routed::Reply { to, envelope }) => {
-                if self.enqueue(config, &to, envelope) {
-                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    self.tele.accepted.inc();
-                    Response::empty(Status::ACCEPTED)
-                } else {
-                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    self.tele.dropped.inc();
-                    Response::empty(Status::SERVICE_UNAVAILABLE)
-                }
+        match self.core.route_raw(xml, req.body.len(), now_us()) {
+            Ok(RoutedRaw::Forward { to, body, message_id, .. }) => {
+                self.ack_enqueue(config, &to, body, Some(message_id))
+            }
+            Ok(RoutedRaw::Reply { to, body, message_id }) => {
+                self.ack_enqueue(config, &to, body, message_id)
             }
             Err(e) => {
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -227,12 +232,36 @@ impl MsgDispatcherServer {
         }
     }
 
-    fn enqueue(self: &Arc<Self>, config: &DispatcherConfig, to: &Url, envelope: Envelope) -> bool {
+    fn ack_enqueue(
+        self: &Arc<Self>,
+        config: &DispatcherConfig,
+        to: &Url,
+        body: String,
+        msg_id: Option<String>,
+    ) -> Response {
+        if self.enqueue(config, to, body, msg_id) {
+            self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            self.tele.accepted.inc();
+            Response::empty(Status::ACCEPTED)
+        } else {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.tele.dropped.inc();
+            Response::empty(Status::SERVICE_UNAVAILABLE)
+        }
+    }
+
+    fn enqueue(
+        self: &Arc<Self>,
+        config: &DispatcherConfig,
+        to: &Url,
+        body: String,
+        msg_id: Option<String>,
+    ) -> bool {
         let fwd = Request::soap_post(
             &to.authority(),
             &to.path,
             SoapVersion::V11.content_type(),
-            envelope.to_xml().into_bytes(),
+            body.into_bytes(),
         );
         let authority = to.authority();
         let dest = self.dests.get_or_insert_with(authority.clone(), || {
@@ -245,7 +274,7 @@ impl MsgDispatcherServer {
                 active: AtomicBool::new(false),
             })
         });
-        if dest.queue.try_push(fwd).is_err() {
+        if dest.queue.try_push(QueuedMsg { req: fwd, msg_id }).is_err() {
             return false;
         }
         self.activate(config, dest);
@@ -263,14 +292,24 @@ impl MsgDispatcherServer {
         let _ = pool.execute(move || server.drain(&config, dest));
     }
 
-    /// WsThread work: drain the queue over one kept-open connection.
+    /// WsThread work: drain the queue over one kept-open connection,
+    /// coalescing up to `drain_batch` envelopes per pass — one reusable
+    /// serialization buffer, one write, one flush, then the responses are
+    /// read back in order.
     fn drain(self: &Arc<Self>, config: &DispatcherConfig, dest: Arc<Dest>) {
         let mut client: Option<HttpClient<wsd_http::PipeStream>> = None;
+        let mut buf: Vec<u8> = Vec::with_capacity(4096);
         // Keep the thread (and connection) for `connection_linger` of
         // idleness, then hand the slot back.
-        while let Ok(req) = dest.queue.pop_timeout(config.connection_linger) {
-            let mut delivered = false;
+        while let Ok(mut batch) = dest
+            .queue
+            .pop_timeout_batch(config.connection_linger, config.drain_batch)
+        {
+            let mut delivered = 0u64;
             for _attempt in 0..2 {
+                if batch.is_empty() {
+                    break;
+                }
                 let fresh_conn = client.is_none();
                 if fresh_conn {
                     match self.net.connect(&dest.host, dest.port) {
@@ -282,32 +321,38 @@ impl MsgDispatcherServer {
                     }
                 }
                 let c = client.as_mut().expect("just set");
-                match c.call(&req) {
-                    Ok(resp) => {
-                        delivered = true;
-                        if !fresh_conn {
-                            self.tele.reused_sends.inc();
-                        }
-                        if resp.status.0 == 200 {
-                            // An RPC service answered synchronously:
-                            // translate the response into a reply message
-                            // (Table 1 quadrant 3).
-                            self.translate_rpc_response(config, &req, &resp);
+                match c.call_pipelined(batch.iter().map(|m| &m.req), &mut buf) {
+                    Ok(resps) => {
+                        delivered += batch.len() as u64;
+                        // The first send on a fresh connection opens it;
+                        // every other message in the batch reuses it.
+                        let reused = batch.len() - usize::from(fresh_conn);
+                        self.tele.reused_sends.add(reused as u64);
+                        for (msg, resp) in batch.drain(..).zip(resps) {
+                            if resp.status.0 == 200 {
+                                // An RPC service answered synchronously:
+                                // translate the response into a reply
+                                // message (Table 1 quadrant 3).
+                                self.translate_rpc_response(config, msg.msg_id.as_deref(), &resp);
+                            }
                         }
                         break;
                     }
                     Err(_) => {
-                        // Stale connection: rebuild once.
+                        // Stale connection: rebuild once and resend the
+                        // whole batch.
                         client = None;
                     }
                 }
             }
-            if delivered {
-                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                self.tele.delivered.inc();
-            } else {
-                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                self.tele.dropped.inc();
+            if delivered > 0 {
+                self.stats.delivered.fetch_add(delivered, Ordering::Relaxed);
+                self.tele.delivered.add(delivered);
+            }
+            let dropped = batch.len() as u64;
+            if dropped > 0 {
+                self.stats.dropped.fetch_add(dropped, Ordering::Relaxed);
+                self.tele.dropped.add(dropped);
             }
         }
         dest.active.store(false, Ordering::Release);
@@ -318,35 +363,47 @@ impl MsgDispatcherServer {
     }
 
     /// Translates a `200` response from an RPC-style destination into a
-    /// reply message routed back to the original sender.
+    /// reply message routed back to the original sender. `req_msg_id` is
+    /// the forwarded request's `MessageID`, captured when the request was
+    /// enqueued — the request envelope is never re-parsed here.
     fn translate_rpc_response(
         self: &Arc<Self>,
         config: &DispatcherConfig,
-        req: &Request,
+        req_msg_id: Option<&str>,
         resp: &Response,
     ) {
-        let Ok(mut env) = Envelope::parse(&resp.body_utf8()) else {
+        let Some(xml) = resp.body_str() else {
             return;
         };
-        // Correlate to the forwarded request's MessageID unless the
-        // service already set RelatesTo.
-        if let Ok(mut h) = wsd_wsa::WsaHeaders::from_envelope(&env) {
-            if h.relates_to.is_empty() {
-                let req_id = Envelope::parse(&req.body_utf8())
-                    .ok()
-                    .and_then(|e| wsd_wsa::WsaHeaders::from_envelope(&e).ok())
-                    .and_then(|h| h.message_id);
-                if let Some(id) = req_id {
-                    h.relates_to.push((id, None));
-                    h.apply(&mut env);
+        // A canonically-serialized reply that already correlates itself
+        // routes as raw bytes; otherwise parse and inject RelatesTo from
+        // the carried request id.
+        let owned;
+        let routable: &str = if wsd_wsa::scan(xml).is_some_and(|s| s.correlation_id().is_some()) {
+            xml
+        } else {
+            let Ok(mut env) = Envelope::parse(xml) else {
+                return;
+            };
+            if let Ok(mut h) = wsd_wsa::WsaHeaders::from_envelope(&env) {
+                if h.relates_to.is_empty() {
+                    if let Some(id) = req_msg_id {
+                        h.relates_to.push((id.to_string(), None));
+                        h.apply(&mut env);
+                    }
                 }
             }
-        }
-        let len = env.to_xml().len();
-        if let Ok(Routed::Reply { to, envelope }) | Ok(Routed::Forward { to, envelope, .. }) =
-            self.core.route(env, len, now_us())
-        {
-            let _ = self.enqueue(config, &to, envelope);
+            owned = env.to_xml();
+            &owned
+        };
+        match self.core.route_raw(routable, routable.len(), now_us()) {
+            Ok(RoutedRaw::Reply { to, body, message_id }) => {
+                let _ = self.enqueue(config, &to, body, message_id);
+            }
+            Ok(RoutedRaw::Forward { to, body, message_id, .. }) => {
+                let _ = self.enqueue(config, &to, body, Some(message_id));
+            }
+            Err(_) => {}
         }
     }
 }
@@ -511,6 +568,8 @@ mod tests {
         // Per-destination queue instruments appear under a labeled scope.
         assert_eq!(snap.counter("rt.msg.dest{ws:8888}.pushed"), 5);
         assert!(snap.counter("rt.msg.cx_pool.completed") >= 1);
+        // Canonical envelopes take the splice fast path.
+        assert!(snap.counter("rt.msg.core.fastpath_hits") >= 5);
     }
 
     #[test]

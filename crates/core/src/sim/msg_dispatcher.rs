@@ -23,7 +23,7 @@ use wsd_netsim::{ConnId, Ctx, Payload, ProcEvent, Process, SimDuration};
 use wsd_soap::{Envelope, SoapVersion};
 use wsd_telemetry::{Counter, EventTrace, Gauge, Scope, TraceStage};
 
-use crate::msg::{MsgCore, Routed};
+use crate::msg::{MsgCore, RoutedRaw};
 use crate::reliable::RetryPolicy;
 use crate::sim::{request_payload, response_payload, CpuQueue};
 use crate::url::Url;
@@ -88,6 +88,10 @@ pub struct WsThreadConfig {
     pub threads: usize,
     /// Per-destination queue capacity.
     pub queue_capacity: usize,
+    /// How many queued envelopes one connection visit coalesces (the
+    /// threaded runtime's buffered-batch write, mirrored as bookkeeping:
+    /// virtual send times are unchanged, only `drain_batches` counts it).
+    pub drain_batch: usize,
     /// Connect timeout toward destinations.
     pub connect_timeout: SimDuration,
     /// Idle time before a kept-open destination connection is closed.
@@ -104,6 +108,7 @@ impl Default for WsThreadConfig {
         WsThreadConfig {
             threads: 16,
             queue_capacity: 256,
+            drain_batch: 16,
             connect_timeout: SimDuration::from_secs(3),
             linger: SimDuration::from_secs(15),
             retry: RetryPolicy {
@@ -134,6 +139,7 @@ struct DispatcherTelemetry {
     dropped: Counter,
     rejected: Counter,
     enqueued: Counter,
+    drain_batches: Counter,
     active_threads: Gauge,
     dest_queue_depth: HashMap<DestKey, Gauge>,
 }
@@ -150,6 +156,7 @@ impl DispatcherTelemetry {
             dropped: scope.counter("dropped"),
             rejected: scope.counter("rejected"),
             enqueued: scope.counter("queue_enqueued"),
+            drain_batches: scope.counter("drain_batches"),
             active_threads: scope.gauge("active_threads"),
             dest_queue_depth: HashMap::new(),
             scope: scope.clone(),
@@ -267,6 +274,7 @@ impl SimMsgDispatcher {
     /// gauges, and message-lifecycle trace events.
     pub fn with_telemetry(mut self, scope: &Scope) -> Self {
         self.tele = DispatcherTelemetry::new(scope);
+        self.core.bind_telemetry(&scope.child("core"));
         self
     }
 
@@ -290,37 +298,32 @@ impl SimMsgDispatcher {
     }
 
     fn route_now(&mut self, ctx: &mut Ctx<'_>, client_conn: Option<ConnId>, raw: Payload) {
-        let parsed = parse_request_bytes(&raw)
-            .ok()
-            .and_then(|req| Envelope::parse(&req.body_utf8()).ok().map(|e| (req, e)));
-        let Some((_req, env)) = parsed else {
-            self.stats.inner.borrow_mut().rejected += 1;
-            self.tele.rejected.inc();
-            if let Some(conn) = client_conn {
-                let resp = Response::empty(Status::BAD_REQUEST);
-                let _ = ctx.send(conn, response_payload(&resp));
-            }
-            return;
-        };
-        match self.core.route(env, raw.len(), ctx.now().as_micros()) {
-            Ok(Routed::Forward { to, envelope, .. }) => {
+        // The splice fast path inside `route_raw` needs only the request's
+        // body bytes; the envelope is parsed solely when the scan declines.
+        let parsed = parse_request_bytes(&raw).ok();
+        let routed = parsed
+            .as_ref()
+            .and_then(|req| req.body_str())
+            .map(|xml| self.core.route_raw(xml, raw.len(), ctx.now().as_micros()));
+        match routed {
+            Some(Ok(RoutedRaw::Forward { to, body, message_id, .. })) => {
                 self.stats.inner.borrow_mut().forwarded += 1;
                 self.tele.forwarded.inc();
                 if let Some(conn) = client_conn {
                     self.ack(ctx, conn);
                 }
-                self.enqueue(ctx, &to, envelope);
+                self.enqueue(ctx, &to, body, Some(message_id));
                 self.arm_janitor(ctx);
             }
-            Ok(Routed::Reply { to, envelope }) => {
+            Some(Ok(RoutedRaw::Reply { to, body, message_id })) => {
                 self.stats.inner.borrow_mut().replies_routed += 1;
                 self.tele.replies_routed.inc();
                 if let Some(conn) = client_conn {
                     self.ack(ctx, conn);
                 }
-                self.enqueue(ctx, &to, envelope);
+                self.enqueue(ctx, &to, body, message_id);
             }
-            Err(_) => {
+            Some(Err(_)) | None => {
                 self.stats.inner.borrow_mut().rejected += 1;
                 self.tele.rejected.inc();
                 if let Some(conn) = client_conn {
@@ -339,16 +342,14 @@ impl SimMsgDispatcher {
         }
     }
 
-    fn enqueue(&mut self, ctx: &mut Ctx<'_>, to: &Url, envelope: Envelope) {
-        let msg_id = wsd_wsa::WsaHeaders::from_envelope(&envelope)
-            .ok()
-            .and_then(|h| h.message_id)
-            .unwrap_or_default();
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, to: &Url, body: String, msg_id: Option<String>) {
+        // The id was captured by `route_raw` at rewrite time — no re-parse.
+        let msg_id = msg_id.unwrap_or_default();
         let req = Request::soap_post(
             &to.authority(),
             &to.path,
             SoapVersion::V11.content_type(),
-            envelope.to_xml().into_bytes(),
+            body.into_bytes(),
         );
         let payload = request_payload(&req);
         let key = (to.host.clone(), to.port);
@@ -418,24 +419,45 @@ impl SimMsgDispatcher {
             return;
         };
         let mut sent = 0u64;
+        let mut batches = 0u64;
         let mut broken = false;
         let now_us = ctx.now().as_micros();
-        while let Some((msg_id, payload)) = dest.queue.pop_front() {
-            if ctx.send(conn, payload.clone()).is_ok() {
-                self.tele.stage(&msg_id, TraceStage::Drained, now_us);
-                self.tele.stage(&msg_id, TraceStage::Delivered, now_us);
-                dest.outstanding.push_back(msg_id);
-                sent += 1;
-            } else {
-                // Connection died under us: requeue and reconnect.
-                dest.queue.push_front((msg_id, payload));
-                broken = true;
-                break;
+        let max = self.config.drain_batch.max(1);
+        // Coalesce up to `drain_batch` envelopes per connection visit,
+        // mirroring the threaded runtime's single-flush batches. This is
+        // bookkeeping only: every message is still its own simulated
+        // write at the same virtual instant, so event timing (and every
+        // figure) is unchanged.
+        'batches: while !dest.queue.is_empty() {
+            let mut in_batch = 0usize;
+            while in_batch < max {
+                let Some((msg_id, payload)) = dest.queue.pop_front() else {
+                    break;
+                };
+                if ctx.send(conn, payload.clone()).is_ok() {
+                    self.tele.stage(&msg_id, TraceStage::Drained, now_us);
+                    self.tele.stage(&msg_id, TraceStage::Delivered, now_us);
+                    dest.outstanding.push_back(msg_id);
+                    sent += 1;
+                    in_batch += 1;
+                } else {
+                    // Connection died under us: requeue and reconnect.
+                    dest.queue.push_front((msg_id, payload));
+                    broken = true;
+                    break;
+                }
+            }
+            if in_batch > 0 {
+                batches += 1;
+            }
+            if broken {
+                break 'batches;
             }
         }
         let depth = dest.queue.len();
         self.stats.inner.borrow_mut().delivered += sent;
         self.tele.delivered.add(sent);
+        self.tele.drain_batches.add(batches);
         self.tele.dest_queue_depth(&key).set(depth as i64);
         if broken {
             self.ready_conns.remove(&conn);

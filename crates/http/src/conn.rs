@@ -58,6 +58,44 @@ impl<S: Stream> HttpClient<S> {
         Ok(resp)
     }
 
+    /// Performs a batch of exchanges over the kept-open connection: every
+    /// request is serialized into `buf` (the caller's reusable buffer) and
+    /// written with a single flush, then the responses are read back in
+    /// order (HTTP/1.1 pipelining). Returns the responses, one per
+    /// request; any transport error mid-batch fails the whole call.
+    pub fn call_pipelined<'a>(
+        &mut self,
+        reqs: impl IntoIterator<Item = &'a Request>,
+        buf: &mut Vec<u8>,
+    ) -> Result<Vec<Response>, HttpError> {
+        if self.exhausted {
+            return Err(HttpError::Closed);
+        }
+        buf.clear();
+        let mut keep = true;
+        let mut n = 0usize;
+        for req in reqs {
+            crate::serialize::request_bytes_into(buf, req);
+            keep &= req.keep_alive();
+            n += 1;
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        self.reader.stream_mut().write_all(buf)?;
+        self.reader.stream_mut().flush()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let resp = self.reader.read_response(&self.limits)?;
+            keep &= resp.keep_alive();
+            out.push(resp);
+        }
+        if !keep {
+            self.exhausted = true;
+        }
+        Ok(out)
+    }
+
     /// Sends a request without waiting for any response (one-way
     /// messaging; the MSG-Dispatcher acknowledges with `202 Accepted`
     /// which the caller may read later or ignore).
@@ -141,6 +179,29 @@ mod tests {
             assert_eq!(resp.body, format!("m{i}").into_bytes());
             assert!(c.reusable());
         }
+        drop(c);
+        assert_eq!(h.join().unwrap().unwrap(), 5);
+    }
+
+    #[test]
+    fn pipelined_batch_round_trips_in_order() {
+        let (client, server) = duplex(1 << 16);
+        let h = thread::spawn(move || serve_connection(server, &Limits::default(), echo_handler));
+        let mut c = HttpClient::new(client);
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request::soap_post("h", "/", "text/xml", format!("m{i}").into_bytes()))
+            .collect();
+        let mut buf = Vec::new();
+        let resps = c.call_pipelined(reqs.iter(), &mut buf).unwrap();
+        assert_eq!(resps.len(), 4);
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(r.body, format!("m{i}").into_bytes());
+        }
+        assert!(c.reusable());
+        // The buffer is reusable across batches; an empty batch is a no-op.
+        assert_eq!(c.call_pipelined([].into_iter(), &mut buf).unwrap().len(), 0);
+        let resps = c.call_pipelined(reqs.iter().take(1), &mut buf).unwrap();
+        assert_eq!(resps.len(), 1);
         drop(c);
         assert_eq!(h.join().unwrap().unwrap(), 5);
     }

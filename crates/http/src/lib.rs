@@ -24,10 +24,14 @@ pub mod parse;
 pub mod serialize;
 pub mod stream;
 
+pub use bytes::Bytes;
 pub use conn::{serve_connection, HttpClient};
 pub use message::{Headers, Method, Request, Response, Status, Version};
 pub use parse::{parse_request_bytes, parse_response_bytes, MessageReader};
-pub use serialize::{request_bytes, response_bytes, write_request, write_response};
+pub use serialize::{
+    request_bytes, request_bytes_into, response_bytes, response_bytes_into, write_request,
+    write_response,
+};
 pub use stream::{duplex, PipeStream, ShutdownHandle, Stream};
 
 /// Errors raised by HTTP parsing and I/O.

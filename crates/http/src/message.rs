@@ -1,5 +1,7 @@
 //! Owned HTTP message model.
 
+use bytes::Bytes;
+
 /// HTTP protocol version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Version {
@@ -172,15 +174,21 @@ pub struct Request {
     pub version: Version,
     /// Header lines.
     pub headers: Headers,
-    /// Message body.
-    pub body: Vec<u8>,
+    /// Message body — cheaply clonable, shared, immutable.
+    pub body: Bytes,
 }
 
 impl Request {
     /// A SOAP POST carrying `body` to `target`, with the headers the
     /// paper's client sends (Host, SOAPAction, Content-Type,
     /// Content-Length).
-    pub fn soap_post(host: &str, target: &str, content_type: &str, body: Vec<u8>) -> Request {
+    pub fn soap_post(
+        host: &str,
+        target: &str,
+        content_type: &str,
+        body: impl Into<Bytes>,
+    ) -> Request {
+        let body = body.into();
         let mut headers = Headers::new();
         headers.set("Host", host);
         headers.set("Content-Type", content_type);
@@ -205,7 +213,7 @@ impl Request {
             target: target.to_string(),
             version: Version::V11,
             headers,
-            body: Vec::new(),
+            body: Bytes::new(),
         }
     }
 
@@ -218,6 +226,11 @@ impl Request {
     pub fn body_utf8(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.body)
     }
+
+    /// The body as UTF-8, borrowed — no copy, `None` when not UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
 }
 
 /// An HTTP response.
@@ -229,13 +242,14 @@ pub struct Response {
     pub status: Status,
     /// Header lines.
     pub headers: Headers,
-    /// Message body.
-    pub body: Vec<u8>,
+    /// Message body — cheaply clonable, shared, immutable.
+    pub body: Bytes,
 }
 
 impl Response {
     /// A response with a body and explicit content type.
-    pub fn new(status: Status, content_type: &str, body: Vec<u8>) -> Response {
+    pub fn new(status: Status, content_type: &str, body: impl Into<Bytes>) -> Response {
+        let body = body.into();
         let mut headers = Headers::new();
         headers.set("Content-Type", content_type);
         headers.set("Content-Length", body.len().to_string());
@@ -257,7 +271,7 @@ impl Response {
             version: Version::V11,
             status,
             headers,
-            body: Vec::new(),
+            body: Bytes::new(),
         }
     }
 
@@ -269,6 +283,11 @@ impl Response {
     /// The body as UTF-8, lossily.
     pub fn body_utf8(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.body)
+    }
+
+    /// The body as UTF-8, borrowed — no copy, `None` when not UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
     }
 }
 

@@ -93,13 +93,17 @@ fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, Ht
     Ok(headers)
 }
 
-fn read_body(bytes: &[u8], body_start: usize, headers: &Headers) -> Result<Vec<u8>, HttpError> {
+fn read_body(
+    bytes: &[u8],
+    body_start: usize,
+    headers: &Headers,
+) -> Result<bytes::Bytes, HttpError> {
     let len = headers.content_length().unwrap_or(0);
     let available = bytes.len().saturating_sub(body_start);
     if available < len {
         return Err(HttpError::UnexpectedEof);
     }
-    Ok(bytes[body_start..body_start + len].to_vec())
+    Ok(bytes[body_start..body_start + len].to_vec().into())
 }
 
 /// A buffered reader that pulls complete messages off a [`Stream`],
@@ -333,7 +337,7 @@ mod tests {
     #[test]
     fn body_with_binary_content_survives() {
         let mut req = Request::soap_post("h", "/", "application/octet-stream", vec![]);
-        req.body = (0..=255u8).collect();
+        req.body = (0..=255u8).collect::<Vec<u8>>().into();
         req.headers.set("Content-Length", req.body.len().to_string());
         let parsed = parse_request_bytes(&request_bytes(&req)).unwrap();
         assert_eq!(parsed.body, req.body);

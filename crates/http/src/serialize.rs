@@ -8,31 +8,29 @@ use crate::HttpError;
 /// Serialized size of a request's head (start line + headers + blank
 /// line), without the body.
 pub fn request_head_len(req: &Request) -> usize {
-    head_bytes_request(req).len()
+    let mut out = Vec::with_capacity(256);
+    push_request_head(&mut out, req);
+    out.len()
 }
 
-fn head_bytes_request(req: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(256);
+fn push_request_head(out: &mut Vec<u8>, req: &Request) {
     out.extend_from_slice(req.method.as_str().as_bytes());
     out.push(b' ');
     out.extend_from_slice(req.target.as_bytes());
     out.push(b' ');
     out.extend_from_slice(req.version.as_str().as_bytes());
     out.extend_from_slice(b"\r\n");
-    push_headers(&mut out, req.headers.iter());
-    out
+    push_headers(out, req.headers.iter());
 }
 
-fn head_bytes_response(resp: &Response) -> Vec<u8> {
-    let mut out = Vec::with_capacity(256);
+fn push_response_head(out: &mut Vec<u8>, resp: &Response) {
     out.extend_from_slice(resp.version.as_str().as_bytes());
     out.push(b' ');
     out.extend_from_slice(resp.status.0.to_string().as_bytes());
     out.push(b' ');
     out.extend_from_slice(resp.status.reason().as_bytes());
     out.extend_from_slice(b"\r\n");
-    push_headers(&mut out, resp.headers.iter());
-    out
+    push_headers(out, resp.headers.iter());
 }
 
 fn push_headers<'a>(out: &mut Vec<u8>, headers: impl Iterator<Item = (&'a str, &'a str)>) {
@@ -47,16 +45,30 @@ fn push_headers<'a>(out: &mut Vec<u8>, headers: impl Iterator<Item = (&'a str, &
 
 /// Serializes a full request.
 pub fn request_bytes(req: &Request) -> Vec<u8> {
-    let mut out = head_bytes_request(req);
-    out.extend_from_slice(&req.body);
+    let mut out = Vec::with_capacity(256 + req.body.len());
+    request_bytes_into(&mut out, req);
     out
+}
+
+/// Appends a full serialized request to `out` without clearing it —
+/// the batched drain path serializes many requests into one reusable
+/// buffer and writes them with a single flush.
+pub fn request_bytes_into(out: &mut Vec<u8>, req: &Request) {
+    push_request_head(out, req);
+    out.extend_from_slice(&req.body);
 }
 
 /// Serializes a full response.
 pub fn response_bytes(resp: &Response) -> Vec<u8> {
-    let mut out = head_bytes_response(resp);
-    out.extend_from_slice(&resp.body);
+    let mut out = Vec::with_capacity(256 + resp.body.len());
+    response_bytes_into(&mut out, resp);
     out
+}
+
+/// Appends a full serialized response to `out` without clearing it.
+pub fn response_bytes_into(out: &mut Vec<u8>, resp: &Response) {
+    push_response_head(out, resp);
+    out.extend_from_slice(&resp.body);
 }
 
 /// Writes a request to a stream.

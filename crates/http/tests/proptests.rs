@@ -39,7 +39,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 target,
                 version,
                 headers,
-                body,
+                body: body.into(),
             }
         })
 }

@@ -174,7 +174,7 @@ fn take_once(seen: &mut bool, what: &'static str) -> Result<(), WsaError> {
     }
 }
 
-fn text_header(local: &str, value: &str) -> Element {
+pub(crate) fn text_header(local: &str, value: &str) -> Element {
     Element::new_ns(Some("wsa"), local, WSA_NS)
         .declare_namespace(Some("wsa"), WSA_NS)
         .with_text(value)

@@ -31,11 +31,13 @@ pub mod epr;
 pub mod headers;
 pub mod msgid;
 pub mod rewrite;
+pub mod splice;
 
 pub use epr::EndpointReference;
 pub use headers::WsaHeaders;
 pub use msgid::MsgIdGen;
 pub use rewrite::{correlation_id, rewrite_for_forward, rewrite_for_reply, RouteRecord};
+pub use splice::{scan, ScannedWsa};
 
 /// The WS-Addressing namespace the paper used (2004/08 member submission).
 pub const WSA_NS: &str = "http://schemas.xmlsoap.org/ws/2004/08/addressing";

@@ -1,0 +1,545 @@
+//! Single-pass splice rewrite: the dispatcher's zero-copy fast path.
+//!
+//! [`scan`] runs one streaming pass over a serialized envelope and
+//! locates the WS-Addressing header elements; [`ScannedWsa::splice_forward`]
+//! and [`ScannedWsa::splice_reply`] then emit every byte outside the
+//! addressing block verbatim — the body is never parsed, rebuilt or
+//! re-escaped — and splice the rewritten headers in.
+//!
+//! The scan is deliberately strict: it accepts exactly the canonical
+//! serialization our own [`wsd_xml::writer`] produces (the form every
+//! envelope in this system is in after one `to_xml()`), because only then
+//! is the spliced output byte-identical to the tree path of
+//! [`crate::rewrite`]. Anything else — foreign header blocks, extra
+//! attributes, CDATA, non-canonical entity forms, reference
+//! properties/parameters, out-of-order headers — makes `scan` return
+//! `None` and the caller falls back to parse + rewrite + re-serialize.
+//!
+//! Byte identity with the tree path is guaranteed for envelopes in
+//! parse-canonical form (a fixed point of `parse` → `to_xml`, which every
+//! on-the-wire envelope our stack emits is). For other accepted inputs the
+//! splice output is the *more* faithful one: the body is forwarded
+//! verbatim where the tree path would normalize it (e.g. `<x></x>` to
+//! `<x/>`).
+
+use std::ops::Range;
+
+use wsd_xml::escape::{escape_attr, escape_text};
+use wsd_xml::{unescape, write_element_into};
+
+use crate::epr::EndpointReference;
+use crate::headers::text_header;
+use crate::rewrite::RouteRecord;
+
+/// Canonical envelope framing per SOAP version, as `to_xml()` emits it.
+struct Shape {
+    open: &'static str,
+    header_open: &'static str,
+    header_close: &'static str,
+    body_open: &'static str,
+    env_close: &'static str,
+}
+
+const V11_SHAPE: Shape = Shape {
+    open: "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">",
+    header_open: "<SOAP-ENV:Header>",
+    header_close: "</SOAP-ENV:Header>",
+    body_open: "<SOAP-ENV:Body",
+    env_close: "</SOAP-ENV:Envelope>",
+};
+
+const V12_SHAPE: Shape = Shape {
+    open: "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\">",
+    header_open: "<env:Header>",
+    header_close: "</env:Header>",
+    body_open: "<env:Body",
+    env_close: "</env:Envelope>",
+};
+
+/// The canonical namespace declaration every WSA header block carries.
+const XMLNS_WSA: &str = " xmlns:wsa=\"http://schemas.xmlsoap.org/ws/2004/08/addressing\"";
+
+/// Canonical header order (the order `WsaHeaders::apply` emits).
+fn slot_of(local: &str) -> Option<i32> {
+    match local {
+        "To" => Some(0),
+        "From" => Some(1),
+        "ReplyTo" => Some(2),
+        "FaultTo" => Some(3),
+        "Action" => Some(4),
+        "MessageID" => Some(5),
+        "RelatesTo" => Some(6),
+        _ => None,
+    }
+}
+
+/// The addressing block of one canonically-serialized envelope: decoded
+/// values where routing needs them, raw byte spans everywhere else.
+pub struct ScannedWsa<'a> {
+    src: &'a str,
+    /// First byte of the first WSA header (start of the spliced region).
+    run_start: usize,
+    /// Offset of `</PFX:Header>` (end of the spliced region).
+    run_end: usize,
+    to: Option<(String, Range<usize>)>,
+    from: Option<Range<usize>>,
+    reply_to: Option<(String, Range<usize>)>,
+    fault_to: Option<(String, Range<usize>)>,
+    action: Option<Range<usize>>,
+    message_id: Option<(String, Range<usize>)>,
+    relates_to: Vec<(String, Range<usize>)>,
+}
+
+/// Scans a serialized envelope for its WS-Addressing block. Returns
+/// `None` — meaning "use the tree path" — unless the envelope is in the
+/// writer's canonical form with all header children being canonical WSA
+/// headers in canonical order.
+pub fn scan(src: &str) -> Option<ScannedWsa<'_>> {
+    let shape = if src.starts_with(V11_SHAPE.open) {
+        &V11_SHAPE
+    } else if src.starts_with(V12_SHAPE.open) {
+        &V12_SHAPE
+    } else {
+        return None;
+    };
+    if !src.ends_with(shape.env_close) {
+        return None;
+    }
+    let mut pos = shape.open.len();
+    if !src[pos..].starts_with(shape.header_open) {
+        return None;
+    }
+    pos += shape.header_open.len();
+    let mut out = ScannedWsa {
+        src,
+        run_start: pos,
+        run_end: 0,
+        to: None,
+        from: None,
+        reply_to: None,
+        fault_to: None,
+        action: None,
+        message_id: None,
+        relates_to: Vec::new(),
+    };
+    let mut last_slot = -1i32;
+    loop {
+        if src[pos..].starts_with(shape.header_close) {
+            if last_slot < 0 {
+                // An empty Header would not be re-emitted by the tree path.
+                return None;
+            }
+            out.run_end = pos;
+            let body = pos + shape.header_close.len();
+            if !src[body..].starts_with(shape.body_open) {
+                return None;
+            }
+            match src.as_bytes().get(body + shape.body_open.len()) {
+                Some(b'>') | Some(b'/') => {}
+                _ => return None,
+            }
+            return Some(out);
+        }
+        let start = pos;
+        let (local, tag) = scan_wsa_open(src, pos)?;
+        let slot = slot_of(local)?;
+        // Canonical order, singletons at most once (RelatesTo may repeat).
+        if slot < last_slot || (slot == last_slot && slot != 6) {
+            return None;
+        }
+        last_slot = slot;
+        match local {
+            "To" | "Action" | "MessageID" => {
+                if !tag.extra.is_empty() {
+                    return None;
+                }
+                let (value, end) = scan_text_content(src, tag.content_start, local)?;
+                match local {
+                    "To" => out.to = Some((value, start..end)),
+                    "Action" => out.action = Some(start..end),
+                    _ => out.message_id = Some((value, start..end)),
+                }
+                pos = end;
+            }
+            "RelatesTo" => {
+                if !tag.extra.is_empty() {
+                    // Only the canonical `RelationshipType` attribute, in
+                    // canonical escaping, keeps byte identity.
+                    let rel = tag.extra.strip_prefix(" RelationshipType=\"")?;
+                    let (raw, rest) = rel.split_once('"')?;
+                    if !rest.is_empty() {
+                        return None;
+                    }
+                    let decoded = unescape(raw)?;
+                    if escape_attr(&decoded) != raw {
+                        return None;
+                    }
+                }
+                let (value, end) = scan_text_content(src, tag.content_start, local)?;
+                out.relates_to.push((value, start..end));
+                pos = end;
+            }
+            _ => {
+                // From / ReplyTo / FaultTo: an address-only EPR.
+                if !tag.extra.is_empty() {
+                    return None;
+                }
+                let (addr, end) = scan_epr_content(src, tag.content_start, local)?;
+                match local {
+                    "From" => out.from = Some(start..end),
+                    "ReplyTo" => out.reply_to = Some((addr, start..end)),
+                    _ => out.fault_to = Some((addr, start..end)),
+                }
+                pos = end;
+            }
+        }
+    }
+}
+
+struct OpenTag<'a> {
+    /// Raw bytes between the xmlns declaration and the closing `>`.
+    extra: &'a str,
+    /// Offset of the first content byte.
+    content_start: usize,
+}
+
+/// Matches `<wsa:Local xmlns:wsa="…"…>` at `pos`. Self-closing tags are
+/// rejected: the tree path re-emits empty headers as `<x></x>`.
+fn scan_wsa_open(src: &str, pos: usize) -> Option<(&str, OpenTag<'_>)> {
+    let after_lt = src[pos..].strip_prefix("<wsa:")?;
+    let name_len = after_lt.bytes().position(|b| !b.is_ascii_alphanumeric())?;
+    if name_len == 0 {
+        return None;
+    }
+    let local = &after_lt[..name_len];
+    let after_ns = after_lt[name_len..].strip_prefix(XMLNS_WSA)?;
+    let gt = after_ns.find('>')?;
+    if after_ns[..gt].ends_with('/') {
+        return None;
+    }
+    let extra = &after_ns[..gt];
+    let content_start = pos + "<wsa:".len() + name_len + XMLNS_WSA.len() + gt + 1;
+    Some((local, OpenTag { extra, content_start }))
+}
+
+/// Matches `text</wsa:local>` with canonically-escaped text. Returns the
+/// decoded text and the offset past the close tag.
+fn scan_text_content(src: &str, content_start: usize, local: &str) -> Option<(String, usize)> {
+    let rest = &src[content_start..];
+    let lt = rest.find('<')?;
+    let raw = &rest[..lt];
+    rest[lt..]
+        .strip_prefix("</wsa:")?
+        .strip_prefix(local)?
+        .strip_prefix('>')?;
+    let value = unescape(raw)?;
+    if escape_text(&value) != raw {
+        return None;
+    }
+    let end = content_start + lt + "</wsa:".len() + local.len() + 1;
+    Some((value.into_owned(), end))
+}
+
+/// Matches `<wsa:Address>addr</wsa:Address></wsa:local>` — the canonical
+/// serialization of an address-only EPR. Reference properties/parameters
+/// (or any other child) fall back to the tree path.
+fn scan_epr_content(src: &str, content_start: usize, local: &str) -> Option<(String, usize)> {
+    let rest = src[content_start..].strip_prefix("<wsa:Address>")?;
+    let lt = rest.find('<')?;
+    let raw = &rest[..lt];
+    rest[lt..]
+        .strip_prefix("</wsa:Address>")?
+        .strip_prefix("</wsa:")?
+        .strip_prefix(local)?
+        .strip_prefix('>')?;
+    let addr = unescape(raw)?;
+    if escape_text(&addr) != raw {
+        return None;
+    }
+    let end = content_start
+        + "<wsa:Address>".len()
+        + lt
+        + "</wsa:Address>".len()
+        + "</wsa:".len()
+        + local.len()
+        + 1;
+    Some((addr.into_owned(), end))
+}
+
+impl ScannedWsa<'_> {
+    /// Decoded `wsa:To`, if present.
+    pub fn to(&self) -> Option<&str> {
+        self.to.as_ref().map(|(v, _)| v.as_str())
+    }
+
+    /// Decoded `wsa:MessageID`, if present.
+    pub fn message_id(&self) -> Option<&str> {
+        self.message_id.as_ref().map(|(v, _)| v.as_str())
+    }
+
+    /// Decoded first `wsa:RelatesTo` — the reply-correlation key.
+    pub fn correlation_id(&self) -> Option<&str> {
+        self.relates_to.first().map(|(v, _)| v.as_str())
+    }
+
+    fn push_raw(&self, out: &mut String, span: &Range<usize>) {
+        out.push_str(&self.src[span.clone()]);
+    }
+
+    /// The forward rewrite (paper §4.2 step 3), spliced: `To` becomes
+    /// `physical_to`, `ReplyTo` (and `FaultTo`, when present) become the
+    /// dispatcher's address, `minted_id` is inserted when the message
+    /// carried no `MessageID`; every other byte is copied verbatim.
+    /// Output is byte-identical to `rewrite_for_forward` + `to_xml()`.
+    pub fn splice_forward(
+        &self,
+        physical_to: &str,
+        dispatcher_address: &str,
+        minted_id: Option<&str>,
+    ) -> (String, RouteRecord) {
+        let mut out = String::with_capacity(self.src.len() + 128);
+        out.push_str(&self.src[..self.run_start]);
+        write_element_into(&text_header("To", physical_to), &mut out);
+        if let Some(span) = &self.from {
+            self.push_raw(&mut out, span);
+        }
+        write_element_into(
+            &EndpointReference::new(dispatcher_address).to_element("ReplyTo"),
+            &mut out,
+        );
+        if self.fault_to.is_some() {
+            write_element_into(
+                &EndpointReference::new(dispatcher_address).to_element("FaultTo"),
+                &mut out,
+            );
+        }
+        if let Some(span) = &self.action {
+            self.push_raw(&mut out, span);
+        }
+        match (&self.message_id, minted_id) {
+            (Some((_, span)), _) => self.push_raw(&mut out, span),
+            (None, Some(id)) => write_element_into(&text_header("MessageID", id), &mut out),
+            (None, None) => {}
+        }
+        for (_, span) in &self.relates_to {
+            self.push_raw(&mut out, span);
+        }
+        out.push_str(&self.src[self.run_end..]);
+        let record = RouteRecord {
+            message_id: self
+                .message_id()
+                .or(minted_id)
+                .map(str::to_string),
+            original_reply_to: self
+                .reply_to
+                .as_ref()
+                .map(|(a, _)| EndpointReference::new(a.clone())),
+            original_fault_to: self
+                .fault_to
+                .as_ref()
+                .map(|(a, _)| EndpointReference::new(a.clone())),
+            logical_to: self.to.as_ref().map(|(v, _)| v.clone()),
+        };
+        (out, record)
+    }
+
+    /// The reply rewrite, spliced: `To` becomes `destination` (or is
+    /// dropped when `None`); everything else is copied verbatim. Output
+    /// is byte-identical to `rewrite_for_reply` + `to_xml()`.
+    pub fn splice_reply(&self, destination: Option<&str>) -> String {
+        let mut out = String::with_capacity(self.src.len() + 64);
+        out.push_str(&self.src[..self.run_start]);
+        if let Some(dest) = destination {
+            write_element_into(&text_header("To", dest), &mut out);
+        }
+        if let Some(span) = &self.from {
+            self.push_raw(&mut out, span);
+        }
+        if let Some((_, span)) = &self.reply_to {
+            self.push_raw(&mut out, span);
+        }
+        if let Some((_, span)) = &self.fault_to {
+            self.push_raw(&mut out, span);
+        }
+        if let Some(span) = &self.action {
+            self.push_raw(&mut out, span);
+        }
+        if let Some((_, span)) = &self.message_id {
+            self.push_raw(&mut out, span);
+        }
+        for (_, span) in &self.relates_to {
+            self.push_raw(&mut out, span);
+        }
+        out.push_str(&self.src[self.run_end..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::WsaHeaders;
+    use crate::rewrite::{rewrite_for_forward, rewrite_for_reply};
+    use crate::{ANONYMOUS, WSA_NS};
+    use wsd_soap::{rpc, Envelope, SoapVersion};
+
+    const DISPATCHER: &str = "http://dispatcher.example.org/msg";
+    const PHYSICAL: &str = "http://10.0.0.5:8888/echo";
+
+    fn request(version: SoapVersion) -> Envelope {
+        let mut env = rpc::echo_request(version, "hello <&> world");
+        WsaHeaders::new()
+            .to("http://dispatcher/svc/echo")
+            .reply_to(EndpointReference::new("http://client:8080/cb"))
+            .action("urn:wsd:echo:echo")
+            .message_id("uuid:req-1")
+            .apply(&mut env);
+        env
+    }
+
+    #[test]
+    fn xmlns_literal_matches_namespace_const() {
+        assert_eq!(XMLNS_WSA, format!(" xmlns:wsa=\"{WSA_NS}\""));
+    }
+
+    #[test]
+    fn scan_reads_canonical_headers() {
+        for version in [SoapVersion::V11, SoapVersion::V12] {
+            let xml = request(version).to_xml();
+            let scanned = scan(&xml).expect("canonical envelope must scan");
+            assert_eq!(scanned.to(), Some("http://dispatcher/svc/echo"));
+            assert_eq!(scanned.message_id(), Some("uuid:req-1"));
+            assert_eq!(scanned.correlation_id(), None);
+        }
+    }
+
+    #[test]
+    fn splice_forward_matches_tree_rewrite() {
+        for version in [SoapVersion::V11, SoapVersion::V12] {
+            let xml = request(version).to_xml();
+            let scanned = scan(&xml).unwrap();
+            let (spliced, record) = scanned.splice_forward(PHYSICAL, DISPATCHER, None);
+            let mut env = Envelope::parse(&xml).unwrap();
+            let tree_record = rewrite_for_forward(&mut env, PHYSICAL, DISPATCHER).unwrap();
+            assert_eq!(spliced, env.to_xml());
+            assert_eq!(record, tree_record);
+        }
+    }
+
+    #[test]
+    fn splice_forward_inserts_minted_message_id() {
+        let mut env = rpc::echo_request(SoapVersion::V11, "x");
+        WsaHeaders::new()
+            .to("http://d/svc/echo")
+            .reply_to(EndpointReference::new(ANONYMOUS))
+            .apply(&mut env);
+        let xml = env.to_xml();
+        let scanned = scan(&xml).unwrap();
+        let (spliced, record) = scanned.splice_forward(PHYSICAL, DISPATCHER, Some("uuid:minted"));
+        // Tree path: mint first (as MsgCore does), then rewrite.
+        let mut tree = Envelope::parse(&xml).unwrap();
+        let mut h = WsaHeaders::from_envelope(&tree).unwrap();
+        h.message_id = Some("uuid:minted".into());
+        h.apply(&mut tree);
+        rewrite_for_forward(&mut tree, PHYSICAL, DISPATCHER).unwrap();
+        assert_eq!(spliced, tree.to_xml());
+        assert_eq!(record.message_id.as_deref(), Some("uuid:minted"));
+    }
+
+    #[test]
+    fn splice_reply_matches_tree_rewrite() {
+        let mut reply = rpc::echo_response(SoapVersion::V11, "out");
+        WsaHeaders::new()
+            .to(DISPATCHER)
+            .relates_to("uuid:req-1")
+            .message_id("uuid:resp-1")
+            .apply(&mut reply);
+        let xml = reply.to_xml();
+        let scanned = scan(&xml).unwrap();
+        assert_eq!(scanned.correlation_id(), Some("uuid:req-1"));
+        let record = RouteRecord {
+            message_id: Some("uuid:req-1".into()),
+            original_reply_to: Some(EndpointReference::new("http://client:8080/cb")),
+            original_fault_to: None,
+            logical_to: None,
+        };
+        let spliced = scanned.splice_reply(Some("http://client:8080/cb"));
+        let mut env = Envelope::parse(&xml).unwrap();
+        let dest = rewrite_for_reply(&mut env, &record, None).unwrap();
+        assert_eq!(dest.as_deref(), Some("http://client:8080/cb"));
+        assert_eq!(spliced, env.to_xml());
+    }
+
+    #[test]
+    fn fault_to_is_redirected_when_present() {
+        let mut env = request(SoapVersion::V11);
+        let mut h = WsaHeaders::from_envelope(&env).unwrap();
+        h.fault_to = Some(EndpointReference::new("http://client/faults"));
+        h.apply(&mut env);
+        let xml = env.to_xml();
+        let scanned = scan(&xml).unwrap();
+        let (spliced, record) = scanned.splice_forward(PHYSICAL, DISPATCHER, None);
+        let mut tree = Envelope::parse(&xml).unwrap();
+        let tree_record = rewrite_for_forward(&mut tree, PHYSICAL, DISPATCHER).unwrap();
+        assert_eq!(spliced, tree.to_xml());
+        assert_eq!(record, tree_record);
+        assert_eq!(
+            record.original_fault_to.unwrap().address,
+            "http://client/faults"
+        );
+    }
+
+    #[test]
+    fn relates_to_with_relationship_type_passes_through() {
+        let mut env = rpc::echo_response(SoapVersion::V12, "x");
+        let mut h = WsaHeaders::new().message_id("uuid:r").to("http://d/msg");
+        h.relates_to.push(("uuid:orig".into(), Some("wsa:Reply".into())));
+        h.apply(&mut env);
+        let xml = env.to_xml();
+        let scanned = scan(&xml).expect("relationship type is canonical");
+        assert_eq!(scanned.correlation_id(), Some("uuid:orig"));
+    }
+
+    #[test]
+    fn anomalies_fall_back() {
+        // No WSA headers at all.
+        assert!(scan(&rpc::echo_request(SoapVersion::V11, "x").to_xml()).is_none());
+        // Foreign header block.
+        let mut env = request(SoapVersion::V11);
+        env.headers.insert(
+            0,
+            wsd_xml::Element::new_ns(Some("sec"), "Token", "urn:sec")
+                .declare_namespace(Some("sec"), "urn:sec")
+                .with_text("t"),
+        );
+        assert!(scan(&env.to_xml()).is_none());
+        // EPR with reference parameters.
+        let mut env = request(SoapVersion::V11);
+        let mut h = WsaHeaders::from_envelope(&env).unwrap();
+        h.reply_to = Some(
+            EndpointReference::new("http://client/cb")
+                .with_parameter(wsd_xml::Element::new("session").with_text("42")),
+        );
+        h.apply(&mut env);
+        assert!(scan(&env.to_xml()).is_none());
+        // Non-canonical: whitespace inside the envelope open tag.
+        let xml = request(SoapVersion::V11).to_xml();
+        assert!(scan(&xml.replace("<SOAP-ENV:Header>", "<SOAP-ENV:Header >")).is_none());
+        // Truncated document.
+        assert!(scan(&xml[..xml.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn out_of_order_headers_fall_back() {
+        // Hand-build an envelope whose MessageID precedes To.
+        let xml = request(SoapVersion::V11).to_xml();
+        let to = "<wsa:To xmlns:wsa=\"http://schemas.xmlsoap.org/ws/2004/08/addressing\">http://dispatcher/svc/echo</wsa:To>";
+        assert!(xml.contains(to));
+        let swapped = xml.replacen(to, "", 1).replacen(
+            "</SOAP-ENV:Header>",
+            &format!("{to}</SOAP-ENV:Header>"),
+            1,
+        );
+        assert!(scan(&swapped).is_none());
+    }
+}

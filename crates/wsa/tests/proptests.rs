@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use wsd_soap::{rpc, Envelope, SoapVersion};
-use wsd_wsa::{rewrite_for_forward, EndpointReference, WsaHeaders};
+use wsd_wsa::{
+    rewrite_for_forward, rewrite_for_reply, EndpointReference, RouteRecord, WsaHeaders,
+};
 
 fn uri() -> impl Strategy<Value = String> {
     "(http|https)://[a-z][a-z0-9.-]{0,20}(:[0-9]{2,5})?/[a-z0-9/_-]{0,20}"
@@ -66,6 +68,103 @@ proptest! {
         let once = env.to_xml();
         rewrite_for_forward(&mut env, "http://p/s", "http://d/m").unwrap();
         prop_assert_eq!(env.to_xml(), once);
+    }
+
+    /// The splice fast path produces byte-identical output to the tree
+    /// path (parse → `rewrite_for_forward` → `to_xml`) for every valid
+    /// all-WSA envelope, and covers every such envelope: `scan` only
+    /// declines when there are no addressing headers at all.
+    #[test]
+    fn splice_forward_is_byte_identical_to_tree(
+        h in headers_strategy(),
+        v in prop_oneof![Just(SoapVersion::V11), Just(SoapVersion::V12)],
+        text in "[a-zA-Z0-9<>&\"' ]{0,40}",
+        rel_type in proptest::option::of(Just("wsa:Reply".to_string())),
+    ) {
+        let mut h = h;
+        if let Some(first) = h.relates_to.first_mut() {
+            first.1 = rel_type;
+        }
+        let mut env = rpc::echo_request(v, &text);
+        h.apply(&mut env);
+        // One parse round-trip puts the body in parse-canonical form (e.g.
+        // an in-memory `<text></text>` with an empty text node becomes
+        // `<text/>`): the byte-identity contract compares against the tree
+        // path, which always re-parses.
+        let xml = Envelope::parse(&env.to_xml()).unwrap().to_xml();
+        let scanned = wsd_wsa::scan(&xml);
+        let empty = h == WsaHeaders::new();
+        prop_assert_eq!(scanned.is_some(), !empty, "fastpath coverage: {}", xml);
+        let Some(scanned) = scanned else { return Ok(()); };
+        // Mint an id exactly when the message carries none, as MsgCore does.
+        let minted = h.message_id.is_none().then_some("uuid:minted-1");
+        let (spliced, record) =
+            scanned.splice_forward("http://phys.example/svc", "http://disp.example/msg", minted);
+        let mut tree = Envelope::parse(&xml).unwrap();
+        if let Some(id) = minted {
+            let mut th = WsaHeaders::from_envelope(&tree).unwrap();
+            th.message_id = Some(id.to_string());
+            th.apply(&mut tree);
+        }
+        let tree_record =
+            rewrite_for_forward(&mut tree, "http://phys.example/svc", "http://disp.example/msg")
+                .unwrap();
+        prop_assert_eq!(&spliced, &tree.to_xml());
+        prop_assert_eq!(record.original_reply_to, tree_record.original_reply_to);
+        prop_assert_eq!(record.original_fault_to, tree_record.original_fault_to);
+        prop_assert_eq!(record.logical_to, tree_record.logical_to);
+        // Spliced output is itself canonical: rescanning it must succeed.
+        prop_assert!(wsd_wsa::scan(&spliced).is_some());
+    }
+
+    /// Same for the reply direction: splicing the destination into `To`
+    /// matches parse → `rewrite_for_reply` → `to_xml` byte for byte.
+    #[test]
+    fn splice_reply_is_byte_identical_to_tree(
+        h in headers_strategy(),
+        v in prop_oneof![Just(SoapVersion::V11), Just(SoapVersion::V12)],
+        dest in proptest::option::of(uri()),
+    ) {
+        let mut env = rpc::echo_response(v, "out");
+        h.apply(&mut env);
+        let xml = env.to_xml();
+        let Some(scanned) = wsd_wsa::scan(&xml) else { return Ok(()); };
+        let record = RouteRecord {
+            message_id: Some("uuid:q".into()),
+            original_reply_to: dest.clone().map(EndpointReference::new),
+            original_fault_to: None,
+            logical_to: None,
+        };
+        let spliced = scanned.splice_reply(dest.as_deref());
+        let mut tree = Envelope::parse(&xml).unwrap();
+        let tree_dest = rewrite_for_reply(&mut tree, &record, None).unwrap();
+        prop_assert_eq!(tree_dest, dest);
+        prop_assert_eq!(spliced, tree.to_xml());
+    }
+
+    /// Structural anomalies the splice path cannot reproduce byte-for-byte
+    /// are declined, never mangled: an EPR with reference parameters and a
+    /// foreign header block both force the tree path.
+    #[test]
+    fn splice_declines_non_canonical_envelopes(h in headers_strategy(), addr in uri()) {
+        let mut h = h;
+        h.reply_to = Some(
+            EndpointReference::new(addr)
+                .with_parameter(wsd_xml::Element::new("session").with_text("42")),
+        );
+        let mut env = rpc::echo_request(SoapVersion::V11, "x");
+        h.apply(&mut env);
+        prop_assert!(wsd_wsa::scan(&env.to_xml()).is_none());
+
+        let mut env = rpc::echo_request(SoapVersion::V11, "x");
+        h.apply(&mut env);
+        env.headers.insert(
+            0,
+            wsd_xml::Element::new_ns(Some("sec"), "Token", "urn:sec")
+                .declare_namespace(Some("sec"), "urn:sec")
+                .with_text("t"),
+        );
+        prop_assert!(wsd_wsa::scan(&env.to_xml()).is_none());
     }
 
     /// EPRs round-trip through their element form.

@@ -33,13 +33,16 @@ pub mod error;
 pub mod escape;
 pub mod name;
 pub mod parser;
+pub mod splice;
 pub mod tree;
 pub mod writer;
 
 pub use error::{XmlError, XmlErrorKind};
 pub use name::QName;
 pub use parser::{Event, PullParser, StartTag};
+pub use splice::{skip_element, unescape};
 pub use tree::{Attribute, Document, Element, Node};
+pub use writer::write_element_into;
 
 /// Parses a complete UTF-8 document into a tree.
 pub fn parse(input: &str) -> Result<Document, XmlError> {

@@ -1,0 +1,148 @@
+//! Byte-level scanning over serialized XML.
+//!
+//! Building blocks for splice-style rewriters that edit a serialized
+//! document in place instead of parsing it into a tree: a balanced
+//! element skipper and an entity decoder. Both are strict — anything
+//! they do not recognise yields `None`, and the caller is expected to
+//! fall back to the tree path.
+
+use crate::escape::{char_ref, predefined_entity};
+use std::borrow::Cow;
+
+/// Skips the complete element whose `<` sits at `start`, returning the
+/// offset one past its end (past `/>` or the matching close tag).
+/// Handles nested elements, quoted attribute values, comments and CDATA
+/// sections. Returns `None` when the bytes are not a well-formed
+/// serialized element.
+pub fn skip_element(s: &str, start: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    if bytes.get(start) != Some(&b'<') {
+        return None;
+    }
+    let mut pos = start;
+    let mut depth = 0usize;
+    loop {
+        if bytes.get(pos) == Some(&b'<') {
+            let rest = &s[pos..];
+            if let Some(after) = rest.strip_prefix("<!--") {
+                pos += 4 + after.find("-->")? + 3;
+            } else if let Some(after) = rest.strip_prefix("<![CDATA[") {
+                pos += 9 + after.find("]]>")? + 3;
+            } else if rest.starts_with("</") {
+                let gt = find_unquoted_gt(bytes, pos + 2)?;
+                depth = depth.checked_sub(1)?;
+                pos = gt + 1;
+                if depth == 0 {
+                    return Some(pos);
+                }
+            } else {
+                let gt = find_unquoted_gt(bytes, pos + 1)?;
+                let self_closing = bytes[gt - 1] == b'/';
+                pos = gt + 1;
+                if self_closing {
+                    if depth == 0 {
+                        return Some(pos);
+                    }
+                } else {
+                    depth += 1;
+                }
+            }
+        } else {
+            // Character data: jump to the next markup.
+            pos += s.get(pos..)?.find('<')?;
+        }
+    }
+}
+
+/// Finds the next `>` at or after `from` that is not inside a quoted
+/// attribute value.
+fn find_unquoted_gt(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut quote: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate().skip(from) {
+        match quote {
+            None => match b {
+                b'>' => return Some(i),
+                b'"' | b'\'' => quote = Some(b),
+                _ => {}
+            },
+            Some(q) if b == q => quote = None,
+            Some(_) => {}
+        }
+    }
+    None
+}
+
+/// Decodes entity and character references in a run of character data.
+/// Returns `None` for unterminated or unknown references (the sign of a
+/// document this scanner should not be trusted with).
+pub fn unescape(s: &str) -> Option<Cow<'_, str>> {
+    let Some(first) = s.find('&') else {
+        return Some(Cow::Borrowed(s));
+    };
+    let mut out = String::with_capacity(s.len());
+    out.push_str(&s[..first]);
+    let mut rest = &s[first..];
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';')?;
+        let name = &after[..semi];
+        let c = match name.strip_prefix('#') {
+            Some(body) => char_ref(body)?,
+            None => predefined_entity(name)?,
+        };
+        out.push(c);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Some(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_flat_and_nested_elements() {
+        let s = "<a><b>x</b><c/></a><tail/>";
+        assert_eq!(skip_element(s, 0), Some(19));
+        assert_eq!(&s[..19], "<a><b>x</b><c/></a>");
+        assert_eq!(skip_element(s, 3), Some(11)); // <b>x</b>
+        assert_eq!(skip_element(s, 11), Some(15)); // <c/>
+    }
+
+    #[test]
+    fn skips_self_closing_with_attrs() {
+        let s = "<a x=\"1>2\" y='<'/>rest";
+        assert_eq!(skip_element(s, 0), Some(18));
+    }
+
+    #[test]
+    fn skips_comments_and_cdata() {
+        let s = "<a><!-- </a> --><![CDATA[</a>]]></a>";
+        assert_eq!(skip_element(s, 0), Some(s.len()));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert_eq!(skip_element("<a><b></b>", 0), None);
+        assert_eq!(skip_element("<a", 0), None);
+        assert_eq!(skip_element("x<a/>", 0), None);
+        assert_eq!(skip_element("</a>", 0), None);
+    }
+
+    #[test]
+    fn unescape_decodes_references() {
+        assert_eq!(unescape("plain").unwrap(), "plain");
+        assert!(matches!(unescape("plain").unwrap(), Cow::Borrowed(_)));
+        assert_eq!(unescape("a&lt;b&amp;c&gt;d").unwrap(), "a<b&c>d");
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+    }
+
+    #[test]
+    fn unescape_rejects_bad_references() {
+        assert_eq!(unescape("a&b"), None);
+        assert_eq!(unescape("&nbsp;"), None);
+        assert_eq!(unescape("&#x0;"), None);
+    }
+}

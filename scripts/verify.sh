@@ -1,6 +1,12 @@
 #!/usr/bin/env sh
 # Offline-safe verification: build, test, lint. No network access needed
 # (all dependencies are vendored path crates).
+#
+# Modes:
+#   scripts/verify.sh               build + test + clippy
+#   scripts/verify.sh bench-smoke   the above, plus a quick dispatch_hotpath
+#                                   run emitting BENCH_hotpath.json at the
+#                                   repo root (override with BENCH_HOTPATH_JSON)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,3 +14,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+
+if [ "${1:-}" = "bench-smoke" ]; then
+    : "${CRITERION_SAMPLES:=3}"
+    # Absolute: cargo runs bench binaries from the package directory.
+    : "${BENCH_HOTPATH_JSON:=$(pwd)/BENCH_hotpath.json}"
+    export CRITERION_SAMPLES BENCH_HOTPATH_JSON
+    cargo bench -p wsd-bench --bench dispatch_hotpath
+fi
