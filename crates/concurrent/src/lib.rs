@@ -14,7 +14,10 @@
 //! * [`CountDownLatch`] — a one-shot completion barrier,
 //! * [`ThreadBudget`] — a global cap on concurrently live threads, used to
 //!   emulate the JVM `OutOfMemoryError` the paper hit when WS-MsgBox spawned
-//!   one thread per message.
+//!   one thread per message,
+//! * [`Reactor`] — an event-driven connection multiplexer that serves many
+//!   open connections from one event loop plus a bounded handler pool,
+//!   removing the thread-per-connection cost that produced that error.
 
 #![warn(missing_docs)]
 
@@ -23,9 +26,11 @@ pub mod latch;
 pub mod map;
 pub mod pool;
 pub mod queue;
+pub mod reactor;
 
 pub use budget::{BudgetError, ThreadBudget, ThreadLease};
 pub use latch::CountDownLatch;
 pub use map::ShardedMap;
 pub use pool::{PoolConfig, RejectionPolicy, TaskError, ThreadPool};
 pub use queue::{FifoQueue, PopError, PushError};
+pub use reactor::{Pump, Reactor, ReactorConfig, ReactorConn, Wakeup};

@@ -1,0 +1,644 @@
+//! An event-driven connection multiplexer.
+//!
+//! The paper's dispatchers (and its WS-MsgBox) pin one thread per open
+//! connection for the connection's whole lifetime — the architecture
+//! that produced the ~50-client `OutOfMemoryError`. A [`Reactor`]
+//! inverts that: it *owns* every registered connection, a single event
+//! loop pumps whichever connections have bytes ready, and only complete
+//! requests are dispatched to a bounded handler [`ThreadPool`]. Thread
+//! count scales with in-flight *requests*, not open *sockets*.
+//!
+//! The reactor is transport-agnostic: anything implementing
+//! [`ReactorConn`] can be registered. Connections that can deliver
+//! wakeups (in-process pipes, an OS poller) drive the loop directly;
+//! ones that cannot ([`ReactorConn::needs_poll`]) are pumped on a
+//! fallback tick.
+//!
+//! Backpressure is structural: while a connection is checked out to a
+//! handler (its response still being computed/written) it is simply not
+//! polled, so pipelined bytes accumulate in the transport's bounded
+//! buffer exactly like an unread TCP window. When the handler returns
+//! the connection, the reactor re-pumps it once to pick up anything that
+//! arrived meanwhile.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use wsd_telemetry::{Counter, Gauge, Histogram, Scope};
+
+use crate::pool::ThreadPool;
+
+/// What a [`ReactorConn::pump`] pass concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pump {
+    /// No complete request yet; park and wait for more bytes.
+    Idle,
+    /// At least one complete request is buffered; dispatch to a handler.
+    Ready,
+    /// EOF or protocol error; deregister and drop the connection.
+    Closed,
+}
+
+/// Wakeup hook a connection invokes when it may have become readable.
+pub type Wakeup = Arc<dyn Fn() + Send + Sync>;
+
+/// A connection the reactor can multiplex.
+pub trait ReactorConn: Send + 'static {
+    /// Installs the reactor's wakeup hook. Implementations wire it to
+    /// their transport's readiness notification (and may ignore it if
+    /// [`needs_poll`](Self::needs_poll) is `true`).
+    fn install_wakeup(&mut self, hook: Wakeup);
+
+    /// Whether this connection cannot deliver wakeups and must be pumped
+    /// on the fallback tick.
+    fn needs_poll(&self) -> bool {
+        false
+    }
+
+    /// Ingests whatever bytes are ready *without blocking* and reports
+    /// the connection's state. Runs on the reactor thread.
+    fn pump(&mut self) -> Pump;
+
+    /// Processes the buffered complete request(s) and writes the
+    /// response(s); blocking is fine — this runs on the handler pool.
+    /// Returns `false` when the connection should be closed (protocol
+    /// `Connection: close`, EOF, write failure).
+    fn handle(&mut self) -> bool;
+
+    /// Whether a partially-received request is parked in this
+    /// connection's buffer (slow sender / slow-loris telemetry).
+    fn has_partial(&self) -> bool {
+        false
+    }
+}
+
+/// Reactor construction parameters.
+pub struct ReactorConfig {
+    /// Event-loop thread name.
+    pub name: String,
+    /// Fallback tick for connections without wakeup support, and the
+    /// idle wait granularity of the loop.
+    pub poll_interval: Duration,
+    /// Scope the reactor's instruments live under: `open_conns` and
+    /// `parked_partials` gauges, a `loop_us` histogram, `dispatches` and
+    /// `wakeups` counters.
+    pub telemetry: Scope,
+}
+
+impl ReactorConfig {
+    /// Defaults: 10 ms fallback tick, no telemetry.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReactorConfig {
+            name: name.into(),
+            poll_interval: Duration::from_millis(10),
+            telemetry: Scope::noop(),
+        }
+    }
+
+    /// Sets the fallback poll tick.
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+
+    /// Attaches a telemetry scope.
+    pub fn telemetry(mut self, scope: Scope) -> Self {
+        self.telemetry = scope;
+        self
+    }
+}
+
+struct ReactorTelemetry {
+    open_conns: Gauge,
+    parked_partials: Gauge,
+    loop_us: Histogram,
+    dispatches: Counter,
+    wakeups: Counter,
+}
+
+impl ReactorTelemetry {
+    fn new(scope: &Scope) -> Self {
+        ReactorTelemetry {
+            open_conns: scope.gauge("open_conns"),
+            parked_partials: scope.gauge("parked_partials"),
+            loop_us: scope.histogram("loop_us"),
+            dispatches: scope.counter("dispatches"),
+            wakeups: scope.counter("wakeups"),
+        }
+    }
+}
+
+/// A registered connection is either parked (reactor-owned, pumpable) or
+/// checked out to a handler.
+enum Slot<C> {
+    Parked { conn: C, partial: bool },
+    Busy,
+}
+
+struct State<C> {
+    conns: HashMap<u64, Slot<C>>,
+    ready: VecDeque<u64>,
+}
+
+struct Shared<C: ReactorConn> {
+    state: Mutex<State<C>>,
+    cv: Condvar,
+    handlers: Arc<ThreadPool>,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    poll_interval: Duration,
+    tele: ReactorTelemetry,
+}
+
+impl<C: ReactorConn> Shared<C> {
+    /// Returns a checked-out connection after its handler pass. Always
+    /// re-queues a kept connection for one more pump, so bytes that
+    /// arrived while it was busy are picked up even though its wakeup
+    /// fired into a `Busy` slot.
+    fn reinsert(&self, id: u64, conn: C, keep: bool) {
+        let mut st = self.state.lock();
+        let existed = st.conns.remove(&id).is_some();
+        if !existed {
+            // Deregistered while busy (shutdown drained us): just drop.
+            return;
+        }
+        if !keep || self.stop.load(Ordering::Acquire) {
+            drop(st);
+            self.tele.open_conns.dec();
+            return;
+        }
+        let partial = conn.has_partial();
+        if partial {
+            self.tele.parked_partials.inc();
+        }
+        st.conns.insert(id, Slot::Parked { conn, partial });
+        st.ready.push_back(id);
+        drop(st);
+        self.cv.notify_one();
+    }
+}
+
+/// An event-driven connection multiplexer over a handler [`ThreadPool`].
+pub struct Reactor<C: ReactorConn> {
+    shared: Arc<Shared<C>>,
+    thread: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl<C: ReactorConn> Reactor<C> {
+    /// Starts the event loop. `handlers` is the pool complete requests
+    /// are dispatched to (the dispatcher's existing `CxThread` pool); the
+    /// reactor itself adds exactly one thread.
+    pub fn start(config: ReactorConfig, handlers: Arc<ThreadPool>) -> Arc<Reactor<C>> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                conns: HashMap::new(),
+                ready: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+            handlers,
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            poll_interval: config.poll_interval,
+            tele: ReactorTelemetry::new(&config.telemetry),
+        });
+        let shared2 = Arc::clone(&shared);
+        let thread = thread::Builder::new()
+            .name(config.name)
+            .spawn(move || run(&shared2))
+            .expect("reactor thread");
+        Arc::new(Reactor {
+            shared,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// Takes ownership of `conn`: installs the wakeup hook, parks it,
+    /// and schedules an initial pump (bytes may already be buffered).
+    pub fn register(&self, mut conn: C) {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return; // dropping conn closes it
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let weak = Arc::downgrade(&self.shared);
+        conn.install_wakeup(Arc::new(move || {
+            if let Some(shared) = weak.upgrade() {
+                shared.tele.wakeups.inc();
+                let mut st = shared.state.lock();
+                st.ready.push_back(id);
+                drop(st);
+                shared.cv.notify_one();
+            }
+        }));
+        let mut st = self.shared.state.lock();
+        st.conns.insert(
+            id,
+            Slot::Parked {
+                conn,
+                partial: false,
+            },
+        );
+        st.ready.push_back(id);
+        drop(st);
+        self.shared.tele.open_conns.inc();
+        self.shared.cv.notify_one();
+    }
+
+    /// Connections currently registered (parked or in a handler).
+    pub fn open_connections(&self) -> usize {
+        self.shared.state.lock().conns.len()
+    }
+
+    /// Parked connections holding a partial request.
+    pub fn parked_partials(&self) -> usize {
+        self.shared.tele.parked_partials.get().max(0) as usize
+    }
+
+    /// Stops the loop, joins the reactor thread and drops every parked
+    /// connection (closing its transport). Connections checked out to
+    /// handlers are dropped when their handler returns; the caller is
+    /// responsible for shutting the handler pool down afterwards.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+        // Collect parked conns under the lock but drop them outside it: a
+        // conn's Drop may fire its own wakeup hook, which locks the state.
+        let mut dropped: Vec<C> = Vec::new();
+        {
+            let mut st = self.shared.state.lock();
+            let ids: Vec<u64> = st.conns.keys().copied().collect();
+            for id in ids {
+                if matches!(st.conns.get(&id), Some(Slot::Parked { .. })) {
+                    if let Some(Slot::Parked { conn, partial }) = st.conns.remove(&id) {
+                        if partial {
+                            self.shared.tele.parked_partials.dec();
+                        }
+                        self.shared.tele.open_conns.dec();
+                        dropped.push(conn);
+                    }
+                }
+                // Busy: the handler's reinsert observes `stop` (or the
+                // removed entry) and finishes the bookkeeping.
+            }
+            st.ready.clear();
+        }
+        drop(dropped);
+    }
+}
+
+impl<C: ReactorConn> Drop for Reactor<C> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<C: ReactorConn> std::fmt::Debug for Reactor<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("open", &self.open_connections())
+            .finish()
+    }
+}
+
+fn run<C: ReactorConn>(shared: &Arc<Shared<C>>) {
+    loop {
+        let mut st = shared.state.lock();
+        while st.ready.is_empty() {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let timed_out = shared
+                .cv
+                .wait_timeout(&mut st, shared.poll_interval)
+                .timed_out();
+            if timed_out {
+                // Fallback tick: pump connections that cannot wake us.
+                let ids: Vec<u64> = st
+                    .conns
+                    .iter()
+                    .filter(|(_, slot)| matches!(slot, Slot::Parked { conn, .. } if conn.needs_poll()))
+                    .map(|(id, _)| *id)
+                    .collect();
+                st.ready.extend(ids);
+            }
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let id = st.ready.pop_front().expect("non-empty checked");
+        let taken = match st.conns.get_mut(&id) {
+            Some(slot @ Slot::Parked { .. }) => match std::mem::replace(slot, Slot::Busy) {
+                Slot::Parked { conn, partial } => Some((conn, partial)),
+                Slot::Busy => unreachable!("matched Parked"),
+            },
+            // Busy (wakeup raced a handler — reinsert re-queues) or gone.
+            Some(Slot::Busy) | None => None,
+        };
+        drop(st);
+        let Some((mut conn, was_partial)) = taken else {
+            continue;
+        };
+        let t0 = Instant::now();
+        let verdict = conn.pump();
+        match verdict {
+            Pump::Idle => {
+                let partial = conn.has_partial();
+                match (was_partial, partial) {
+                    (false, true) => shared.tele.parked_partials.inc(),
+                    (true, false) => shared.tele.parked_partials.dec(),
+                    _ => {}
+                }
+                shared
+                    .state
+                    .lock()
+                    .conns
+                    .insert(id, Slot::Parked { conn, partial });
+            }
+            Pump::Closed => {
+                shared.state.lock().conns.remove(&id);
+                if was_partial {
+                    shared.tele.parked_partials.dec();
+                }
+                shared.tele.open_conns.dec();
+                drop(conn);
+            }
+            Pump::Ready => {
+                if was_partial {
+                    shared.tele.parked_partials.dec();
+                }
+                shared.tele.dispatches.inc();
+                let shared2 = Arc::clone(shared);
+                let submitted = shared.handlers.execute(move || {
+                    let keep = conn.handle();
+                    shared2.reinsert(id, conn, keep);
+                });
+                if submitted.is_err() {
+                    // Pool shut down: the closure (and conn) were dropped.
+                    shared.state.lock().conns.remove(&id);
+                    shared.tele.open_conns.dec();
+                }
+            }
+        }
+        shared.tele.loop_us.record(t0.elapsed().as_micros() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A scripted connection: `pending` complete requests to serve,
+    /// `partial` bytes parked, `closed` once the peer hung up.
+    struct FakeConn {
+        shared: Arc<FakeShared>,
+    }
+
+    struct FakeShared {
+        pending: AtomicUsize,
+        handled: AtomicUsize,
+        partial: AtomicBool,
+        closed: AtomicBool,
+        keep: AtomicBool,
+        wake: Mutex<Option<Wakeup>>,
+    }
+
+    impl FakeShared {
+        fn new() -> Arc<Self> {
+            Arc::new(FakeShared {
+                pending: AtomicUsize::new(0),
+                handled: AtomicUsize::new(0),
+                partial: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
+                keep: AtomicBool::new(true),
+                wake: Mutex::new(None),
+            })
+        }
+
+        fn send(&self, n: usize) {
+            self.pending.fetch_add(n, Ordering::SeqCst);
+            self.wake();
+        }
+
+        fn close(&self) {
+            self.closed.store(true, Ordering::SeqCst);
+            self.wake();
+        }
+
+        fn wake(&self) {
+            let hook = self.wake.lock().clone();
+            if let Some(h) = hook {
+                h();
+            }
+        }
+    }
+
+    impl ReactorConn for FakeConn {
+        fn install_wakeup(&mut self, hook: Wakeup) {
+            *self.shared.wake.lock() = Some(hook);
+        }
+
+        fn pump(&mut self) -> Pump {
+            if self.shared.pending.load(Ordering::SeqCst) > 0 {
+                Pump::Ready
+            } else if self.shared.closed.load(Ordering::SeqCst) {
+                Pump::Closed
+            } else {
+                Pump::Idle
+            }
+        }
+
+        fn handle(&mut self) -> bool {
+            let n = self.shared.pending.swap(0, Ordering::SeqCst);
+            self.shared.handled.fetch_add(n, Ordering::SeqCst);
+            self.shared.keep.load(Ordering::SeqCst)
+        }
+
+        fn has_partial(&self) -> bool {
+            self.shared.partial.load(Ordering::SeqCst)
+        }
+    }
+
+    fn rig() -> (Arc<ThreadPool>, ReactorConfig) {
+        let pool = Arc::new(ThreadPool::new(PoolConfig::fixed("handler", 2)).unwrap());
+        (pool, ReactorConfig::new("reactor-test"))
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..500 {
+            if cond() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    #[test]
+    fn dispatches_ready_connections_to_handlers() {
+        let (pool, cfg) = rig();
+        let reactor = Reactor::start(cfg, Arc::clone(&pool));
+        let conn = FakeShared::new();
+        reactor.register(FakeConn {
+            shared: Arc::clone(&conn),
+        });
+        assert_eq!(reactor.open_connections(), 1);
+        conn.send(3);
+        assert!(wait_until(|| conn.handled.load(Ordering::SeqCst) == 3));
+        // Connection survives and handles a second burst.
+        conn.send(2);
+        assert!(wait_until(|| conn.handled.load(Ordering::SeqCst) == 5));
+        reactor.shutdown();
+        assert_eq!(reactor.open_connections(), 0);
+    }
+
+    #[test]
+    fn peer_close_deregisters() {
+        let (pool, cfg) = rig();
+        let reactor = Reactor::start(cfg, Arc::clone(&pool));
+        let conn = FakeShared::new();
+        reactor.register(FakeConn {
+            shared: Arc::clone(&conn),
+        });
+        conn.close();
+        assert!(wait_until(|| reactor.open_connections() == 0));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn handler_requested_close_deregisters() {
+        let (pool, cfg) = rig();
+        let reactor = Reactor::start(cfg, Arc::clone(&pool));
+        let conn = FakeShared::new();
+        conn.keep.store(false, Ordering::SeqCst);
+        reactor.register(FakeConn {
+            shared: Arc::clone(&conn),
+        });
+        conn.send(1);
+        assert!(wait_until(|| conn.handled.load(Ordering::SeqCst) == 1));
+        assert!(wait_until(|| reactor.open_connections() == 0));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn partial_gauge_tracks_parked_partials() {
+        let reg = wsd_telemetry::Registry::new();
+        let pool = Arc::new(ThreadPool::new(PoolConfig::fixed("handler", 2)).unwrap());
+        let reactor = Reactor::start(
+            ReactorConfig::new("reactor-test").telemetry(reg.scope("r")),
+            Arc::clone(&pool),
+        );
+        let conn = FakeShared::new();
+        reactor.register(FakeConn {
+            shared: Arc::clone(&conn),
+        });
+        conn.partial.store(true, Ordering::SeqCst);
+        conn.wake(); // pump -> Idle with a partial buffered
+        assert!(wait_until(|| reactor.parked_partials() == 1));
+        conn.partial.store(false, Ordering::SeqCst);
+        conn.close();
+        assert!(wait_until(|| reactor.open_connections() == 0));
+        assert_eq!(reactor.parked_partials(), 0);
+        reactor.shutdown();
+        let snap = reg.snapshot();
+        assert!(snap.counter("r.wakeups") >= 2);
+        let (open, _) = match snap.get("r.open_conns") {
+            Some(wsd_telemetry::MetricValue::Gauge { value, peak }) => (*value, *peak),
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        assert_eq!(open, 0);
+    }
+
+    #[test]
+    fn needs_poll_connections_are_ticked() {
+        struct PollConn {
+            shared: Arc<FakeShared>,
+        }
+        impl ReactorConn for PollConn {
+            fn install_wakeup(&mut self, _hook: Wakeup) {} // unsupported
+            fn needs_poll(&self) -> bool {
+                true
+            }
+            fn pump(&mut self) -> Pump {
+                if self.shared.pending.load(Ordering::SeqCst) > 0 {
+                    Pump::Ready
+                } else {
+                    Pump::Idle
+                }
+            }
+            fn handle(&mut self) -> bool {
+                let n = self.shared.pending.swap(0, Ordering::SeqCst);
+                self.shared.handled.fetch_add(n, Ordering::SeqCst);
+                true
+            }
+        }
+        let pool = Arc::new(ThreadPool::new(PoolConfig::fixed("handler", 1)).unwrap());
+        let reactor = Reactor::start(
+            ReactorConfig::new("tick").poll_interval(Duration::from_millis(2)),
+            Arc::clone(&pool),
+        );
+        let conn = FakeShared::new();
+        reactor.register(PollConn {
+            shared: Arc::clone(&conn),
+        });
+        // No wakeup is ever delivered; only the tick can find this.
+        conn.pending.store(4, Ordering::SeqCst);
+        assert!(wait_until(|| conn.handled.load(Ordering::SeqCst) == 4));
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drops_parked_connections() {
+        let (pool, cfg) = rig();
+        let reactor = Reactor::start(cfg, Arc::clone(&pool));
+        for _ in 0..8 {
+            reactor.register(FakeConn {
+                shared: FakeShared::new(),
+            });
+        }
+        assert!(wait_until(|| reactor.open_connections() == 8));
+        reactor.shutdown();
+        assert_eq!(reactor.open_connections(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn register_after_shutdown_drops_connection() {
+        let (pool, cfg) = rig();
+        let reactor = Reactor::start(cfg, Arc::clone(&pool));
+        reactor.shutdown();
+        reactor.register(FakeConn {
+            shared: FakeShared::new(),
+        });
+        assert_eq!(reactor.open_connections(), 0);
+    }
+
+    #[test]
+    fn many_connections_few_handler_threads() {
+        let pool = Arc::new(ThreadPool::new(PoolConfig::fixed("handler", 2)).unwrap());
+        let reactor = Reactor::start(ReactorConfig::new("many"), Arc::clone(&pool));
+        let conns: Vec<Arc<FakeShared>> = (0..64).map(|_| FakeShared::new()).collect();
+        for c in &conns {
+            reactor.register(FakeConn {
+                shared: Arc::clone(c),
+            });
+        }
+        for c in &conns {
+            c.send(1);
+        }
+        assert!(wait_until(|| conns
+            .iter()
+            .all(|c| c.handled.load(Ordering::SeqCst) == 1)));
+        assert_eq!(reactor.open_connections(), 64);
+        // Still exactly 2 handler threads + 1 reactor thread.
+        assert_eq!(pool.worker_count(), 2);
+        reactor.shutdown();
+    }
+}

@@ -2,6 +2,22 @@
 
 use std::time::Duration;
 
+use wsd_http::Limits;
+
+/// How a server turns accepted connections into handled requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnFrontEnd {
+    /// One pool thread blocks in the serve loop per connection for its
+    /// whole lifetime — the paper's architecture, which caps fan-in at
+    /// the pool/thread ceiling (§4.3.2's `OutOfMemoryError`).
+    ThreadPerConn,
+    /// A reactor owns all connections and dispatches only complete
+    /// requests to the pool; thread count scales with in-flight requests,
+    /// not open sockets.
+    #[default]
+    Reactor,
+}
+
 /// MSG-Dispatcher tuning (paper §4.2: "the sizes of the pools are
 /// configurable").
 #[derive(Debug, Clone)]
@@ -31,6 +47,10 @@ pub struct DispatcherConfig {
     /// How long a route-table entry (forwarded request awaiting its
     /// reply) survives before being dropped.
     pub route_ttl: Duration,
+    /// Connection-handling architecture for the accept side.
+    pub front_end: ConnFrontEnd,
+    /// HTTP parser limits applied to every accepted connection.
+    pub limits: Limits,
 }
 
 impl Default for DispatcherConfig {
@@ -46,6 +66,8 @@ impl Default for DispatcherConfig {
             connect_timeout: Duration::from_secs(3),
             response_timeout: Duration::from_secs(30),
             route_ttl: Duration::from_secs(300),
+            front_end: ConnFrontEnd::default(),
+            limits: Limits::default(),
         }
     }
 }
@@ -78,6 +100,8 @@ pub struct MsgBoxConfig {
     /// Simulated native-thread budget for [`MsgBoxStrategy::ThreadPerMessage`]
     /// (the JVM's ceiling).
     pub thread_budget: usize,
+    /// HTTP parser limits applied to every accepted connection.
+    pub limits: Limits,
 }
 
 impl Default for MsgBoxConfig {
@@ -87,6 +111,7 @@ impl Default for MsgBoxConfig {
             max_messages_per_box: 10_000,
             message_ttl: Duration::from_secs(3600),
             thread_budget: 1000,
+            limits: Limits::default(),
         }
     }
 }

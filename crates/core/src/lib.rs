@@ -49,7 +49,7 @@ pub mod security;
 pub mod sim;
 pub mod url;
 
-pub use config::{DispatcherConfig, MsgBoxConfig, MsgBoxStrategy};
+pub use config::{ConnFrontEnd, DispatcherConfig, MsgBoxConfig, MsgBoxStrategy};
 pub use error::WsdError;
 pub use msg::{MsgCore, Routed, RoutedRaw};
 pub use msgbox::MsgBoxStore;

@@ -22,13 +22,27 @@ pub struct EchoServer {
 }
 
 impl EchoServer {
-    /// Starts the service on `host:port` with `workers` handler threads.
+    /// Starts the service on `host:port` with `workers` handler threads
+    /// and default parser limits.
     pub fn start(
         net: &Arc<Network>,
         host: &str,
         port: u16,
         workers: usize,
         service_delay: Duration,
+    ) -> EchoServer {
+        Self::start_with_limits(net, host, port, workers, service_delay, Limits::default())
+    }
+
+    /// Like [`EchoServer::start`], with operator-supplied parser limits
+    /// bounding head/body sizes on every accepted connection.
+    pub fn start_with_limits(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        workers: usize,
+        service_delay: Duration,
+        limits: Limits,
     ) -> EchoServer {
         let pool = Arc::new(
             ThreadPool::new(
@@ -47,7 +61,7 @@ impl EchoServer {
                 let served = Arc::clone(&served);
                 conns.track(&stream);
                 let _ = pool2.execute(move || {
-                    let _ = serve_connection(stream, &Limits::default(), |req| {
+                    let _ = serve_connection(stream, &limits, |req| {
                         if !service_delay.is_zero() {
                             std::thread::sleep(service_delay);
                         }
@@ -149,6 +163,28 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.served(), 80);
+        server.shutdown();
+    }
+
+    #[test]
+    fn operator_limits_bound_body_size() {
+        let net = Network::new();
+        let server = EchoServer::start_with_limits(
+            &net,
+            "ws",
+            8888,
+            2,
+            Duration::ZERO,
+            Limits {
+                max_body: 32,
+                ..Limits::default()
+            },
+        );
+        let stream = net.connect("ws", 8888).unwrap();
+        let mut client = HttpClient::new(stream);
+        let req = Request::soap_post("ws:8888", "/echo", "text/xml", vec![b'x'; 64]);
+        // The server tears the connection down on the oversized body.
+        assert!(client.call(&req).is_err());
         server.shutdown();
     }
 

@@ -15,6 +15,7 @@ pub mod deployment;
 pub mod echo_server;
 pub mod msg_server;
 pub mod msgbox_server;
+pub mod reactor_front;
 pub mod registry_server;
 pub mod rpc_server;
 
@@ -23,6 +24,7 @@ pub use deployment::{Deployment, DeploymentBuilder};
 pub use echo_server::EchoServer;
 pub use msg_server::MsgDispatcherServer;
 pub use msgbox_server::MsgBoxServer;
+pub use reactor_front::{ReactorFrontEnd, RequestHandler, ServedConn};
 pub use registry_server::RegistryServer;
 pub use rpc_server::RpcDispatcherServer;
 

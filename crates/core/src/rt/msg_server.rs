@@ -5,15 +5,49 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{Condvar, Mutex};
 use wsd_concurrent::{FifoQueue, PoolConfig, RejectionPolicy, ShardedMap, ThreadPool};
-use wsd_http::{serve_connection, HttpClient, Limits, Request, Response, Status};
+use wsd_http::{serve_connection, HttpClient, Request, Response, Status};
 use wsd_soap::{Envelope, SoapVersion};
 use wsd_telemetry::{Counter, Scope};
 
-use crate::config::DispatcherConfig;
+use crate::config::{ConnFrontEnd, DispatcherConfig};
 use crate::msg::{MsgCore, RoutedRaw};
-use crate::rt::{now_us, Network};
+use crate::rt::{now_us, Network, ReactorFrontEnd};
 use crate::url::Url;
+
+/// Stop signal for the route-table janitor: a flag under a mutex plus a
+/// condvar, so `shutdown()` interrupts the sweep wait immediately instead
+/// of being noticed at the next fixed-tick wakeup.
+pub(crate) struct JanitorSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl JanitorSignal {
+    pub(crate) fn new() -> Arc<JanitorSignal> {
+        Arc::new(JanitorSignal {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn stop(&self) {
+        *self.stopped.lock() = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks for `wait`; returns `true` when the janitor should exit.
+    /// A timed-out wait means "run a sweep"; a signaled one means stop.
+    pub(crate) fn wait_or_stopped(&self, wait: std::time::Duration) -> bool {
+        let mut stopped = self.stopped.lock();
+        if *stopped {
+            return true;
+        }
+        self.cv.wait_timeout(&mut stopped, wait);
+        *stopped
+    }
+}
 
 /// Counters for the threaded MSG dispatcher.
 #[derive(Debug, Default)]
@@ -73,7 +107,9 @@ impl RtMsgTelemetry {
 /// A running MSG dispatcher.
 pub struct MsgDispatcherServer {
     core: Arc<MsgCore>,
-    janitor_stop: Arc<AtomicBool>,
+    janitor: Arc<JanitorSignal>,
+    janitor_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    front: Option<ReactorFrontEnd>,
     cx_pool: Arc<ThreadPool>,
     ws_pool: Arc<ThreadPool>,
     dests: Arc<ShardedMap<String, Arc<Dest>>>,
@@ -137,31 +173,36 @@ impl MsgDispatcherServer {
         core.bind_telemetry(&scope.child("core"));
         let core = Arc::new(core);
         // Route-table janitor: drop forwarded requests whose replies
-        // never came (paper §4.4's expiration-time future work).
-        let janitor_stop = Arc::new(AtomicBool::new(false));
-        {
+        // never came (paper §4.4's expiration-time future work). Parks on
+        // a condvar so shutdown() tears it down without a tick of lag.
+        let janitor = JanitorSignal::new();
+        let janitor_thread = {
             let core = Arc::clone(&core);
-            let stop = Arc::clone(&janitor_stop);
+            let signal = Arc::clone(&janitor);
             let ttl = config.route_ttl;
             std::thread::Builder::new()
                 .name(format!("route-janitor-{host}"))
                 .spawn(move || {
-                    let tick = std::time::Duration::from_millis(200);
-                    let mut since_sweep = std::time::Duration::ZERO;
-                    while !stop.load(Ordering::Acquire) {
-                        std::thread::sleep(tick);
-                        since_sweep += tick;
-                        if since_sweep >= ttl / 4 {
-                            core.expire_routes(crate::rt::now_us(), ttl.as_micros() as u64);
-                            since_sweep = std::time::Duration::ZERO;
-                        }
+                    let sweep_every = (ttl / 4).max(std::time::Duration::from_millis(50));
+                    while !signal.wait_or_stopped(sweep_every) {
+                        core.expire_routes(crate::rt::now_us(), ttl.as_micros() as u64);
                     }
                 })
-                .expect("janitor thread");
-        }
+                .expect("janitor thread")
+        };
+        let front = match config.front_end {
+            ConnFrontEnd::Reactor => Some(ReactorFrontEnd::start(
+                format!("reactor-{host}"),
+                Arc::clone(&cx_pool),
+                &scope.child("reactor"),
+            )),
+            ConnFrontEnd::ThreadPerConn => None,
+        };
         let server = Arc::new(MsgDispatcherServer {
             core,
-            janitor_stop,
+            janitor,
+            janitor_thread: Mutex::new(Some(janitor_thread)),
+            front,
             cx_pool,
             ws_pool,
             dests: Arc::new(ShardedMap::new()),
@@ -175,16 +216,29 @@ impl MsgDispatcherServer {
         {
             let server2 = Arc::clone(&server);
             let config = config.clone();
+            let limits = config.limits;
             net.listen(host, port, move |stream| {
                 let server = Arc::clone(&server2);
                 let config = config.clone();
-                let pool = Arc::clone(&server.cx_pool);
                 server.conns.track(&stream);
-                let _ = pool.execute(move || {
-                    let _ = serve_connection(stream, &Limits::default(), |req| {
-                        server.accept(&config, req)
-                    });
-                });
+                match &server.front {
+                    Some(front) => {
+                        let handler = Arc::clone(&server);
+                        front.serve(
+                            stream,
+                            limits,
+                            Arc::new(move |req| handler.accept(&config, req)),
+                        );
+                    }
+                    None => {
+                        let pool = Arc::clone(&server.cx_pool);
+                        let _ = pool.execute(move || {
+                            let _ = serve_connection(stream, &limits, |req| {
+                                server.accept(&config, req)
+                            });
+                        });
+                    }
+                }
             });
         }
         server
@@ -200,11 +254,23 @@ impl MsgDispatcherServer {
         &self.core
     }
 
+    /// Reactor front-end telemetry view (open connections), when the
+    /// reactor front end is configured.
+    pub fn open_connections(&self) -> Option<usize> {
+        self.front.as_ref().map(ReactorFrontEnd::open_connections)
+    }
+
     /// Stops accepting, closes connections and queues, joins both pools.
     pub fn shutdown(&self) {
-        self.janitor_stop.store(true, Ordering::Release);
+        self.janitor.stop();
+        if let Some(h) = self.janitor_thread.lock().take() {
+            let _ = h.join();
+        }
         self.net.unlisten(&self.host, self.port);
         self.conns.close_all();
+        if let Some(front) = &self.front {
+            front.shutdown();
+        }
         self.dests.for_each(|_, d| d.queue.close());
         self.cx_pool.shutdown();
         self.ws_pool.shutdown();
@@ -414,6 +480,7 @@ mod tests {
     use crate::registry::Registry;
     use crate::rt::echo_server::EchoServer;
     use std::time::Duration;
+    use wsd_http::Limits;
     use wsd_soap::rpc as soap_rpc;
     use wsd_wsa::{EndpointReference, WsaHeaders};
 
@@ -502,6 +569,87 @@ mod tests {
                 });
             });
         });
+    }
+
+    #[test]
+    fn shutdown_is_immediate_despite_long_route_ttl() {
+        let net = Network::new();
+        let core = MsgCore::new(Arc::new(Registry::new()), "http://dispatcher:8080/msg", 3);
+        let config = DispatcherConfig {
+            route_ttl: Duration::from_secs(300), // sweep tick would be 75 s
+            ..DispatcherConfig::default()
+        };
+        let disp = MsgDispatcherServer::start(&net, "dispatcher", 8080, core, config);
+        let t0 = std::time::Instant::now();
+        disp.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown must interrupt the janitor's sweep wait immediately"
+        );
+    }
+
+    #[test]
+    fn thread_per_conn_front_end_still_serves() {
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 4, Duration::ZERO);
+        let registry = Arc::new(Registry::new());
+        registry.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        let core = MsgCore::new(registry, "http://dispatcher:8080/msg", 3);
+        let config = DispatcherConfig {
+            front_end: ConnFrontEnd::ThreadPerConn,
+            ..quick_config()
+        };
+        let disp = MsgDispatcherServer::start(&net, "dispatcher", 8080, core, config);
+        assert!(disp.open_connections().is_none());
+        for i in 0..3 {
+            let status = one_way(&net, "http://client:9000/cb", &format!("uuid:tpc{i}"), "x");
+            assert_eq!(status, Status::ACCEPTED);
+        }
+        for _ in 0..100 {
+            if disp.stats().delivered.load(Ordering::Relaxed) == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(disp.stats().delivered.load(Ordering::Relaxed), 3);
+        disp.shutdown();
+        ws.shutdown();
+    }
+
+    #[test]
+    fn reactor_open_connection_gauge_returns_to_zero() {
+        let reg = wsd_telemetry::Registry::new();
+        let net = Network::new();
+        let core = MsgCore::new(Arc::new(Registry::new()), "http://dispatcher:8080/msg", 3);
+        let disp = MsgDispatcherServer::start_with_telemetry(
+            &net,
+            "dispatcher",
+            8080,
+            core,
+            quick_config(),
+            &reg.scope("rt.msg"),
+        );
+        // Hold open keep-alive connections without completing a request.
+        let mut held = Vec::new();
+        for _ in 0..6 {
+            held.push(net.connect("dispatcher", 8080).unwrap());
+        }
+        for _ in 0..100 {
+            if disp.open_connections() == Some(6) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(disp.open_connections(), Some(6));
+        disp.shutdown();
+        assert_eq!(disp.open_connections(), Some(0));
+        let snap = reg.snapshot();
+        let open = match snap.get("rt.msg.reactor.open_conns") {
+            Some(wsd_telemetry::MetricValue::Gauge { value, .. }) => *value,
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        assert_eq!(open, 0);
+        drop(held);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use wsd_telemetry::{Counter, Scope};
 
 use crate::config::{MsgBoxConfig, MsgBoxStrategy};
 use crate::msgbox::{handle_soap, MsgBoxStore};
-use crate::rt::{now_us, Network};
+use crate::rt::{now_us, Network, ReactorFrontEnd};
 
 /// Telemetry instruments for the threaded WS-MsgBox service. The
 /// thread budget binds its own `budget` sub-scope (live gauge plus
@@ -41,6 +41,11 @@ impl MsgBoxTelemetry {
 pub struct MsgBoxServer {
     store: Arc<MsgBoxStore>,
     pool: Option<Arc<ThreadPool>>,
+    /// Present in the pooled design: connections are multiplexed on a
+    /// reactor instead of pinning a pool thread each, so the service
+    /// scales past the worker count in open sockets.
+    front: Option<ReactorFrontEnd>,
+    limits: Limits,
     budget: ThreadBudget,
     crashed: Arc<AtomicBool>,
     deposits: Arc<AtomicU64>,
@@ -89,9 +94,20 @@ impl MsgBoxServer {
             )),
             MsgBoxStrategy::ThreadPerMessage => None,
         };
+        // The pooled redesign gets the reactor front end; thread-per-message
+        // keeps the paper's original architecture (and its OOM wall).
+        let front = pool.as_ref().map(|pool| {
+            ReactorFrontEnd::start(
+                format!("reactor-msgbox-{host}"),
+                Arc::clone(pool),
+                &scope.child("reactor"),
+            )
+        });
         let server = Arc::new(MsgBoxServer {
             store,
             pool,
+            front,
+            limits: config.limits,
             budget,
             crashed: Arc::new(AtomicBool::new(false)),
             deposits: Arc::new(AtomicU64::new(0)),
@@ -117,9 +133,18 @@ impl MsgBoxServer {
             return; // dead JVM: the socket just hangs
         }
         let server = Arc::clone(self);
-        match &self.pool {
-            Some(pool) => {
-                let _ = pool.execute(move || server.serve(stream));
+        match &self.front {
+            Some(front) => {
+                front.serve(
+                    stream,
+                    self.limits,
+                    Arc::new(move |req| {
+                        if server.crashed.load(Ordering::Acquire) {
+                            return Response::empty(Status::SERVICE_UNAVAILABLE);
+                        }
+                        server.handle(req)
+                    }),
+                );
             }
             None => {
                 // Thread-per-connection, gated by the native-thread budget.
@@ -151,7 +176,7 @@ impl MsgBoxServer {
 
     fn serve(&self, stream: wsd_http::PipeStream) {
         let crashed = &self.crashed;
-        let _ = serve_connection(stream, &Limits::default(), |req| {
+        let _ = serve_connection(stream, &self.limits, |req| {
             if crashed.load(Ordering::Acquire) {
                 return Response::empty(Status::SERVICE_UNAVAILABLE);
             }
@@ -209,10 +234,18 @@ impl MsgBoxServer {
         &self.store
     }
 
+    /// Open connections on the reactor front end (pooled design only).
+    pub fn open_connections(&self) -> Option<usize> {
+        self.front.as_ref().map(ReactorFrontEnd::open_connections)
+    }
+
     /// Stops the service.
     pub fn shutdown(&self) {
         self.net.unlisten(&self.host, self.port);
         self.conns.close_all();
+        if let Some(front) = &self.front {
+            front.shutdown();
+        }
         if let Some(pool) = &self.pool {
             pool.shutdown();
         }

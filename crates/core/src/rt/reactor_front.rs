@@ -1,0 +1,323 @@
+//! Glue between the generic [`Reactor`] and the HTTP layer: accepted
+//! streams become [`ServedConn`]s that pump bytes through an incremental
+//! [`RequestParser`] and hand complete requests to the server's handler
+//! on the reactor's pool.
+//!
+//! This is the piece that removes the paper's thread-per-connection
+//! bottleneck in the threaded runtime: a dispatcher's `CxThread` pool is
+//! no longer pinned one-thread-per-socket — it only runs handlers for
+//! connections with a complete request buffered, while thousands of idle
+//! keep-alive connections cost a parser buffer each and nothing else.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use wsd_concurrent::{Pump, Reactor, ReactorConfig, ReactorConn, ThreadPool, Wakeup};
+use wsd_http::{write_response, Limits, PipeStream, ReadyStream, Request, RequestParser, Response};
+use wsd_telemetry::Scope;
+
+/// The per-request handler a front end runs on the pool; the same shape
+/// as the closure [`wsd_http::serve_connection`] takes, but shareable.
+pub type RequestHandler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// One multiplexed server-side connection: readiness-driven reads, an
+/// incremental parser, and blocking response writes on the handler pool.
+pub struct ServedConn<S: ReadyStream> {
+    stream: S,
+    parser: RequestParser,
+    pending: VecDeque<Request>,
+    handler: RequestHandler,
+    eof: bool,
+}
+
+impl<S: ReadyStream> ServedConn<S> {
+    /// Wraps an accepted stream.
+    pub fn new(stream: S, limits: Limits, handler: RequestHandler) -> Self {
+        ServedConn {
+            stream,
+            parser: RequestParser::new(limits),
+            pending: VecDeque::new(),
+            handler,
+            eof: false,
+        }
+    }
+}
+
+impl<S: ReadyStream + Send + 'static> ReactorConn for ServedConn<S> {
+    fn install_wakeup(&mut self, hook: Wakeup) {
+        self.stream.set_read_wakeup(Some(hook));
+    }
+
+    fn needs_poll(&self) -> bool {
+        !self.stream.supports_wakeup()
+    }
+
+    fn pump(&mut self) -> Pump {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.try_read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    // A parse error loses framing: drop the connection,
+                    // exactly as the blocking serve loop does.
+                    match self.parser.feed(&chunk[..n]) {
+                        Ok(Some(req)) => {
+                            self.pending.push_back(req);
+                            // Drain pipelined surplus already buffered.
+                            loop {
+                                match self.parser.poll() {
+                                    Ok(Some(req)) => self.pending.push_back(req),
+                                    Ok(None) => break,
+                                    Err(_) => return Pump::Closed,
+                                }
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(_) => return Pump::Closed,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return Pump::Closed,
+            }
+        }
+        if !self.pending.is_empty() {
+            Pump::Ready
+        } else if self.eof {
+            Pump::Closed
+        } else {
+            Pump::Idle
+        }
+    }
+
+    fn handle(&mut self) -> bool {
+        while let Some(req) = self.pending.pop_front() {
+            let client_keep_alive = req.keep_alive();
+            let resp = (self.handler)(req);
+            let resp_keep_alive = resp.keep_alive();
+            if write_response(&mut self.stream, &resp).is_err() {
+                return false;
+            }
+            if !client_keep_alive || !resp_keep_alive {
+                return false;
+            }
+        }
+        !self.eof
+    }
+
+    fn has_partial(&self) -> bool {
+        self.parser.has_partial()
+    }
+}
+
+/// A reactor-backed connection front end over the in-process network's
+/// [`PipeStream`]s. Cheap to clone; all clones share one reactor.
+///
+/// Servers call [`serve`](Self::serve) from their `Network::listen`
+/// handler instead of submitting a blocking serve loop to the pool.
+#[derive(Clone)]
+pub struct ReactorFrontEnd {
+    reactor: Arc<Reactor<ServedConn<PipeStream>>>,
+}
+
+impl ReactorFrontEnd {
+    /// Starts the event loop. `handlers` is the pool complete requests
+    /// run on (the dispatcher's `CxThread` pool). Telemetry lands under
+    /// `scope`: `open_conns`/`parked_partials` gauges, a `loop_us`
+    /// histogram, `dispatches`/`wakeups` counters.
+    pub fn start(name: impl Into<String>, handlers: Arc<ThreadPool>, scope: &Scope) -> Self {
+        let config = ReactorConfig::new(name).telemetry(scope.clone());
+        ReactorFrontEnd {
+            reactor: Reactor::start(config, handlers),
+        }
+    }
+
+    /// Hands an accepted connection to the reactor.
+    pub fn serve(&self, stream: PipeStream, limits: Limits, handler: RequestHandler) {
+        self.reactor.register(ServedConn::new(stream, limits, handler));
+    }
+
+    /// Connections currently registered (parked or in a handler).
+    pub fn open_connections(&self) -> usize {
+        self.reactor.open_connections()
+    }
+
+    /// Parked connections holding a partially-received request.
+    pub fn parked_partials(&self) -> usize {
+        self.reactor.parked_partials()
+    }
+
+    /// Stops the loop and drops every parked connection. Call before the
+    /// handler pool's own shutdown so checked-out connections can drain.
+    pub fn shutdown(&self) {
+        self.reactor.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ReactorFrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorFrontEnd")
+            .field("open", &self.open_connections())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::Duration;
+    use wsd_concurrent::PoolConfig;
+    use wsd_http::{duplex, HttpClient, Status};
+
+    fn echo() -> RequestHandler {
+        Arc::new(|req: Request| Response::new(Status::OK, "text/xml", req.body))
+    }
+
+    fn front(reg: &wsd_telemetry::Registry) -> (ReactorFrontEnd, Arc<ThreadPool>) {
+        let pool = Arc::new(ThreadPool::new(PoolConfig::fixed("handler", 2)).unwrap());
+        let fe = ReactorFrontEnd::start("reactor-test", Arc::clone(&pool), &reg.scope("fe"));
+        (fe, pool)
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..500 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    #[test]
+    fn serves_keep_alive_exchanges() {
+        let reg = wsd_telemetry::Registry::new();
+        let (fe, _pool) = front(&reg);
+        let (client, server) = duplex(64 * 1024);
+        fe.serve(server, Limits::default(), echo());
+        let mut c = HttpClient::new(client);
+        for i in 0..5 {
+            let req = Request::soap_post("h", "/", "text/xml", format!("m{i}").into_bytes());
+            let resp = c.call(&req).unwrap();
+            assert_eq!(resp.body, format!("m{i}").into_bytes());
+        }
+        assert_eq!(fe.open_connections(), 1);
+        drop(c);
+        assert!(wait_until(|| fe.open_connections() == 0));
+        fe.shutdown();
+    }
+
+    #[test]
+    fn many_idle_connections_few_threads() {
+        let reg = wsd_telemetry::Registry::new();
+        let (fe, pool) = front(&reg);
+        let mut clients = Vec::new();
+        for _ in 0..64 {
+            let (client, server) = duplex(64 * 1024);
+            fe.serve(server, Limits::default(), echo());
+            clients.push(HttpClient::new(client));
+        }
+        assert_eq!(fe.open_connections(), 64);
+        for (i, c) in clients.iter_mut().enumerate() {
+            let req = Request::soap_post("h", "/", "text/xml", format!("m{i}").into_bytes());
+            assert_eq!(c.call(&req).unwrap().status, Status::OK);
+        }
+        // 64 live connections, still only the fixed 2 handler threads.
+        assert_eq!(pool.worker_count(), 2);
+        drop(clients);
+        assert!(wait_until(|| fe.open_connections() == 0));
+        fe.shutdown();
+    }
+
+    #[test]
+    fn half_close_mid_request_releases_connection() {
+        let reg = wsd_telemetry::Registry::new();
+        let (fe, _pool) = front(&reg);
+        let (mut client, server) = duplex(4096);
+        fe.serve(server, Limits::default(), echo());
+        // Send half a request head, then hang up.
+        client.write_all(b"POST / HTTP/1.1\r\nContent-Le").unwrap();
+        assert!(wait_until(|| fe.parked_partials() == 1));
+        drop(client);
+        assert!(wait_until(|| fe.open_connections() == 0));
+        assert_eq!(fe.parked_partials(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("fe.open_conns").map(gauge_value), Some(0));
+        fe.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_partial_heads_only_park_buffers() {
+        let reg = wsd_telemetry::Registry::new();
+        let (fe, pool) = front(&reg);
+        let mut holders = Vec::new();
+        for _ in 0..16 {
+            let (mut client, server) = duplex(4096);
+            fe.serve(server, Limits::default(), echo());
+            // Each sender drips a few head bytes and stalls.
+            client.write_all(b"POST / HT").unwrap();
+            holders.push(client);
+        }
+        assert!(wait_until(|| fe.parked_partials() == 16));
+        // No handler thread is consumed by the stalled senders.
+        assert_eq!(pool.active_count(), 0);
+        // One real client still gets served promptly.
+        let (real, server) = duplex(4096);
+        fe.serve(server, Limits::default(), echo());
+        let mut c = HttpClient::new(real);
+        let req = Request::soap_post("h", "/", "text/xml", b"thru".to_vec());
+        assert_eq!(c.call(&req).unwrap().body, b"thru");
+        drop(holders);
+        drop(c);
+        assert!(wait_until(|| fe.open_connections() == 0));
+        assert_eq!(fe.parked_partials(), 0);
+        fe.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_parked_partials_releases_everything() {
+        let reg = wsd_telemetry::Registry::new();
+        let (fe, pool) = front(&reg);
+        let mut holders = Vec::new();
+        for _ in 0..8 {
+            let (mut client, server) = duplex(4096);
+            fe.serve(server, Limits::default(), echo());
+            client.write_all(b"POST /stall HTTP/1.1\r\n").unwrap();
+            holders.push(client);
+        }
+        assert!(wait_until(|| fe.parked_partials() == 8));
+        fe.shutdown();
+        pool.shutdown();
+        assert_eq!(fe.open_connections(), 0);
+        assert_eq!(fe.parked_partials(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("fe.open_conns").map(gauge_value), Some(0));
+        assert_eq!(snap.get("fe.parked_partials").map(gauge_value), Some(0));
+        // The dropped server ends surface as EOF on the stalled clients.
+        for mut h in holders {
+            let mut buf = [0u8; 1];
+            assert_eq!(std::io::Read::read(&mut h, &mut buf).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn malformed_request_closes_connection() {
+        let reg = wsd_telemetry::Registry::new();
+        let (fe, _pool) = front(&reg);
+        let (mut client, server) = duplex(4096);
+        fe.serve(server, Limits::default(), echo());
+        client.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        assert!(wait_until(|| fe.open_connections() == 0));
+        fe.shutdown();
+    }
+
+    fn gauge_value(m: &wsd_telemetry::MetricValue) -> i64 {
+        match m {
+            wsd_telemetry::MetricValue::Gauge { value, .. } => *value,
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+}

@@ -7,14 +7,14 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use wsd_concurrent::{PoolConfig, RejectionPolicy, ThreadPool};
-use wsd_http::{serve_connection, HttpClient, Limits, Request, Response};
+use wsd_http::{serve_connection, HttpClient, Request, Response};
 use wsd_soap::SoapVersion;
 use wsd_telemetry::{Counter, Scope};
 
-use crate::config::DispatcherConfig;
+use crate::config::{ConnFrontEnd, DispatcherConfig};
 use crate::registry::Registry;
 use crate::rpc::{error_response, plan_forward, upstream_failure_response, RpcDispatchStats};
-use crate::rt::Network;
+use crate::rt::{Network, ReactorFrontEnd};
 use crate::security::PolicyChain;
 
 /// Telemetry instruments mirroring [`RpcDispatchStats`].
@@ -41,6 +41,7 @@ impl RtRpcTelemetry {
 /// A running RPC dispatcher.
 pub struct RpcDispatcherServer {
     pool: Arc<ThreadPool>,
+    front: Option<ReactorFrontEnd>,
     stats: Arc<Mutex<RpcDispatchStats>>,
     net: Arc<Network>,
     conns: Arc<crate::rt::ConnTracker>,
@@ -89,13 +90,23 @@ impl RpcDispatcherServer {
         let stats = Arc::new(Mutex::new(RpcDispatchStats::default()));
         let policies = Arc::new(policies);
         let conns = crate::rt::ConnTracker::new();
+        let front = match config.front_end {
+            ConnFrontEnd::Reactor => Some(ReactorFrontEnd::start(
+                format!("reactor-rpc-{host}"),
+                Arc::clone(&pool),
+                &scope.child("reactor"),
+            )),
+            ConnFrontEnd::ThreadPerConn => None,
+        };
         {
             let pool2 = Arc::clone(&pool);
             let stats = Arc::clone(&stats);
             let net2 = Arc::clone(net);
             let conns = Arc::clone(&conns);
             let tele = Arc::clone(&tele);
+            let front = front.clone();
             let response_timeout = config.response_timeout;
+            let limits = config.limits;
             net.listen(host, port, move |stream| {
                 let registry = Arc::clone(&registry);
                 let policies = Arc::clone(&policies);
@@ -103,15 +114,35 @@ impl RpcDispatcherServer {
                 let net = Arc::clone(&net2);
                 let tele = Arc::clone(&tele);
                 conns.track(&stream);
-                let _ = pool2.execute(move || {
-                    let _ = serve_connection(stream, &Limits::default(), |req| {
-                        handle(&net, &registry, &policies, &stats, &tele, response_timeout, req)
-                    });
-                });
+                match &front {
+                    Some(front) => front.serve(
+                        stream,
+                        limits,
+                        Arc::new(move |req| {
+                            handle(&net, &registry, &policies, &stats, &tele, response_timeout, req)
+                        }),
+                    ),
+                    None => {
+                        let _ = pool2.execute(move || {
+                            let _ = serve_connection(stream, &limits, |req| {
+                                handle(
+                                    &net,
+                                    &registry,
+                                    &policies,
+                                    &stats,
+                                    &tele,
+                                    response_timeout,
+                                    req,
+                                )
+                            });
+                        });
+                    }
+                }
             });
         }
         RpcDispatcherServer {
             pool,
+            front,
             stats,
             net: Arc::clone(net),
             conns,
@@ -129,6 +160,9 @@ impl RpcDispatcherServer {
     pub fn shutdown(&self) {
         self.net.unlisten(&self.host, self.port);
         self.conns.close_all();
+        if let Some(front) = &self.front {
+            front.shutdown();
+        }
         self.pool.shutdown();
     }
 }

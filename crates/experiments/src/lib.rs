@@ -8,6 +8,7 @@
 //! | [`fig5`] | Figure 5 — RPC, high connectivity (iuHigh ↔ inriaFast) |
 //! | [`fig6`] | Figure 6 — asynchronous messaging (+ the WS-MsgBox OOM bug) |
 //! | [`calibration`] | §4.3 link/host/message-size calibration table |
+//! | [`connwall`] | §4.3.2 connection wall, rerun on the threaded runtime's reactor |
 //!
 //! Each module exposes a `run` function returning plain data (so the
 //! Criterion benches and integration tests reuse it) and a `print`
@@ -19,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+pub mod connwall;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom]
-//!             [--calibration] [--all] [--seconds N] [--quick]
-//!             [--json PATH]
+//!             [--connwall] [--calibration] [--all] [--seconds N]
+//!             [--quick] [--json PATH]
 //! ```
+//!
+//! `--connwall` reruns the §4.3.2 connection wall on the threaded
+//! runtime (real OS threads); it is *not* part of `--all`, which covers
+//! the simulated-network figures only.
 //!
 //! `--quick` shortens the virtual run window and thins the sweeps (for
 //! smoke runs); the default regenerates the paper's one-minute windows.
@@ -13,7 +17,7 @@
 //! through `wsd-telemetry` scopes, which never feed back into the
 //! simulation: the series are identical with or without observation.
 
-use wsd_experiments::{calibration, fig4, fig5, fig6, table1};
+use wsd_experiments::{calibration, connwall, fig4, fig5, fig6, table1};
 use wsd_loadgen::{LatencySummary, RunTotals};
 use wsd_telemetry::Snapshot;
 
@@ -23,6 +27,7 @@ struct Options {
     fig5: bool,
     fig6: bool,
     fig6_oom: bool,
+    connwall: bool,
     calibration: bool,
     seconds: u64,
     quick: bool,
@@ -36,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
         fig5: false,
         fig6: false,
         fig6_oom: false,
+        connwall: false,
         calibration: false,
         seconds: 60,
         quick: false,
@@ -63,6 +69,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--fig6-oom" => {
                 opts.fig6_oom = true;
+                any = true;
+            }
+            "--connwall" => {
+                opts.connwall = true;
                 any = true;
             }
             "--calibration" => {
@@ -211,6 +221,30 @@ fn json_fig6(rows: &[fig6::Fig6Row], snap: &Snapshot) -> String {
     )
 }
 
+fn json_connwall(o: &connwall::ConnWallOutcome) -> String {
+    let point = |p: &connwall::ConnWallPoint| {
+        format!(
+            "{{\"clients\":{},\"crashed\":{},\"peak_threads\":{},\"deposits\":{},\"open_conns\":{}}}",
+            p.clients,
+            p.crashed,
+            p.peak_threads,
+            p.deposits,
+            p.open_conns
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        )
+    };
+    let tpm: Vec<String> = o.thread_per_message.iter().map(point).collect();
+    let reactor: Vec<String> = o.reactor.iter().map(point).collect();
+    format!(
+        "{{\"thread_budget\":{},\"pool_workers\":{},\"thread_per_message\":[{}],\"reactor\":[{}]}}",
+        connwall::THREAD_BUDGET,
+        connwall::POOL_WORKERS,
+        tpm.join(","),
+        reactor.join(",")
+    )
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -218,7 +252,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom] \
-                 [--calibration] [--all] [--seconds N] [--quick] [--json PATH]"
+                 [--connwall] [--calibration] [--all] [--seconds N] [--quick] [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -270,6 +304,17 @@ fn main() {
     }
     if opts.fig6_oom {
         fig6::print_oom(&fig6::run_oom(60, opts.seconds.min(30)));
+        println!();
+    }
+    if opts.connwall {
+        let (tpm, reactor): (&[usize], &[usize]) = if opts.quick {
+            (&[25, 60], &[200])
+        } else {
+            (connwall::TPM_COUNTS, connwall::REACTOR_COUNTS)
+        };
+        let outcome = connwall::run(tpm, reactor);
+        connwall::print(&outcome);
+        json_figures.push(("connwall", json_connwall(&outcome)));
         println!();
     }
     if let Some(path) = &opts.json {

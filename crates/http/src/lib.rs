@@ -8,6 +8,10 @@
 //! * a parser and serializer, both for complete byte buffers (used on the
 //!   simulated network, which delivers whole messages) and for blocking
 //!   [`Stream`]s (used by the real-thread runtime),
+//! * an incremental [`RequestParser`] plus readiness support on streams
+//!   ([`ReadyStream`]: `try_read`/`try_write` and wakeup hooks), so an
+//!   event-driven front end can multiplex many connections without
+//!   blocking a thread per socket,
 //! * an in-memory duplex pipe ([`duplex`]) so the threaded runtime can run
 //!   a full client/dispatcher/service stack without real sockets,
 //! * [`HttpClient`] / [`serve_connection`] helpers with HTTP/1.0-1.1
@@ -19,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod conn;
+pub mod incremental;
 pub mod message;
 pub mod parse;
 pub mod serialize;
@@ -26,13 +31,14 @@ pub mod stream;
 
 pub use bytes::Bytes;
 pub use conn::{serve_connection, HttpClient};
+pub use incremental::RequestParser;
 pub use message::{Headers, Method, Request, Response, Status, Version};
 pub use parse::{parse_request_bytes, parse_response_bytes, MessageReader};
 pub use serialize::{
     request_bytes, request_bytes_into, response_bytes, response_bytes_into, write_request,
     write_response,
 };
-pub use stream::{duplex, PipeStream, ShutdownHandle, Stream};
+pub use stream::{duplex, PipeStream, ReadyStream, ShutdownHandle, Stream, WakeHook};
 
 /// Errors raised by HTTP parsing and I/O.
 #[derive(Debug)]

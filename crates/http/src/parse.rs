@@ -150,6 +150,12 @@ impl<S: Stream> MessageReader<S> {
         // 1. Accumulate the head.
         let head_end = loop {
             if let Some(end) = find_head_end(&self.buf) {
+                // The completed head must itself respect the limit: a
+                // large read chunk must not smuggle in an oversized head
+                // that a byte-at-a-time arrival would have rejected.
+                if end + 4 > limits.max_head {
+                    return Err(HttpError::TooLarge("head"));
+                }
                 break end + 4;
             }
             if self.buf.len() > limits.max_head {

@@ -26,6 +26,60 @@ impl Stream for std::net::TcpStream {
     }
 }
 
+/// A readiness callback: invoked whenever a stream *may* have become
+/// readable (data arrived or the peer closed). Hooks must be cheap and
+/// non-blocking — they run on the writer's thread.
+pub type WakeHook = Arc<dyn Fn() + Send + Sync>;
+
+/// A [`Stream`] that additionally supports non-blocking reads/writes and
+/// (optionally) readiness wakeups — what a reactor front end multiplexes.
+///
+/// `try_read`/`try_write` return `ErrorKind::WouldBlock` when the
+/// operation cannot make progress. Streams that cannot deliver wakeups
+/// (e.g. a plain `TcpStream` without an OS poller) report
+/// `supports_wakeup() == false` and are polled on a fallback tick.
+pub trait ReadyStream: Stream {
+    /// Non-blocking read: `Ok(0)` is EOF, `WouldBlock` means no data yet.
+    fn try_read(&mut self, out: &mut [u8]) -> io::Result<usize>;
+
+    /// Non-blocking write: `WouldBlock` means the peer's window is full.
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize>;
+
+    /// Installs (or clears) the hook invoked on read-readiness changes.
+    fn set_read_wakeup(&mut self, hook: Option<WakeHook>);
+
+    /// Whether [`set_read_wakeup`](Self::set_read_wakeup) hooks actually
+    /// fire; when `false` the owner must poll.
+    fn supports_wakeup(&self) -> bool {
+        true
+    }
+}
+
+/// Passthrough for real sockets: readiness is emulated by toggling the
+/// socket's non-blocking flag around each call. No wakeup support — a
+/// reactor owning `TcpStream`s falls back to tick polling.
+impl ReadyStream for std::net::TcpStream {
+    fn try_read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        self.set_nonblocking(true)?;
+        let r = self.read(out);
+        let _ = self.set_nonblocking(false);
+        r
+    }
+
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.set_nonblocking(true)?;
+        let r = self.write(data);
+        let _ = self.set_nonblocking(false);
+        r
+    }
+
+    fn set_read_wakeup(&mut self, _hook: Option<WakeHook>) {}
+
+    fn supports_wakeup(&self) -> bool {
+        false
+    }
+}
+
 struct PipeBuf {
     data: VecDeque<u8>,
     closed: bool,
@@ -36,6 +90,9 @@ struct PipeHalfShared {
     buf: Mutex<PipeBuf>,
     readable: Condvar,
     writable: Condvar,
+    /// Read-readiness hook for this half's consumer; fired after data is
+    /// pushed or the half is closed (mirrors the `readable` condvar).
+    waker: Mutex<Option<WakeHook>>,
 }
 
 impl PipeHalfShared {
@@ -48,13 +105,22 @@ impl PipeHalfShared {
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
+            waker: Mutex::new(None),
         })
+    }
+
+    fn wake(&self) {
+        let hook = self.waker.lock().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     fn close(&self) {
         self.buf.lock().closed = true;
         self.readable.notify_all();
         self.writable.notify_all();
+        self.wake();
     }
 }
 
@@ -103,6 +169,55 @@ impl PipeStream {
             incoming: Arc::clone(&self.incoming),
             outgoing: Arc::clone(&self.outgoing),
         }
+    }
+}
+
+impl ReadyStream for PipeStream {
+    fn try_read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = self.incoming.buf.lock();
+        if !buf.data.is_empty() {
+            let n = out.len().min(buf.data.len());
+            for slot in out.iter_mut().take(n) {
+                *slot = buf.data.pop_front().expect("len checked");
+            }
+            drop(buf);
+            self.incoming.writable.notify_all();
+            return Ok(n);
+        }
+        if buf.closed {
+            return Ok(0); // EOF
+        }
+        Err(io::Error::new(io::ErrorKind::WouldBlock, "no data buffered"))
+    }
+
+    fn try_write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = self.outgoing.buf.lock();
+        if buf.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed the connection",
+            ));
+        }
+        let free = buf.capacity.saturating_sub(buf.data.len());
+        if free == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "pipe full"));
+        }
+        let n = free.min(data.len());
+        buf.data.extend(&data[..n]);
+        drop(buf);
+        self.outgoing.readable.notify_all();
+        self.outgoing.wake();
+        Ok(n)
+    }
+
+    fn set_read_wakeup(&mut self, hook: Option<WakeHook>) {
+        *self.incoming.waker.lock() = hook;
     }
 }
 
@@ -179,6 +294,7 @@ impl Write for PipeStream {
                 buf.data.extend(&data[..n]);
                 drop(buf);
                 self.outgoing.readable.notify_all();
+                self.outgoing.wake();
                 return Ok(n);
             }
             self.outgoing.writable.wait(&mut buf);
@@ -272,6 +388,53 @@ mod tests {
         b.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
         let err = b.read(&mut [0u8; 1]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn try_read_would_block_until_data() {
+        let (mut a, mut b) = duplex(8);
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            b.try_read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        a.write_all(b"hi").unwrap();
+        assert_eq!(b.try_read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"hi");
+        drop(a);
+        assert_eq!(b.try_read(&mut buf).unwrap(), 0); // EOF
+    }
+
+    #[test]
+    fn try_write_would_block_when_full() {
+        let (mut a, mut b) = duplex(2);
+        assert_eq!(a.try_write(b"abc").unwrap(), 2);
+        assert_eq!(
+            a.try_write(b"c").unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        let mut got = [0u8; 2];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(a.try_write(b"c").unwrap(), 1);
+    }
+
+    #[test]
+    fn wake_hook_fires_on_write_and_close() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (mut a, mut b) = duplex(64);
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let wakes2 = Arc::clone(&wakes);
+        b.set_read_wakeup(Some(Arc::new(move || {
+            wakes2.fetch_add(1, Ordering::SeqCst);
+        })));
+        a.write_all(b"x").unwrap();
+        assert_eq!(wakes.load(Ordering::SeqCst), 1);
+        a.write_all(b"y").unwrap();
+        assert_eq!(wakes.load(Ordering::SeqCst), 2);
+        drop(a); // close wakes the reader too
+        assert!(wakes.load(Ordering::SeqCst) >= 3);
+        // Clearing the hook stops notifications.
+        b.set_read_wakeup(None);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wsd_http::{
-    parse_request_bytes, parse_response_bytes, request_bytes, response_bytes, Headers, Method,
-    Request, Response, Status, Version,
+    parse_request_bytes, parse_response_bytes, request_bytes, response_bytes, Headers, HttpError,
+    Limits, Method, Request, RequestParser, Response, Status, Version,
 };
 
 fn header_name() -> impl Strategy<Value = String> {
@@ -88,5 +88,115 @@ proptest! {
         let cut = cut.min(bytes.len());
         let prefix = &bytes[..bytes.len() - cut];
         if let Ok(parsed) = parse_request_bytes(prefix) { prop_assert_eq!(parsed, req) }
+    }
+}
+
+/// Feeds `bytes` to a fresh incremental parser in the given chunk sizes
+/// and returns the first completed message or error.
+fn feed_chunked(
+    bytes: &[u8],
+    limits: Limits,
+    chunks: impl Iterator<Item = usize>,
+) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new(limits);
+    let mut at = 0;
+    for size in chunks {
+        if at >= bytes.len() {
+            break;
+        }
+        let end = (at + size.max(1)).min(bytes.len());
+        match parser.feed(&bytes[at..end]) {
+            Ok(Some(req)) => return Ok(Some(req)),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+        at = end;
+    }
+    // Flush any remainder in one final chunk.
+    if at < bytes.len() {
+        return parser.feed(&bytes[at..]);
+    }
+    Ok(None)
+}
+
+/// Splits `len` bytes into chunk sizes drawn from `cuts` (cycled).
+fn cycled(cuts: Vec<usize>, len: usize) -> impl Iterator<Item = usize> {
+    cuts.into_iter().cycle().take(len + 1)
+}
+
+proptest! {
+    /// Byte-at-a-time incremental parsing yields exactly what the
+    /// whole-buffer parser yields on a valid message.
+    #[test]
+    fn incremental_byte_at_a_time_matches_whole_buffer(req in request_strategy()) {
+        let bytes = request_bytes(&req);
+        let whole = parse_request_bytes(&bytes).unwrap();
+        let fed = feed_chunked(&bytes, Limits::default(), std::iter::repeat_n(1, bytes.len()))
+            .unwrap()
+            .expect("complete message must be produced");
+        prop_assert_eq!(fed, whole);
+    }
+
+    /// Random chunking never changes the parsed message.
+    #[test]
+    fn incremental_random_chunks_match_whole_buffer(
+        req in request_strategy(),
+        cuts in proptest::collection::vec(1usize..64, 1..16),
+    ) {
+        let bytes = request_bytes(&req);
+        let whole = parse_request_bytes(&bytes).unwrap();
+        let fed = feed_chunked(&bytes, Limits::default(), cycled(cuts, bytes.len()))
+            .unwrap()
+            .expect("complete message must be produced");
+        prop_assert_eq!(fed, whole);
+    }
+
+    /// An oversized head is rejected with `TooLarge("head")` no matter
+    /// how the bytes arrive — even before the terminator shows up.
+    #[test]
+    fn incremental_head_limit_is_chunking_independent(
+        req in request_strategy(),
+        cuts in proptest::collection::vec(1usize..64, 1..16),
+    ) {
+        let bytes = request_bytes(&req);
+        let limits = Limits { max_head: 16, ..Limits::default() };
+        let byte_wise =
+            feed_chunked(&bytes, limits, std::iter::repeat_n(1, bytes.len())).unwrap_err();
+        let chunked = feed_chunked(&bytes, limits, cycled(cuts, bytes.len())).unwrap_err();
+        prop_assert_eq!(&byte_wise, &HttpError::TooLarge("head"));
+        prop_assert_eq!(&chunked, &HttpError::TooLarge("head"));
+    }
+
+    /// An oversized declared body is rejected with `TooLarge("body")` at
+    /// head completion, independent of chunking.
+    #[test]
+    fn incremental_body_limit_is_chunking_independent(
+        body_len in 9usize..256,
+        cuts in proptest::collection::vec(1usize..64, 1..16),
+    ) {
+        let req = Request::soap_post("h", "/svc", "text/xml", vec![b'x'; body_len]);
+        let bytes = request_bytes(&req);
+        let limits = Limits { max_body: 8, ..Limits::default() };
+        let byte_wise =
+            feed_chunked(&bytes, limits, std::iter::repeat_n(1, bytes.len())).unwrap_err();
+        let chunked = feed_chunked(&bytes, limits, cycled(cuts, bytes.len())).unwrap_err();
+        prop_assert_eq!(&byte_wise, &HttpError::TooLarge("body"));
+        prop_assert_eq!(&chunked, &HttpError::TooLarge("body"));
+    }
+
+    /// A malformed Content-Length is rejected at head completion (the
+    /// reader cannot frame the body), independent of chunking.
+    #[test]
+    fn incremental_bad_content_length_is_chunking_independent(
+        junk in "[a-z]{1,8}",
+        cuts in proptest::collection::vec(1usize..64, 1..16),
+    ) {
+        let bytes =
+            format!("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: {junk}\r\n\r\n").into_bytes();
+        let byte_wise = feed_chunked(&bytes, Limits::default(), std::iter::repeat_n(1, bytes.len()))
+            .unwrap_err();
+        let chunked = feed_chunked(&bytes, Limits::default(), cycled(cuts, bytes.len())).unwrap_err();
+        prop_assert_eq!(&byte_wise, &HttpError::BadSyntax("bad Content-Length"));
+        prop_assert_eq!(&chunked, &HttpError::BadSyntax("bad Content-Length"));
     }
 }

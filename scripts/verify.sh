@@ -3,10 +3,14 @@
 # (all dependencies are vendored path crates).
 #
 # Modes:
-#   scripts/verify.sh               build + test + clippy
-#   scripts/verify.sh bench-smoke   the above, plus a quick dispatch_hotpath
-#                                   run emitting BENCH_hotpath.json at the
-#                                   repo root (override with BENCH_HOTPATH_JSON)
+#   scripts/verify.sh                  build + test + clippy
+#   scripts/verify.sh bench-smoke      the above, plus a quick dispatch_hotpath
+#                                      run emitting BENCH_hotpath.json at the
+#                                      repo root (override with BENCH_HOTPATH_JSON)
+#   scripts/verify.sh connscale-smoke  the above, plus a 64-connection
+#                                      connection_scaling sweep asserting the
+#                                      reactor's peak thread count stays within
+#                                      its handler pool size
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,4 +25,10 @@ if [ "${1:-}" = "bench-smoke" ]; then
     : "${BENCH_HOTPATH_JSON:=$(pwd)/BENCH_hotpath.json}"
     export CRITERION_SAMPLES BENCH_HOTPATH_JSON
     cargo bench -p wsd-bench --bench dispatch_hotpath
+fi
+
+if [ "${1:-}" = "connscale-smoke" ]; then
+    # 64 mostly-idle connections, both front ends; the bench binary
+    # asserts the reactor's peak thread count <= pool size + event loop.
+    CONNSCALE_SMOKE=1 cargo bench -p wsd-bench --bench connection_scaling
 fi
