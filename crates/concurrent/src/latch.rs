@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
+
+use crate::ordered::OrderedMutex;
 
 /// A one-shot barrier initialized with a count; waiters block until the
 /// count reaches zero.
@@ -14,7 +16,7 @@ pub struct CountDownLatch {
 }
 
 struct Inner {
-    count: Mutex<usize>,
+    count: OrderedMutex<usize>,
     zero: Condvar,
 }
 
@@ -24,7 +26,7 @@ impl CountDownLatch {
     pub fn new(count: usize) -> Self {
         CountDownLatch {
             inner: Arc::new(Inner {
-                count: Mutex::new(count),
+                count: OrderedMutex::new("latch.count", count),
                 zero: Condvar::new(),
             }),
         }
@@ -47,17 +49,18 @@ impl CountDownLatch {
     pub fn wait(&self) {
         let mut c = self.inner.count.lock();
         while *c > 0 {
-            self.inner.zero.wait(&mut c);
+            c.wait(&self.inner.zero);
         }
     }
 
     /// Blocks until the count reaches zero or `timeout` elapses. Returns
     /// `true` if the latch opened.
     pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        // wsd-lint: allow(raw-clock): condvar parking needs a monotonic Instant deadline; no simulated time crosses this boundary
         let deadline = std::time::Instant::now() + timeout;
         let mut c = self.inner.count.lock();
         while *c > 0 {
-            if self.inner.zero.wait_until(&mut c, deadline).timed_out() {
+            if c.wait_until(&self.inner.zero, deadline) {
                 return *c == 0;
             }
         }

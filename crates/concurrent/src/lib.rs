@@ -17,13 +17,18 @@
 //!   one thread per message,
 //! * [`Reactor`] — an event-driven connection multiplexer that serves many
 //!   open connections from one event loop plus a bounded handler pool,
-//!   removing the thread-per-connection cost that produced that error.
+//!   removing the thread-per-connection cost that produced that error,
+//! * [`OrderedMutex`] / [`OrderedRwLock`] — lock-order-audited wrappers
+//!   around the parking_lot primitives: under `debug_assertions` they
+//!   record a global lock-acquisition graph and panic on cycles
+//!   (deadlock potential) instead of letting a test run wedge.
 
 #![warn(missing_docs)]
 
 pub mod budget;
 pub mod latch;
 pub mod map;
+pub mod ordered;
 pub mod pool;
 pub mod queue;
 pub mod reactor;
@@ -31,6 +36,7 @@ pub mod reactor;
 pub use budget::{BudgetError, ThreadBudget, ThreadLease};
 pub use latch::CountDownLatch;
 pub use map::ShardedMap;
+pub use ordered::{OrderedMutex, OrderedMutexGuard, OrderedRwLock};
 pub use pool::{PoolConfig, RejectionPolicy, TaskError, ThreadPool};
 pub use queue::{FifoQueue, PopError, PushError};
 pub use reactor::{Pump, Reactor, ReactorConfig, ReactorConn, Wakeup};

@@ -12,14 +12,14 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use parking_lot::RwLock;
+use crate::ordered::OrderedRwLock;
 
 /// A concurrent hash map sharded across independent `RwLock<HashMap>`s.
 ///
 /// Values are returned by clone, so `V` is typically an `Arc<...>` or a
 /// small value type. All operations are linearizable per key.
 pub struct ShardedMap<K, V> {
-    shards: Box<[RwLock<HashMap<K, V>>]>,
+    shards: Box<[OrderedRwLock<HashMap<K, V>>]>,
     mask: usize,
 }
 
@@ -47,14 +47,16 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0, "shard count must be non-zero");
         let n = shards.next_power_of_two();
-        let shards = (0..n).map(|_| RwLock::new(HashMap::new())).collect();
+        let shards = (0..n)
+            .map(|_| OrderedRwLock::new("sharded_map.shard", HashMap::new()))
+            .collect();
         ShardedMap {
             shards,
             mask: n - 1,
         }
     }
 
-    fn shard_for<Q>(&self, key: &Q) -> &RwLock<HashMap<K, V>>
+    fn shard_for<Q>(&self, key: &Q) -> &OrderedRwLock<HashMap<K, V>>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,

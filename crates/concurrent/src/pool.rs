@@ -11,10 +11,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use wsd_telemetry::{Counter, Gauge, Scope};
 
 use crate::budget::{ThreadBudget, ThreadLease};
+use crate::ordered::OrderedMutex;
 use crate::queue::{FifoQueue, PopError, PushError};
 
 /// What [`ThreadPool::execute`] does when the task queue is full and the
@@ -193,7 +193,7 @@ struct PoolConfigFrozen {
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
     rejection: RejectionPolicy,
-    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    handles: OrderedMutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl ThreadPool {
@@ -229,7 +229,7 @@ impl ThreadPool {
         let pool = ThreadPool {
             shared,
             rejection: config.rejection,
-            handles: Mutex::new(Vec::new()),
+            handles: OrderedMutex::new("thread_pool.handles", Vec::new()),
         };
         for _ in 0..pool.shared.config.core_threads {
             pool.spawn_worker(true)?;
@@ -346,6 +346,7 @@ impl ThreadPool {
         &self,
         job: impl FnOnce() -> T + Send + 'static,
     ) -> Result<Completion<T>, TaskError> {
+        // wsd-lint: allow(unbounded-queue-at-serve-site): one-shot completion channel; holds at most one element per submit
         let (tx, rx) = mpsc::channel();
         self.execute(move || {
             let _ = tx.send(job());
@@ -450,6 +451,7 @@ impl<T> Completion<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicU32;
 
     #[test]

@@ -9,8 +9,10 @@ use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 use wsd_telemetry::{Counter, Gauge, Scope};
+
+use crate::ordered::{OrderedMutex, OrderedMutexGuard};
 
 /// Error returned by push operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +53,7 @@ pub struct FifoQueue<T> {
 }
 
 struct Shared<T> {
-    state: Mutex<Inner<T>>,
+    state: OrderedMutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     tele: OnceLock<QueueTelemetry>,
@@ -105,7 +107,7 @@ impl<T> FifoQueue<T> {
         assert!(capacity > 0, "queue capacity must be non-zero");
         FifoQueue {
             inner: Arc::new(Shared {
-                state: Mutex::new(Inner {
+                state: OrderedMutex::new("fifo_queue.state", Inner {
                     items: VecDeque::with_capacity(capacity.min(1024)),
                     capacity,
                     closed: false,
@@ -149,7 +151,7 @@ impl<T> FifoQueue<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            self.inner.not_full.wait(&mut st);
+            st.wait(&self.inner.not_full);
         }
     }
 
@@ -174,6 +176,7 @@ impl<T> FifoQueue<T> {
 
     /// Pushes an element, blocking at most `timeout` while the queue is full.
     pub fn push_timeout(&self, value: T, timeout: Duration) -> Result<(), PushError<T>> {
+        // wsd-lint: allow(raw-clock): condvar parking needs a monotonic Instant deadline; no simulated time crosses this boundary
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.inner.state.lock();
         loop {
@@ -188,7 +191,7 @@ impl<T> FifoQueue<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            if self.inner.not_full.wait_until(&mut st, deadline).timed_out() {
+            if st.wait_until(&self.inner.not_full, deadline) {
                 drop(st);
                 self.inner.note_rejected();
                 return Err(PushError::Full(value));
@@ -212,7 +215,7 @@ impl<T> FifoQueue<T> {
             if st.closed {
                 return Err(PopError::Closed);
             }
-            self.inner.not_empty.wait(&mut st);
+            st.wait(&self.inner.not_empty);
         }
     }
 
@@ -235,6 +238,7 @@ impl<T> FifoQueue<T> {
 
     /// Pops the oldest element, blocking at most `timeout`.
     pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
+        // wsd-lint: allow(raw-clock): condvar parking needs a monotonic Instant deadline; no simulated time crosses this boundary
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.inner.state.lock();
         loop {
@@ -248,12 +252,7 @@ impl<T> FifoQueue<T> {
             if st.closed {
                 return Err(PopError::Closed);
             }
-            if self
-                .inner
-                .not_empty
-                .wait_until(&mut st, deadline)
-                .timed_out()
-            {
+            if st.wait_until(&self.inner.not_empty, deadline) {
                 return Err(PopError::Empty);
             }
         }
@@ -276,6 +275,7 @@ impl<T> FifoQueue<T> {
     /// This is the WsThread drain primitive: block until traffic arrives
     /// (or the linger expires), then coalesce the backlog into one batch.
     pub fn pop_timeout_batch(&self, timeout: Duration, max: usize) -> Result<Vec<T>, PopError> {
+        // wsd-lint: allow(raw-clock): condvar parking needs a monotonic Instant deadline; no simulated time crosses this boundary
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.inner.state.lock();
         loop {
@@ -285,12 +285,7 @@ impl<T> FifoQueue<T> {
             if st.closed {
                 return Err(PopError::Closed);
             }
-            if self
-                .inner
-                .not_empty
-                .wait_until(&mut st, deadline)
-                .timed_out()
-            {
+            if st.wait_until(&self.inner.not_empty, deadline) {
                 return Err(PopError::Empty);
             }
         }
@@ -299,7 +294,7 @@ impl<T> FifoQueue<T> {
     /// Takes up to `max` queued elements, consuming the held lock.
     fn take_batch(
         &self,
-        mut st: parking_lot::MutexGuard<'_, Inner<T>>,
+        mut st: OrderedMutexGuard<'_, Inner<T>>,
         max: usize,
     ) -> Result<Vec<T>, PopError> {
         if st.items.is_empty() {

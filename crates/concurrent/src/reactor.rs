@@ -27,9 +27,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 use wsd_telemetry::{Counter, Gauge, Histogram, Scope};
 
+use crate::ordered::OrderedMutex;
 use crate::pool::ThreadPool;
 
 /// What a [`ReactorConn::pump`] pass concluded.
@@ -145,7 +146,7 @@ struct State<C> {
 }
 
 struct Shared<C: ReactorConn> {
-    state: Mutex<State<C>>,
+    state: OrderedMutex<State<C>>,
     cv: Condvar,
     handlers: Arc<ThreadPool>,
     stop: AtomicBool,
@@ -185,7 +186,7 @@ impl<C: ReactorConn> Shared<C> {
 /// An event-driven connection multiplexer over a handler [`ThreadPool`].
 pub struct Reactor<C: ReactorConn> {
     shared: Arc<Shared<C>>,
-    thread: Mutex<Option<thread::JoinHandle<()>>>,
+    thread: OrderedMutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl<C: ReactorConn> Reactor<C> {
@@ -194,7 +195,7 @@ impl<C: ReactorConn> Reactor<C> {
     /// reactor itself adds exactly one thread.
     pub fn start(config: ReactorConfig, handlers: Arc<ThreadPool>) -> Arc<Reactor<C>> {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
+            state: OrderedMutex::new("reactor.state", State {
                 conns: HashMap::new(),
                 ready: VecDeque::new(),
             }),
@@ -212,7 +213,7 @@ impl<C: ReactorConn> Reactor<C> {
             .expect("reactor thread");
         Arc::new(Reactor {
             shared,
-            thread: Mutex::new(Some(thread)),
+            thread: OrderedMutex::new("reactor.thread", Some(thread)),
         })
     }
 
@@ -313,10 +314,7 @@ fn run<C: ReactorConn>(shared: &Arc<Shared<C>>) {
             if shared.stop.load(Ordering::Acquire) {
                 return;
             }
-            let timed_out = shared
-                .cv
-                .wait_timeout(&mut st, shared.poll_interval)
-                .timed_out();
+            let timed_out = st.wait_timeout(&shared.cv, shared.poll_interval);
             if timed_out {
                 // Fallback tick: pump connections that cannot wake us.
                 let ids: Vec<u64> = st
@@ -331,7 +329,10 @@ fn run<C: ReactorConn>(shared: &Arc<Shared<C>>) {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let id = st.ready.pop_front().expect("non-empty checked");
+        let Some(id) = st.ready.pop_front() else {
+            drop(st);
+            continue;
+        };
         let taken = match st.conns.get_mut(&id) {
             Some(slot @ Slot::Parked { .. }) => match std::mem::replace(slot, Slot::Busy) {
                 Slot::Parked { conn, partial } => Some((conn, partial)),
@@ -344,6 +345,7 @@ fn run<C: ReactorConn>(shared: &Arc<Shared<C>>) {
         let Some((mut conn, was_partial)) = taken else {
             continue;
         };
+        // wsd-lint: allow(raw-clock): loop_us measures the reactor's own real scheduling latency; routing it through a virtual clock would hide the thing it measures
         let t0 = Instant::now();
         let verdict = conn.pump();
         match verdict {
@@ -393,6 +395,7 @@ fn run<C: ReactorConn>(shared: &Arc<Shared<C>>) {
 mod tests {
     use super::*;
     use crate::pool::PoolConfig;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicUsize;
 
     /// A scripted connection: `pending` complete requests to serve,

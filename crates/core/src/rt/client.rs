@@ -153,10 +153,12 @@ impl MailboxClient {
         interval: Duration,
         deadline: Duration,
     ) -> Result<Vec<Envelope>, WsdError> {
-        let start = std::time::Instant::now();
+        use wsd_telemetry::Clock;
+        let clock = wsd_telemetry::WallClock::new();
+        let deadline_us = deadline.as_micros() as u64;
         loop {
             let got = self.poll(max)?;
-            if !got.is_empty() || start.elapsed() >= deadline {
+            if !got.is_empty() || clock.now_us() >= deadline_us {
                 return Ok(got);
             }
             std::thread::sleep(interval);

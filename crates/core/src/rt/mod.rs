@@ -36,13 +36,15 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use wsd_http::{duplex, PipeStream};
 
-/// Microseconds since the Unix epoch (the threaded runtime's clock for
-/// store timestamps and route TTLs).
+/// Microseconds on the runtime's shared [`wsd_telemetry::WallClock`]
+/// (origin = first call). Store timestamps and route TTLs only ever
+/// compare these values relatively, so an epoch anchor buys nothing —
+/// routing through the telemetry clock keeps rt and sim on one timing
+/// discipline.
 pub fn now_us() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_micros() as u64)
-        .unwrap_or(0)
+    use wsd_telemetry::Clock;
+    static CLOCK: std::sync::OnceLock<wsd_telemetry::WallClock> = std::sync::OnceLock::new();
+    CLOCK.get_or_init(wsd_telemetry::WallClock::new).now_us()
 }
 
 type ConnHandler = Arc<dyn Fn(PipeStream) + Send + Sync>;

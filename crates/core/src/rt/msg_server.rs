@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use wsd_concurrent::{FifoQueue, PoolConfig, RejectionPolicy, ShardedMap, ThreadPool};
+use wsd_concurrent::{
+    FifoQueue, OrderedMutex, PoolConfig, RejectionPolicy, ShardedMap, ThreadPool,
+};
 use wsd_http::{serve_connection, HttpClient, Request, Response, Status};
 use wsd_soap::{Envelope, SoapVersion};
 use wsd_telemetry::{Counter, Scope};
@@ -20,14 +22,14 @@ use crate::url::Url;
 /// condvar, so `shutdown()` interrupts the sweep wait immediately instead
 /// of being noticed at the next fixed-tick wakeup.
 pub(crate) struct JanitorSignal {
-    stopped: Mutex<bool>,
+    stopped: OrderedMutex<bool>,
     cv: Condvar,
 }
 
 impl JanitorSignal {
     pub(crate) fn new() -> Arc<JanitorSignal> {
         Arc::new(JanitorSignal {
-            stopped: Mutex::new(false),
+            stopped: OrderedMutex::new("msg.janitor", false),
             cv: Condvar::new(),
         })
     }
@@ -44,7 +46,7 @@ impl JanitorSignal {
         if *stopped {
             return true;
         }
-        self.cv.wait_timeout(&mut stopped, wait);
+        stopped.wait_timeout(&self.cv, wait);
         *stopped
     }
 }
@@ -180,6 +182,7 @@ impl MsgDispatcherServer {
             let core = Arc::clone(&core);
             let signal = Arc::clone(&janitor);
             let ttl = config.route_ttl;
+            // wsd-lint: allow(raw-thread-spawn): single long-lived maintenance thread parked on a condvar; pooling it would pin a pool slot forever
             std::thread::Builder::new()
                 .name(format!("route-janitor-{host}"))
                 .spawn(move || {
@@ -386,7 +389,10 @@ impl MsgDispatcherServer {
                         Err(_) => break, // dead destination
                     }
                 }
-                let c = client.as_mut().expect("just set");
+                // `client` is set above on this same pass; a `None` here
+                // means the connect raced a shutdown — hand the batch to
+                // the drop accounting below rather than panic mid-drain.
+                let Some(c) = client.as_mut() else { break };
                 match c.call_pipelined(batch.iter().map(|m| &m.req), &mut buf) {
                     Ok(resps) => {
                         delivered += batch.len() as u64;

@@ -150,6 +150,7 @@ impl MsgBoxServer {
                 // Thread-per-connection, gated by the native-thread budget.
                 match self.budget.try_acquire() {
                     Ok(lease) => {
+                        // wsd-lint: allow(raw-thread-spawn): deliberate thread-per-message architecture reproducing the paper's WS-MsgBox OOM wall, gated by ThreadBudget
                         let spawned = std::thread::Builder::new()
                             .name("msgbox-msg".into())
                             .spawn(move || {

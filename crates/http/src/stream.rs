@@ -248,6 +248,7 @@ impl Read for PipeStream {
         if out.is_empty() {
             return Ok(0);
         }
+        // wsd-lint: allow(raw-clock): blocking-read timeout needs a monotonic Instant deadline for the park below; no simulated time crosses this boundary
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
         let mut buf = self.incoming.buf.lock();
         loop {

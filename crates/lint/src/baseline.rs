@@ -1,0 +1,129 @@
+//! The ratchet baseline: known debt, checked in, only allowed to shrink.
+//!
+//! `lint-baseline.json` maps `"<file>|<rule>"` to a finding count. A
+//! check run fails only when some (file, rule) pair's *current* count
+//! exceeds its baselined count — new debt. Counts *below* baseline are
+//! reported as burn-down so the file can be re-tightened with
+//! `--update-baseline`.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+use crate::rules::Finding;
+
+/// Key used in the baseline map.
+pub fn key(file: &str, rule: &str) -> String {
+    format!("{file}|{rule}")
+}
+
+/// Aggregates findings into per-(file, rule) counts.
+pub fn counts(findings: &[Finding]) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    for f in findings {
+        *map.entry(key(&f.file, f.rule)).or_insert(0u64) += 1;
+    }
+    map
+}
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Findings in (file, rule) pairs whose count rose above baseline —
+    /// these fail the build. When a pair has both old and new findings
+    /// we cannot tell which line is "new", so all of that pair's
+    /// findings are listed (the count delta is what matters).
+    pub new_findings: Vec<Finding>,
+    /// Pairs whose current count is below baseline: `(key, baseline,
+    /// current)` — debt burned down; baseline should be re-tightened.
+    pub burned_down: Vec<(String, u64, u64)>,
+    /// Pairs at exactly their baselined count (tolerated debt).
+    pub tolerated: u64,
+}
+
+/// Compares `findings` against `baseline` (ratchet semantics).
+pub fn compare(findings: &[Finding], baseline: &BTreeMap<String, u64>) -> RatchetReport {
+    let current = counts(findings);
+    let mut report = RatchetReport::default();
+    for (k, &cur) in &current {
+        let base = baseline.get(k).copied().unwrap_or(0);
+        if cur > base {
+            report
+                .new_findings
+                .extend(findings.iter().filter(|f| key(&f.file, f.rule) == *k).cloned());
+        } else {
+            report.tolerated += cur;
+        }
+    }
+    for (k, &base) in baseline {
+        let cur = current.get(k).copied().unwrap_or(0);
+        if cur < base {
+            report.burned_down.push((k.clone(), base, cur));
+        }
+    }
+    report
+}
+
+/// Parses baseline file content.
+pub fn parse(content: &str) -> Result<BTreeMap<String, u64>, String> {
+    json::parse_object_u64(content)
+}
+
+/// Serialises the baseline for `--update-baseline`.
+pub fn render(findings: &[Finding]) -> String {
+    json::write_object_u64(&counts(findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, rule: &'static str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            excerpt: String::new(),
+        }
+    }
+
+    #[test]
+    fn empty_baseline_flags_everything() {
+        let findings = vec![f("a.rs", "raw-clock", 1), f("a.rs", "raw-clock", 9)];
+        let r = compare(&findings, &BTreeMap::new());
+        assert_eq!(r.new_findings.len(), 2);
+        assert_eq!(r.tolerated, 0);
+    }
+
+    #[test]
+    fn at_baseline_is_tolerated() {
+        let findings = vec![f("a.rs", "raw-clock", 1)];
+        let base = parse("{\"a.rs|raw-clock\": 1}").unwrap();
+        let r = compare(&findings, &base);
+        assert!(r.new_findings.is_empty());
+        assert_eq!(r.tolerated, 1);
+    }
+
+    #[test]
+    fn above_baseline_fails_with_all_pair_findings() {
+        let findings = vec![f("a.rs", "raw-clock", 1), f("a.rs", "raw-clock", 2)];
+        let base = parse("{\"a.rs|raw-clock\": 1}").unwrap();
+        let r = compare(&findings, &base);
+        assert_eq!(r.new_findings.len(), 2);
+    }
+
+    #[test]
+    fn below_baseline_reports_burndown() {
+        let base = parse("{\"a.rs|raw-clock\": 3}").unwrap();
+        let r = compare(&[f("a.rs", "raw-clock", 1)], &base);
+        assert!(r.new_findings.is_empty());
+        assert_eq!(r.burned_down, vec![("a.rs|raw-clock".to_string(), 3, 1)]);
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let findings = vec![f("a.rs", "raw-clock", 1), f("b.rs", "raw-thread-spawn", 4)];
+        let text = render(&findings);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, counts(&findings));
+    }
+}

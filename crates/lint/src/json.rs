@@ -1,0 +1,170 @@
+//! Just-enough JSON: an escaper for report output and a parser for the
+//! one shape the baseline file uses (a flat object of string → integer).
+//!
+//! The build is offline, so no serde; the baseline format is kept flat
+//! precisely so this stays ~100 lines.
+
+use std::collections::BTreeMap;
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a flat JSON object `{ "key": 123, ... }` into a map.
+///
+/// Accepts arbitrary whitespace and the standard string escapes; rejects
+/// nesting, arrays, and non-integer values — the baseline never contains
+/// them, and rejecting keeps hand-edited files honest.
+pub fn parse_object_u64(input: &str) -> Result<BTreeMap<String, u64>, String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut map = BTreeMap::new();
+
+    fn skip_ws(chars: &[char], i: &mut usize) {
+        while *i < chars.len() && chars[*i].is_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn parse_string(chars: &[char], i: &mut usize) -> Result<String, String> {
+        if chars.get(*i) != Some(&'"') {
+            return Err(format!("expected '\"' at offset {}", i));
+        }
+        *i += 1;
+        let mut s = String::new();
+        while *i < chars.len() {
+            let c = chars[*i];
+            *i += 1;
+            match c {
+                '"' => return Ok(s),
+                '\\' => {
+                    let e = chars.get(*i).copied().ok_or("truncated escape")?;
+                    *i += 1;
+                    match e {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        '/' => s.push('/'),
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        'u' => {
+                            let hex: String = chars.get(*i..*i + 4).unwrap_or(&[]).iter().collect();
+                            if hex.len() != 4 {
+                                return Err("truncated \\u escape".into());
+                            }
+                            *i += 4;
+                            let n = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unsupported escape \\{other}")),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    skip_ws(&chars, &mut i);
+    if chars.get(i) != Some(&'{') {
+        return Err("baseline must be a JSON object".into());
+    }
+    i += 1;
+    skip_ws(&chars, &mut i);
+    if chars.get(i) == Some(&'}') {
+        return Ok(map);
+    }
+    loop {
+        skip_ws(&chars, &mut i);
+        let key = parse_string(&chars, &mut i)?;
+        skip_ws(&chars, &mut i);
+        if chars.get(i) != Some(&':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        skip_ws(&chars, &mut i);
+        let start = i;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == start {
+            return Err(format!("expected integer value for key {key:?}"));
+        }
+        let num: String = chars[start..i].iter().collect();
+        let val: u64 = num.parse().map_err(|_| format!("bad integer {num:?}"))?;
+        map.insert(key, val);
+        skip_ws(&chars, &mut i);
+        match chars.get(i) {
+            Some(&',') => {
+                i += 1;
+            }
+            Some(&'}') => {
+                i += 1;
+                skip_ws(&chars, &mut i);
+                if i != chars.len() {
+                    return Err("trailing content after object".into());
+                }
+                return Ok(map);
+            }
+            _ => return Err("expected ',' or '}' in object".into()),
+        }
+    }
+}
+
+/// Serialises a flat map as pretty JSON, keys sorted (BTreeMap order).
+pub fn write_object_u64(map: &BTreeMap<String, u64>) -> String {
+    if map.is_empty() {
+        return "{}\n".to_string();
+    }
+    let mut out = String::from("{\n");
+    let last = map.len() - 1;
+    for (idx, (k, v)) in map.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": {}", escape(k), v));
+        out.push_str(if idx == last { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("crates/a.rs|raw-clock".to_string(), 2u64);
+        m.insert("with \"quote\"".to_string(), 7u64);
+        let text = write_object_u64(&m);
+        assert_eq!(parse_object_u64(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert!(parse_object_u64("{}").unwrap().is_empty());
+        assert!(parse_object_u64("  {\n}\n").unwrap().is_empty());
+        assert_eq!(write_object_u64(&BTreeMap::new()), "{}\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_object_u64("[]").is_err());
+        assert!(parse_object_u64("{\"a\": }").is_err());
+        assert!(parse_object_u64("{\"a\": 1} x").is_err());
+        assert!(parse_object_u64("{\"a\": -1}").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! `wsd-lint`: the workspace invariant checker.
+//!
+//! The compiler cannot see the project's *disciplines* — that every
+//! thread flows through `wsd-concurrent`, every timestamp through the
+//! telemetry clock, every serve-site queue stays bounded. This crate
+//! makes them checkable: a hand-rolled lexer ([`lexer`]) blanks strings
+//! and comments so rules match only real code, the engine ([`rules`])
+//! evaluates the named invariants with `#[cfg(test)]` exemption and
+//! reasoned suppressions, and a ratchet baseline ([`baseline`]) fails
+//! the build on *new* findings while existing debt burns down.
+//!
+//! No dependencies, by design: the build is offline and the linter must
+//! never be the thing that breaks the build for environmental reasons.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use rules::{lint_source, suppressions_in, Finding, RULE_NAMES};
+
+/// Lints every workspace `.rs` file under `root`; findings come back
+/// sorted by (file, line, rule). Also returns the total suppression
+/// count (all carrying reasons — reason-less ones surface as
+/// `bad-suppression` findings instead).
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut findings = Vec::new();
+    let mut suppressions = 0usize;
+    for (rel, abs) in walk::rust_files(root)? {
+        let Ok(source) = std::fs::read_to_string(&abs) else {
+            continue; // non-UTF8 — nothing for a lexical linter to do
+        };
+        findings.extend(rules::lint_source(&rel, &source));
+        suppressions += rules::suppressions_in(&source).len();
+    }
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    Ok((findings, suppressions))
+}

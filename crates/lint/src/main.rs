@@ -1,0 +1,177 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! wsd-lint [--root PATH] [--check] [--json PATH] [--update-baseline]
+//! ```
+//!
+//! * default: report all findings against the ratchet baseline
+//!   (`<root>/lint-baseline.json`), exit 0.
+//! * `--check`: exit 1 when any (file, rule) pair exceeds its baselined
+//!   count — i.e. on *new* findings only.
+//! * `--update-baseline`: rewrite the baseline to the current counts
+//!   (used after burning down debt, never to absorb new debt casually).
+//! * `--json PATH`: also write the findings as JSON (`-` for stdout).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wsd_lint::{baseline, json, lint_workspace, rules};
+
+struct Opts {
+    root: PathBuf,
+    check: bool,
+    update_baseline: bool,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        check: false,
+        update_baseline: false,
+        json_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            "--check" => opts.check = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => {
+                opts.json_path = Some(args.next().ok_or("--json needs a path (or -)")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "wsd-lint [--root PATH] [--check] [--json PATH] [--update-baseline]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn findings_json(findings: &[rules::Finding], new_keys: &BTreeMap<String, ()>) -> String {
+    let mut out = String::from("[\n");
+    for (idx, f) in findings.iter().enumerate() {
+        let is_new = new_keys.contains_key(&baseline::key(&f.file, f.rule));
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"new\": {}, \"excerpt\": \"{}\"}}{}",
+            json::escape(f.rule),
+            json::escape(&f.file),
+            f.line,
+            is_new,
+            json::escape(&f.excerpt),
+            if idx + 1 == findings.len() { "\n" } else { ",\n" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("wsd-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, suppression_count) = match lint_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wsd-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts.root.join("lint-baseline.json");
+    let base = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("wsd-lint: bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => BTreeMap::new(), // no baseline file = empty baseline
+    };
+
+    if opts.update_baseline {
+        let text = baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("wsd-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wsd-lint: baseline rewritten with {} finding(s) across {} (file, rule) pair(s)",
+            findings.len(),
+            baseline::counts(&findings).len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = baseline::compare(&findings, &base);
+    let new_keys: BTreeMap<String, ()> = report
+        .new_findings
+        .iter()
+        .map(|f| (baseline::key(&f.file, f.rule), ()))
+        .collect();
+
+    // Human diff-style output: findings grouped per file, `+` marks new
+    // (above-baseline) findings, `=` marks tolerated baselined debt.
+    let mut last_file = "";
+    for f in &findings {
+        if f.file != last_file {
+            println!("--- {}", f.file);
+            last_file = &f.file;
+        }
+        let marker = if new_keys.contains_key(&baseline::key(&f.file, f.rule)) {
+            '+'
+        } else {
+            '='
+        };
+        println!("{}{:<5} [{}] {}", marker, f.line, f.rule, f.excerpt);
+        let hint = rules::rule_hint(f.rule);
+        if !hint.is_empty() {
+            println!("       -> {hint}");
+        }
+    }
+    for (k, base_n, cur) in &report.burned_down {
+        println!(
+            "~ {k}: baseline {base_n} -> {cur} — debt burned down; run --update-baseline to ratchet"
+        );
+    }
+    println!(
+        "wsd-lint: {} new, {} tolerated (baseline), {} burned-down pair(s), {} suppression(s) with reasons",
+        report.new_findings.len(),
+        report.tolerated,
+        report.burned_down.len(),
+        suppression_count
+    );
+
+    if let Some(path) = &opts.json_path {
+        let text = findings_json(&findings, &new_keys);
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("wsd-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.check && !report.new_findings.is_empty() {
+        eprintln!(
+            "wsd-lint: FAIL — {} finding(s) above baseline (fix, or suppress with \
+             `// wsd-lint: allow(<rule>): <reason>`)",
+            report.new_findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! Known-good fixture: zero findings expected, even under a dispatcher
+//! path. Every line here is a trap for a naive substring matcher — the
+//! forbidden patterns appear only inside strings, raw strings, chars,
+//! comments, `#[cfg(test)]` code, or under a reasoned suppression.
+//! This file is never compiled.
+
+fn clean_serve() {
+    // thread::spawn in a comment is not a finding
+    /* neither is Instant::now in a block comment,
+       /* even nested: SystemTime::now */ still fine */
+    let s = "thread::spawn(|| {}) inside a string";
+    let r = r#"Instant::now() and a quote " inside a raw string"#;
+    let rb = br##"SystemTime::now with "# inside"##;
+    let b = b"mpsc::channel( in a byte string";
+    let q = '"'; // a char literal that must not open a string
+    let esc = '\''; // escaped quote char
+    let lifetime: &'static str = "q.pop().unwrap() in a string";
+    p(s, r, rb, b, q, esc, lifetime);
+}
+
+fn suppressed_with_reasons() {
+    // wsd-lint: allow(raw-clock): fixture demonstrating a reasoned suppression
+    let _t = std::time::Instant::now();
+    let _b = std::thread::Builder::new(); // wsd-lint: allow(raw-thread-spawn): fixture demonstrating a trailing reasoned suppression
+}
+
+fn unwrap_off_io_is_fine() {
+    // expect/unwrap not chained to a queue/channel/IO call is allowed:
+    let pool = ThreadPool::new(cfg).expect("pool construction");
+    let n: u32 = "42".parse().unwrap();
+    p2(pool, n);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        std::thread::spawn(|| {});
+        let _t = std::time::Instant::now();
+        q.pop().unwrap();
+        let (_tx, _rx) = mpsc::channel();
+    }
+}

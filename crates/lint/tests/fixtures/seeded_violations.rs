@@ -1,0 +1,24 @@
+//! Seeded-violation fixture: every rule must fire on this file when it
+//! is linted under a dispatcher path (the analyzer tests feed it in as
+//! `crates/core/src/fixture.rs`). This file is never compiled.
+
+use std::sync::{Arc, Mutex}; // std-sync-primitive
+
+fn serve() {
+    std::thread::spawn(|| {}); // raw-thread-spawn
+    let _b = std::thread::Builder::new(); // raw-thread-spawn
+    let _t = std::time::Instant::now(); // raw-clock
+    let _s = std::time::SystemTime::now(); // raw-clock
+    let q = FifoQueue::unbounded(); // unbounded-queue-at-serve-site
+    let (tx, rx) = mpsc::channel(); // unbounded-queue-at-serve-site
+    q.pop().unwrap(); // unwrap-in-dispatcher
+    rx.recv().expect("recv"); // unwrap-in-dispatcher
+}
+
+// wsd-lint: allow(raw-clock)
+fn reasonless_suppression_is_bad() {
+    let _t = std::time::Instant::now();
+}
+
+// wsd-lint: allow(not-a-rule): typo'd rule names must be flagged too
+fn unknown_rule_suppression_is_bad() {}

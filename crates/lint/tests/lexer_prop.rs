@@ -1,0 +1,101 @@
+//! Property tests: no string, raw string, char literal, comment or
+//! suppression directive may ever confuse the lexer into a false
+//! positive or a missed finding.
+
+use proptest::prelude::*;
+use wsd_lint::lexer::strip;
+use wsd_lint::lint_source;
+
+const PATH: &str = "crates/core/src/prop.rs";
+
+/// Payload text that may *contain* forbidden patterns but no string
+/// delimiters/escapes of its own (those are added by each property).
+fn payload() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 :(){}.,_|&;=+*-]{0,40}".prop_map(|junk| format!("{junk} thread::spawn(Instant::now SystemTime::now q.pop().unwrap() mpsc::channel("))
+}
+
+proptest! {
+    /// Forbidden patterns inside a plain string literal never flag, and
+    /// code after the literal is still linted.
+    #[test]
+    fn strings_never_flag_and_code_after_still_linted(p in payload()) {
+        let src = format!("fn f() {{ let s = \"{p}\"; }}\nfn g() {{ std::thread::spawn(|| {{}}); }}\n");
+        let findings = lint_source(PATH, &src);
+        prop_assert_eq!(findings.len(), 1, "{:#?}", &findings);
+        prop_assert_eq!(findings[0].rule, "raw-thread-spawn");
+        prop_assert_eq!(findings[0].line, 2);
+    }
+
+    /// The same, for raw strings with 1–3 hashes.
+    #[test]
+    fn raw_strings_never_flag(p in payload(), hashes in 1usize..=3) {
+        let h = "#".repeat(hashes);
+        // A lone quote inside the body exercises the hash-counting close.
+        let src = format!("fn f() {{ let s = r{h}\"{p} \" un-closing quote\"{h}; }}\nfn g() {{ let t = std::time::Instant::now(); }}\n");
+        let findings = lint_source(PATH, &src);
+        prop_assert_eq!(findings.len(), 1, "{:#?}", &findings);
+        prop_assert_eq!(findings[0].rule, "raw-clock");
+        prop_assert_eq!(findings[0].line, 2);
+    }
+
+    /// Comment bodies never flag (and never parse as directives when they
+    /// don't start with the directive prefix).
+    #[test]
+    fn comments_never_flag(p in payload(), block in any::<bool>()) {
+        let src = if block {
+            format!("fn f() {{ /* x {p} */ }}\nfn g() {{ q.recv().expect(\"x\"); }}\n")
+        } else {
+            format!("fn f() {{}} // x {p}\nfn g() {{ q.recv().expect(\"x\"); }}\n")
+        };
+        let findings = lint_source(PATH, &src);
+        prop_assert_eq!(findings.len(), 1, "{:#?}", &findings);
+        prop_assert_eq!(findings[0].rule, "unwrap-in-dispatcher");
+        prop_assert_eq!(findings[0].line, 2);
+    }
+
+    /// A reasoned suppression silences exactly its own rule on the next
+    /// line — and only that rule.
+    #[test]
+    fn reasoned_suppressions_silence_next_line(reason in "[a-zA-Z][a-zA-Z0-9 ]{9,40}") {
+        let src = format!(
+            "// wsd-lint: allow(raw-clock): {reason}\nlet t = std::time::Instant::now();\nlet u = std::time::Instant::now();\n"
+        );
+        let findings = lint_source(PATH, &src);
+        prop_assert_eq!(findings.len(), 1, "{:#?}", &findings);
+        prop_assert_eq!(findings[0].line, 3);
+    }
+
+    /// Newline counts survive stripping for arbitrary mixes of literals
+    /// and comments, so finding line numbers always align.
+    #[test]
+    fn line_structure_is_preserved(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("let a = 1;".to_string()),
+            "let s = \"[a-z ]{0,10}\";".prop_map(|s| s),
+            Just("// comment Instant::now".to_string()),
+            Just("/* block\n   spanning */ let b = 2;".to_string()),
+            Just("let c = '\\''; let d = 'x';".to_string()),
+        ],
+        0..8,
+    )) {
+        let src = parts.join("\n");
+        let stripped = strip(&src);
+        prop_assert_eq!(stripped.code.lines().count(), src.lines().count());
+        prop_assert_eq!(
+            stripped.code.chars().filter(|c| *c == '\n').count(),
+            src.chars().filter(|c| *c == '\n').count()
+        );
+    }
+
+    /// Char literals (including escaped quotes) never swallow following
+    /// code.
+    #[test]
+    fn char_literals_do_not_swallow_code(c in prop_oneof![
+        Just("'x'"), Just("'\\''"), Just("'\"'"), Just("'\\\\'"), Just("b'q'"),
+    ]) {
+        let src = format!("fn f() {{ let q = {c}; std::thread::spawn(|| {{}}); }}\n");
+        let findings = lint_source(PATH, &src);
+        prop_assert_eq!(findings.len(), 1, "{c}: {:#?}", &findings);
+        prop_assert_eq!(findings[0].rule, "raw-thread-spawn");
+    }
+}

@@ -3,16 +3,22 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use wsd_concurrent::{PoolConfig, ThreadPool};
 use wsd_core::rt::Network;
 use wsd_http::{HttpClient, Request};
 use wsd_soap::{rpc as soap_rpc, SoapVersion};
+use wsd_telemetry::{Clock, WallClock};
 
 use crate::stats::{LatencySummary, RunTotals};
 
-/// Runs `clients` threads, each ping-ponging the paper's echo message to
-/// `host:port``path` for `duration`, over one keep-alive connection each.
+/// Runs `clients` pool workers, each ping-ponging the paper's echo
+/// message to `host:port``path` for `duration`, over one keep-alive
+/// connection each. Workers come from a fixed [`ThreadPool`] and all
+/// timing flows through one shared [`WallClock`], so the load generator
+/// observes the same thread and clock disciplines as the system under
+/// test.
 pub fn run_rpc_load(
     net: &Arc<Network>,
     host: &str,
@@ -26,7 +32,10 @@ pub fn run_rpc_load(
     let latencies = Arc::new(parking_lot_stub::Mutex::new(Vec::new()));
     let env = soap_rpc::paper_echo_request();
     let body = env.to_xml().into_bytes();
-    let mut handles = Vec::with_capacity(clients);
+    let clock = Arc::new(WallClock::new());
+    let deadline_us = clock.now_us().saturating_add(duration.as_micros() as u64);
+    let pool = ThreadPool::new(PoolConfig::fixed("rpc-load", clients.max(1)))
+        .expect("load generator pool");
     for _ in 0..clients {
         let net = Arc::clone(net);
         let host = host.to_string();
@@ -35,11 +44,11 @@ pub fn run_rpc_load(
         let transmitted = Arc::clone(&transmitted);
         let not_sent = Arc::clone(&not_sent);
         let latencies = Arc::clone(&latencies);
-        handles.push(std::thread::spawn(move || {
-            let deadline = Instant::now() + duration;
+        let clock = Arc::clone(&clock);
+        let submitted = pool.execute(move || {
             let mut client: Option<HttpClient<wsd_http::PipeStream>> = None;
             let mut local_lat = Vec::new();
-            while Instant::now() < deadline {
+            while clock.now_us() < deadline_us {
                 if client.is_none() {
                     match net.connect(&host, port) {
                         Ok(s) => client = Some(HttpClient::new(s)),
@@ -49,17 +58,18 @@ pub fn run_rpc_load(
                         }
                     }
                 }
+                let Some(c) = client.as_mut() else { break };
                 let req = Request::soap_post(
                     &format!("{host}:{port}"),
                     &path,
                     SoapVersion::V11.content_type(),
                     body.clone(),
                 );
-                let t0 = Instant::now();
-                match client.as_mut().expect("just set").call(&req) {
+                let t0 = clock.now_us();
+                match c.call(&req) {
                     Ok(resp) if resp.status.is_success() => {
                         transmitted.fetch_add(1, Ordering::Relaxed);
-                        local_lat.push(t0.elapsed().as_micros() as u64);
+                        local_lat.push(clock.now_us().saturating_sub(t0));
                     }
                     _ => {
                         not_sent.fetch_add(1, Ordering::Relaxed);
@@ -68,11 +78,13 @@ pub fn run_rpc_load(
                 }
             }
             latencies.lock().extend(local_lat);
-        }));
+        });
+        if submitted.is_err() {
+            break; // pool rejected the worker; run with fewer clients
+        }
     }
-    for h in handles {
-        let _ = h.join();
-    }
+    // Runs every queued worker to completion and joins the pool.
+    pool.shutdown();
     let samples = std::mem::take(&mut *latencies.lock());
     RunTotals {
         transmitted: transmitted.load(Ordering::Relaxed),

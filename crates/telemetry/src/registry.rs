@@ -13,6 +13,7 @@
 //! recordings invisible and unexported.
 
 use std::collections::BTreeMap;
+// wsd-lint: allow(std-sync-primitive): wsd-telemetry is dependency-free by design (it must be embeddable everywhere, including under parking_lot itself)
 use std::sync::{Arc, Mutex};
 
 use crate::clock::{SharedClock, WallClock};

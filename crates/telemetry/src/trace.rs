@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+// wsd-lint: allow(std-sync-primitive): wsd-telemetry is dependency-free by design (it must be embeddable everywhere, including under parking_lot itself)
 use std::sync::{Arc, Mutex};
 
 use crate::clock::SharedClock;

@@ -34,6 +34,7 @@ impl MsgIdGen {
 
     /// A generator seeded from the wall clock (non-deterministic).
     pub fn from_entropy() -> Self {
+        // wsd-lint: allow(raw-clock): entropy seed for MessageID uniqueness, not a timing measurement
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)

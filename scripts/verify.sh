@@ -3,17 +3,29 @@
 # (all dependencies are vendored path crates).
 #
 # Modes:
-#   scripts/verify.sh                  build + test + clippy
-#   scripts/verify.sh bench-smoke      the above, plus a quick dispatch_hotpath
+#   scripts/verify.sh                  invariant lint + build + test + clippy
+#   scripts/verify.sh lint             just the invariant checks: wsd-lint
+#                                      against lint-baseline.json, plus a
+#                                      warnings-as-errors build
+#   scripts/verify.sh bench-smoke      the default, plus a quick dispatch_hotpath
 #                                      run emitting BENCH_hotpath.json at the
 #                                      repo root (override with BENCH_HOTPATH_JSON)
-#   scripts/verify.sh connscale-smoke  the above, plus a 64-connection
+#   scripts/verify.sh connscale-smoke  the default, plus a 64-connection
 #                                      connection_scaling sweep asserting the
 #                                      reactor's peak thread count stays within
 #                                      its handler pool size
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Invariant checks run first in every mode: they are the cheapest gate
+# and the one most likely to catch a discipline regression.
+cargo run -q -p wsd-lint -- --check
+RUSTFLAGS="-D warnings" cargo build --workspace
+
+if [ "${1:-}" = "lint" ]; then
+    exit 0
+fi
 
 cargo build --release --workspace
 cargo test -q --workspace
