@@ -265,7 +265,12 @@ impl<C: ReactorConn> Reactor<C> {
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.cv.notify_all();
-        if let Some(h) = self.thread.lock().take() {
+        // Take the handle out first: joining while `reactor.thread` is
+        // held would let a concurrent shutdown() block on the lock for
+        // the whole join (and the if-let scrutinee temporary holds the
+        // guard through the block).
+        let handle = self.thread.lock().take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
         // Collect parked conns under the lock but drop them outside it: a

@@ -1,0 +1,146 @@
+//! Dynamic ↔ static lock-order cross-check.
+//!
+//! The runtime auditor (`ordered::audit`) records every held-class →
+//! newly-acquired-class edge it actually observes. `wsd-lint`'s
+//! interprocedural layer predicts the same edge set from source. The
+//! invariant checked here: after exercising the pool, queue, map, latch
+//! and reactor, **every dynamically observed edge between
+//! statically-known classes is in the static prediction** — the static
+//! analysis over-approximates the dynamics, so a cycle-free static
+//! graph really does rule out lock-order deadlocks at runtime.
+//!
+//! (The converse — static edges never observed — is fine: static
+//! analysis may predict paths a given workload doesn't take.)
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wsd_concurrent::ordered::audit;
+use wsd_concurrent::{
+    CountDownLatch, FifoQueue, OrderedMutex, PoolConfig, Pump, Reactor, ReactorConfig,
+    ReactorConn, ShardedMap, ThreadPool, Wakeup,
+};
+
+/// Minimal poll-driven connection so the reactor loop runs a full
+/// register → pump → dispatch → deregister cycle.
+struct TickConn {
+    served: Arc<AtomicUsize>,
+}
+
+impl ReactorConn for TickConn {
+    fn install_wakeup(&mut self, _hook: Wakeup) {}
+
+    fn needs_poll(&self) -> bool {
+        true
+    }
+
+    fn pump(&mut self) -> Pump {
+        if self.served.load(Ordering::SeqCst) == 0 {
+            Pump::Ready
+        } else {
+            Pump::Closed
+        }
+    }
+
+    fn handle(&mut self) -> bool {
+        self.served.fetch_add(1, Ordering::SeqCst);
+        false
+    }
+}
+
+fn exercise_everything() {
+    // Pool + queue: workers pushing/popping through fifo_queue.state
+    // while thread_pool.handles manages worker lifecycles.
+    let pool = Arc::new(ThreadPool::new(PoolConfig::fixed("xcheck", 2)).unwrap());
+    let queue: Arc<FifoQueue<u32>> = Arc::new(FifoQueue::bounded(8));
+    let latch = Arc::new(CountDownLatch::new(2));
+    for i in 0..2u32 {
+        let q = Arc::clone(&queue);
+        let l = Arc::clone(&latch);
+        let _ = pool.execute(move || {
+            q.push(i).unwrap();
+            l.count_down();
+        });
+    }
+    latch.wait();
+    assert!(queue.pop().is_ok() && queue.pop().is_ok());
+
+    // Sharded map: per-shard rwlocks.
+    let map: ShardedMap<u32, u32> = ShardedMap::new();
+    for i in 0..32 {
+        map.insert(i, i * 2);
+    }
+
+    // Reactor: event loop (reactor.state) + lifecycle (reactor.thread).
+    let reactor = Reactor::start(
+        ReactorConfig::new("xcheck-reactor").poll_interval(Duration::from_millis(1)),
+        Arc::clone(&pool),
+    );
+    let served = Arc::new(AtomicUsize::new(0));
+    reactor.register(TickConn {
+        served: Arc::clone(&served),
+    });
+    for _ in 0..500 {
+        if served.load(Ordering::SeqCst) > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(served.load(Ordering::SeqCst) > 0, "reactor never dispatched");
+    reactor.shutdown();
+    pool.shutdown();
+}
+
+#[test]
+fn dynamic_edges_are_a_subset_of_the_static_prediction() {
+    if !cfg!(debug_assertions) {
+        return; // the dynamic auditor is compiled out in release builds
+    }
+    exercise_everything();
+
+    // Prove the instrument itself records nesting: two test-local
+    // classes acquired nested must show up as an edge. (The workspace
+    // substrate never nests Ordered acquisitions — that's the point —
+    // so without this the subset check below could pass vacuously even
+    // if the auditor were broken.)
+    let outer = OrderedMutex::new("xcheck.outer", 0u8);
+    let inner = OrderedMutex::new("xcheck.inner", 0u8);
+    {
+        let _a = outer.lock();
+        let _b = inner.lock();
+    }
+    let dynamic = audit::edges();
+    assert!(
+        dynamic.contains(&("xcheck.outer", "xcheck.inner")),
+        "auditor failed to record the deliberate nested acquisition: {dynamic:?}"
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let wa = wsd_lint::analyze_workspace(root, false).expect("static analysis");
+    let static_classes: BTreeSet<&str> = wa.facts.classes.iter().map(|s| s.as_str()).collect();
+    let static_edges: BTreeSet<(String, String)> = wa
+        .lock_edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+
+    for (from, to) in &dynamic {
+        // Test-local mutexes (xcheck.* above, the auditor's own t1..t7)
+        // live in test collateral the static model deliberately
+        // excludes; everything else must be predicted.
+        if !static_classes.contains(from) || !static_classes.contains(to) {
+            continue;
+        }
+        assert!(
+            static_edges.contains(&(from.to_string(), to.to_string())),
+            "dynamic edge {from} -> {to} observed at runtime but missing from \
+             the static lock-order graph {static_edges:?}"
+        );
+    }
+}

@@ -95,6 +95,7 @@ impl DeploymentBuilder {
     /// Starts everything.
     pub fn start(self) -> Deployment {
         let registry = self.registry.unwrap_or_default();
+        let limits = self.config.limits;
         let rpc = RpcDispatcherServer::start(
             &self.net,
             &self.host,
@@ -126,11 +127,12 @@ impl DeploymentBuilder {
         let msg =
             MsgDispatcherServer::start(&self.net, &self.host, self.msg_port, core, self.config);
         let registry_service = if self.with_registry_service {
-            Some(RegistryServer::start(
+            Some(RegistryServer::start_with_limits(
                 &self.net,
                 &self.host,
                 self.registry_port,
                 Arc::clone(&registry),
+                limits,
             ))
         } else {
             None

@@ -30,12 +30,25 @@ pub struct RegistryServer {
 }
 
 impl RegistryServer {
-    /// Starts the service on `host:port`.
+    /// Starts the service on `host:port` with default parser limits.
     pub fn start(
         net: &Arc<Network>,
         host: &str,
         port: u16,
         registry: Arc<Registry>,
+    ) -> RegistryServer {
+        Self::start_with_limits(net, host, port, registry, Limits::default())
+    }
+
+    /// Like [`RegistryServer::start`], with operator-supplied parser
+    /// limits (threaded from [`crate::config::DispatcherConfig`] by the
+    /// deployment builder).
+    pub fn start_with_limits(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        registry: Arc<Registry>,
+        limits: Limits,
     ) -> RegistryServer {
         let pool = Arc::new(
             ThreadPool::new(
@@ -54,7 +67,7 @@ impl RegistryServer {
                 let registry = Arc::clone(&registry);
                 let net = Arc::clone(&net2);
                 let _ = pool2.execute(move || {
-                    let _ = serve_connection(stream, &Limits::default(), |req| {
+                    let _ = serve_connection(stream, &limits, |req| {
                         handle(&net, &registry, req)
                     });
                 });

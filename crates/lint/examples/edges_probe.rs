@@ -1,0 +1,17 @@
+//! Diagnostic: dump the static lock classes and acquisition-order edge
+//! set for the workspace rooted at the current directory.
+//!
+//! ```text
+//! cargo run -p wsd-lint --example edges_probe
+//! ```
+
+fn main() {
+    let wa = wsd_lint::analyze_workspace(std::path::Path::new("."), false).unwrap();
+    println!("classes: {:?}", wa.facts.classes);
+    if wa.lock_edges.is_empty() {
+        println!("no lock-order edges: nothing ever acquires one Ordered lock under another");
+    }
+    for e in &wa.lock_edges {
+        println!("edge {} -> {} ({}:{})", e.from, e.to, e.file, e.line);
+    }
+}

@@ -83,6 +83,7 @@ mod tests {
             file: file.to_string(),
             line,
             excerpt: String::new(),
+            witness: None,
         }
     }
 

@@ -1,0 +1,626 @@
+//! The four call-graph–aware rules.
+//!
+//! * `blocking-under-lock` — no call path from inside a held
+//!   `OrderedMutex`/`OrderedRwLock` guard region may reach an unbounded
+//!   blocking sink (condvar wait, blocking queue pop/push, socket IO,
+//!   thread join). The guard's *own* condvar wait is exempt: the guard
+//!   is released while parked.
+//! * `static-lock-order` — acquisitions nested inside a guard region
+//!   define edges `held -> acquired` in a static lock-order graph; any
+//!   cycle is reported with the witness call chain of each edge. The
+//!   edge set is exported ([`lock_order_edges`] via [`run`]) so the
+//!   dynamic auditor (`wsd_concurrent::ordered::audit`) can be
+//!   cross-checked against it.
+//! * `wsa-rewrite-before-forward` — every path that reaches a forward
+//!   enqueue (`enqueue` / `ack_enqueue` in `crates/core`) must have
+//!   passed a ReplyTo rewrite (`splice_forward` / `rewrite_for_forward`)
+//!   first. Unsatisfied sinks propagate the obligation to callers; an
+//!   entry point reached with the obligation still open is a finding.
+//! * `limits-at-serve-site` — serve sites (`serve_connection`, `serve`,
+//!   `RequestParser::new`) in the runtime/sim dispatchers must thread
+//!   `Limits` from config, never `Limits::default()`.
+
+use crate::callgraph::Graph;
+use crate::rules::Finding;
+use crate::summaries::{
+    acquire_chain, block_chain, is_guard_own_wait, region_calls, sink_desc, FileEntry, Facts,
+    WSA_REWRITE_MARKERS,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One static lock-order edge: while holding `from`, `to` is acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Lock class held.
+    pub from: String,
+    /// Lock class acquired under it.
+    pub to: String,
+    /// File of the in-region call that creates the edge.
+    pub file: String,
+    /// Line of that call.
+    pub line: usize,
+    /// Human-readable call chain from the holding region to the nested
+    /// acquisition.
+    pub witness: String,
+}
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+const FORWARD_SINKS: &[&str] = &["enqueue", "ack_enqueue"];
+const SERVE_TRIGGERS: &[&str] = &["serve_connection", "serve"];
+
+/// Runs all four interprocedural rules. Returns unfiltered findings
+/// (suppressions are applied by the caller) plus the static lock-order
+/// edge set for the dynamic cross-check.
+pub fn run(
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    facts: &Facts,
+) -> (Vec<Finding>, Vec<Edge>) {
+    let mut findings = Vec::new();
+    blocking_under_lock(graph, facts, &mut findings);
+    let edges = collect_lock_order_edges(graph, facts);
+    static_lock_order(&edges, &mut findings);
+    wsa_rewrite_before_forward(graph, facts, &mut findings);
+    limits_at_serve_site(files, graph, &mut findings);
+    (findings, edges)
+}
+
+fn blocking_under_lock(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>) {
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for (fi, f) in graph.fns.iter().enumerate() {
+        for region in &facts.fns[fi].regions {
+            for c in region_calls(f, region) {
+                if is_guard_own_wait(c, region.binding.as_ref()) {
+                    continue;
+                }
+                let (desc, witness) = if let Some(desc) = sink_desc(c) {
+                    (
+                        desc.to_string(),
+                        format!("{} ({}:{}) -> {desc}", f.qualified, f.file, c.line),
+                    )
+                } else if let Some(t) = c.callee.filter(|t| facts.fns[*t].blocks.is_some()) {
+                    let bw = facts.fns[t].blocks.as_ref().unwrap();
+                    (
+                        format!("{} (via `{}`)", bw.desc, graph.fns[t].qualified),
+                        format!(
+                            "{} ({}:{}) -> {}",
+                            f.qualified,
+                            f.file,
+                            c.line,
+                            block_chain(graph, facts, t)
+                        ),
+                    )
+                } else {
+                    continue;
+                };
+                if seen.insert((f.file.clone(), c.line, region.class.clone())) {
+                    findings.push(Finding {
+                        rule: "blocking-under-lock",
+                        file: f.file.clone(),
+                        line: c.line,
+                        excerpt: format!(
+                            "{desc} while holding `{}` (acquired {}:{})",
+                            region.class, f.file, region.line
+                        ),
+                        witness: Some(witness),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn collect_lock_order_edges(graph: &Graph, facts: &Facts) -> Vec<Edge> {
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let empty = BTreeMap::new();
+    for (fi, f) in graph.fns.iter().enumerate() {
+        let classes = facts.field_classes.get(&f.file).unwrap_or(&empty);
+        for region in &facts.fns[fi].regions {
+            for c in region_calls(f, region) {
+                // Direct nested acquisition.
+                let direct = (ACQUIRE_METHODS.contains(&c.name.as_str())
+                    && c.args_empty
+                    && c.is_method)
+                    .then(|| c.receiver.rsplit('.').next().unwrap_or(""))
+                    .and_then(|seg| classes.get(seg));
+                if let Some(to) = direct {
+                    if *to != region.class {
+                        edges
+                            .entry((region.class.clone(), to.clone()))
+                            .or_insert_with(|| Edge {
+                                from: region.class.clone(),
+                                to: to.clone(),
+                                file: f.file.clone(),
+                                line: c.line,
+                                witness: format!(
+                                    "{} ({}:{}) acquires `{to}` under `{}`",
+                                    f.qualified, f.file, c.line, region.class
+                                ),
+                            });
+                    }
+                    continue;
+                }
+                // Transitive acquisition through a resolved callee.
+                let Some(t) = c.callee else { continue };
+                for to in facts.fns[t].acquires.keys() {
+                    if *to == region.class {
+                        continue;
+                    }
+                    edges
+                        .entry((region.class.clone(), to.clone()))
+                        .or_insert_with(|| Edge {
+                            from: region.class.clone(),
+                            to: to.clone(),
+                            file: f.file.clone(),
+                            line: c.line,
+                            witness: format!(
+                                "{} ({}:{}) under `{}` -> {}",
+                                f.qualified,
+                                f.file,
+                                c.line,
+                                region.class,
+                                acquire_chain(graph, facts, t, to)
+                            ),
+                        });
+                }
+            }
+        }
+    }
+    edges.into_values().collect()
+}
+
+fn static_lock_order(edges: &[Edge], findings: &mut Vec<Finding>) {
+    // Adjacency over classes.
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(e);
+    }
+    // DFS with colors; report each cycle once (keyed by its class set).
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = on stack, 2 = done
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a Edge>,
+        reported: &mut BTreeSet<Vec<String>>,
+        findings: &mut Vec<Finding>,
+    ) {
+        color.insert(node, 1);
+        for e in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            match color.get(e.to.as_str()).copied().unwrap_or(0) {
+                0 => {
+                    stack.push(e);
+                    dfs(e.to.as_str(), adj, color, stack, reported, findings);
+                    stack.pop();
+                }
+                1 => {
+                    // Back edge: the cycle is the stack suffix from
+                    // `e.to` plus this edge.
+                    let mut cycle: Vec<&Edge> = Vec::new();
+                    let mut collecting = false;
+                    for se in stack.iter() {
+                        if se.from == e.to {
+                            collecting = true;
+                        }
+                        if collecting {
+                            cycle.push(se);
+                        }
+                    }
+                    cycle.push(e);
+                    let mut key: Vec<String> =
+                        cycle.iter().map(|c| c.from.clone()).collect();
+                    key.sort();
+                    if reported.insert(key) {
+                        let path: Vec<String> = cycle
+                            .iter()
+                            .map(|c| c.from.clone())
+                            .chain(std::iter::once(e.to.clone()))
+                            .collect();
+                        let witness = cycle
+                            .iter()
+                            .map(|c| c.witness.as_str())
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        findings.push(Finding {
+                            rule: "static-lock-order",
+                            file: cycle[0].file.clone(),
+                            line: cycle[0].line,
+                            excerpt: format!(
+                                "lock-order cycle: {}",
+                                path.join(" -> ")
+                            ),
+                            witness: Some(witness),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        color.insert(node, 2);
+    }
+
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            let mut stack = Vec::new();
+            dfs(n, &adj, &mut color, &mut stack, &mut reported, findings);
+        }
+    }
+}
+
+/// Does `g` make a rewrite-reaching call at or before `line`?
+fn rewrites_before(graph: &Graph, facts: &Facts, g: usize, line: usize) -> bool {
+    graph.fns[g].calls.iter().any(|c| {
+        c.line <= line
+            && (WSA_REWRITE_MARKERS.contains(&c.name.as_str())
+                || c.callee.is_some_and(|t| facts.fns[t].rewrites_wsa))
+    })
+}
+
+fn wsa_rewrite_before_forward(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>) {
+    // Obligations: fn index -> (witness chain so far, origin file, line).
+    let mut demanded: BTreeMap<usize, (String, String, usize)> = BTreeMap::new();
+    let mut work: Vec<usize> = Vec::new();
+
+    for (fi, f) in graph.fns.iter().enumerate() {
+        if !f.file.starts_with("crates/core/") {
+            continue;
+        }
+        // A fn that is itself forward machinery (named like a sink)
+        // forwards on behalf of its caller — the obligation starts at
+        // its call sites, not inside it.
+        if FORWARD_SINKS.contains(&f.name.as_str()) {
+            continue;
+        }
+        for c in &f.calls {
+            if !FORWARD_SINKS.contains(&c.name.as_str()) {
+                continue;
+            }
+            // The callee must be in-workspace forward machinery or
+            // unresolved-but-method (self.enqueue(..)); free calls to
+            // unrelated `enqueue` helpers outside core don't count.
+            if !c.is_method && c.callee.is_none() {
+                continue;
+            }
+            if rewrites_before(graph, facts, fi, c.line) {
+                continue;
+            }
+            let chain = format!(
+                "forward sink `{}` at {}:{} in {}",
+                c.name, f.file, c.line, f.qualified
+            );
+            demanded.entry(fi).or_insert((chain, f.file.clone(), c.line));
+            work.push(fi);
+        }
+    }
+
+    let mut emitted: BTreeSet<(String, usize)> = BTreeSet::new();
+    while let Some(fi) = work.pop() {
+        let (chain, ofile, oline) = demanded.get(&fi).cloned().unwrap();
+        let callers = graph.callers_of(fi);
+        if callers.is_empty() {
+            // Entry point reached with the obligation open.
+            if emitted.insert((ofile.clone(), oline)) {
+                let f = &graph.fns[fi];
+                findings.push(Finding {
+                    rule: "wsa-rewrite-before-forward",
+                    file: ofile,
+                    line: oline,
+                    excerpt: format!(
+                        "path to forward enqueue without a ReplyTo rewrite \
+                         (no rewrite on any route into `{}`)",
+                        f.qualified
+                    ),
+                    witness: Some(chain),
+                });
+            }
+            continue;
+        }
+        for (g, gline) in callers {
+            if demanded.contains_key(&g) {
+                continue; // already propagating (also breaks cycles)
+            }
+            if rewrites_before(graph, facts, g, gline) {
+                continue;
+            }
+            let gf = &graph.fns[g];
+            let chain2 = format!(
+                "{} ({}:{}) -> {}",
+                gf.qualified, gf.file, gline, chain
+            );
+            demanded.insert(g, (chain2, ofile.clone(), oline));
+            work.push(g);
+        }
+    }
+}
+
+fn limits_at_serve_site(
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    findings: &mut Vec<Finding>,
+) {
+    for f in &graph.fns {
+        if !(f.file.starts_with("crates/core/src/rt/") || f.file.starts_with("crates/core/src/sim/"))
+        {
+            continue;
+        }
+        let Some(entry) = files.get(&f.file) else {
+            continue;
+        };
+        let code = &entry.parsed.stripped.code;
+        let src_lines: Vec<&str> = entry.source.lines().collect();
+        for c in &f.calls {
+            let is_serve = SERVE_TRIGGERS.contains(&c.name.as_str())
+                || (c.name == "new" && c.qualifier.as_deref() == Some("RequestParser"));
+            if !is_serve {
+                continue;
+            }
+            let args = &code[c.offset..c.args_end.min(code.len())];
+            if args.contains("Limits::default") {
+                findings.push(Finding {
+                    rule: "limits-at-serve-site",
+                    file: f.file.clone(),
+                    line: c.line,
+                    excerpt: src_lines
+                        .get(c.line.saturating_sub(1))
+                        .unwrap_or(&"")
+                        .trim()
+                        .to_string(),
+                    witness: Some(format!(
+                        "serve site `{}` in {} ({}:{}) constructs Limits::default() \
+                         instead of threading config limits",
+                        c.name, f.qualified, f.file, c.line
+                    )),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::parser::{parse, ParsedFile};
+    use crate::summaries::compute;
+
+    fn run_on(files: &[(&str, &str)]) -> (Vec<Finding>, Vec<Edge>) {
+        let map: BTreeMap<String, FileEntry> = files
+            .iter()
+            .map(|(p, s)| {
+                (
+                    p.to_string(),
+                    FileEntry {
+                        source: s.to_string(),
+                        parsed: parse(s),
+                    },
+                )
+            })
+            .collect();
+        let parsed: BTreeMap<String, ParsedFile> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), parse(s)))
+            .collect();
+        let mut graph = build(&parsed, &|_| false);
+        let facts = compute(&map, &mut graph);
+        run(&map, &graph, &facts)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn join_under_lock_is_found_with_witness() {
+        let src = r#"
+struct R { thread: OrderedMutex<Option<u8>> }
+impl R {
+    fn new() -> R { R { thread: OrderedMutex::new("reactor.thread", None) } }
+    fn shutdown(&self) {
+        if let Some(h) = self.thread.lock().take() {
+            h.join();
+        }
+    }
+}
+"#;
+        let (f, _) = run_on(&[("crates/x/src/reactor.rs", src)]);
+        assert_eq!(rules_of(&f), vec!["blocking-under-lock"]);
+        assert!(f[0].excerpt.contains("reactor.thread"));
+        assert!(f[0].witness.as_ref().unwrap().contains("R::shutdown"));
+    }
+
+    #[test]
+    fn hoisted_join_is_clean() {
+        let src = r#"
+struct R { thread: OrderedMutex<Option<u8>> }
+impl R {
+    fn new() -> R { R { thread: OrderedMutex::new("reactor.thread", None) } }
+    fn shutdown(&self) {
+        let h = self.thread.lock().take();
+        if let Some(h) = h {
+            h.join();
+        }
+    }
+}
+"#;
+        let (f, _) = run_on(&[("crates/x/src/reactor.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn transitive_block_through_callee() {
+        let src = r#"
+struct S { state: OrderedMutex<u8> }
+impl S {
+    fn new() -> S { S { state: OrderedMutex::new("s.state", 0) } }
+    fn slow(&self, sock: &mut Sock) {
+        sock.read_exact(&mut [0u8; 4]);
+    }
+    fn f(&self, sock: &mut Sock) {
+        let g = self.state.lock();
+        self.slow(sock);
+        drop(g);
+    }
+}
+"#;
+        let (f, _) = run_on(&[("crates/x/src/s.rs", src)]);
+        assert_eq!(rules_of(&f), vec!["blocking-under-lock"]);
+        let w = f[0].witness.as_ref().unwrap();
+        assert!(w.contains("S::f") && w.contains("S::slow"), "{w}");
+    }
+
+    #[test]
+    fn lock_order_cycle_is_reported_with_chain() {
+        let src = r#"
+struct D { a: OrderedMutex<u8>, b: OrderedMutex<u8> }
+impl D {
+    fn new() -> D {
+        D { a: OrderedMutex::new("d.a", 0), b: OrderedMutex::new("d.b", 0) }
+    }
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#;
+        let (f, edges) = run_on(&[("crates/x/src/d.rs", src)]);
+        assert!(edges.iter().any(|e| e.from == "d.a" && e.to == "d.b"));
+        assert!(edges.iter().any(|e| e.from == "d.b" && e.to == "d.a"));
+        let cyc: Vec<_> = f.iter().filter(|x| x.rule == "static-lock-order").collect();
+        assert_eq!(cyc.len(), 1, "{f:?}");
+        assert!(cyc[0].excerpt.contains("d.a") && cyc[0].excerpt.contains("d.b"));
+    }
+
+    #[test]
+    fn consistent_order_has_edges_but_no_cycle() {
+        let src = r#"
+struct D { a: OrderedMutex<u8>, b: OrderedMutex<u8> }
+impl D {
+    fn new() -> D {
+        D { a: OrderedMutex::new("d.a", 0), b: OrderedMutex::new("d.b", 0) }
+    }
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+"#;
+        let (f, edges) = run_on(&[("crates/x/src/d.rs", src)]);
+        assert_eq!(edges.len(), 1);
+        assert!(f.iter().all(|x| x.rule != "static-lock-order"));
+    }
+
+    #[test]
+    fn wsa_rewrite_in_body_satisfies() {
+        let src = r#"
+struct D;
+impl D {
+    fn route_raw(&self, env: &[u8]) { splice_forward(env); }
+    fn accept(&self, env: &[u8]) {
+        self.route_raw(env);
+        self.enqueue(env);
+    }
+    fn enqueue(&self, env: &[u8]) {}
+}
+fn splice_forward(env: &[u8]) {}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/rt/d.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "wsa-rewrite-before-forward"), "{f:?}");
+    }
+
+    #[test]
+    fn wsa_missing_rewrite_reaches_entry_point() {
+        let src = r#"
+struct D;
+impl D {
+    fn accept(&self, env: &[u8]) {
+        self.enqueue(env);
+    }
+    fn enqueue(&self, env: &[u8]) {}
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/rt/d.rs", src)]);
+        let w: Vec<_> = f
+            .iter()
+            .filter(|x| x.rule == "wsa-rewrite-before-forward")
+            .collect();
+        assert_eq!(w.len(), 1, "{f:?}");
+        assert!(w[0].witness.as_ref().unwrap().contains("enqueue"));
+    }
+
+    #[test]
+    fn wsa_rewrite_in_caller_satisfies_callee_obligation() {
+        let src = r#"
+struct D;
+impl D {
+    fn ack_enqueue(&self, env: &[u8]) {
+        self.enqueue(env);
+    }
+    fn enqueue(&self, env: &[u8]) {}
+    fn accept(&self, env: &[u8]) {
+        rewrite_for_forward(env);
+        self.ack_enqueue(env);
+    }
+}
+fn rewrite_for_forward(env: &[u8]) {}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/rt/d.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "wsa-rewrite-before-forward"), "{f:?}");
+    }
+
+    #[test]
+    fn wsa_outside_core_is_out_of_scope() {
+        let src = "struct D;\nimpl D {\n    fn f(&self) { self.enqueue(0); }\n    fn enqueue(&self, x: u8) {}\n}\n";
+        let (f, _) = run_on(&[("crates/netsim/src/d.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "wsa-rewrite-before-forward"));
+    }
+
+    #[test]
+    fn limits_default_at_serve_site_flagged() {
+        let src = r#"
+fn start(stream: S) {
+    serve_connection(stream, &Limits::default(), |req| handle(req));
+}
+fn handle(req: R) {}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/rt/registry.rs", src)]);
+        let l: Vec<_> = f.iter().filter(|x| x.rule == "limits-at-serve-site").collect();
+        assert_eq!(l.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn limits_threaded_is_clean_and_other_crates_unscoped() {
+        let ok = r#"
+fn start(stream: S, limits: &Limits) {
+    serve_connection(stream, limits, |req| req);
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/rt/registry.rs", ok)]);
+        assert!(f.iter().all(|x| x.rule != "limits-at-serve-site"));
+        let elsewhere = "fn f(s: S) { serve_connection(s, &Limits::default(), |r| r); }\n";
+        let (f2, _) = run_on(&[("crates/http/src/x.rs", elsewhere)]);
+        assert!(f2.iter().all(|x| x.rule != "limits-at-serve-site"));
+    }
+
+    #[test]
+    fn request_parser_new_with_default_flagged() {
+        let src = "fn f() { let p = RequestParser::new(Limits::default()); }\n";
+        let (f, _) = run_on(&[("crates/core/src/rt/front.rs", src)]);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "limits-at-serve-site").count(),
+            1
+        );
+    }
+}

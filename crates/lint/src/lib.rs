@@ -2,12 +2,18 @@
 //!
 //! The compiler cannot see the project's *disciplines* — that every
 //! thread flows through `wsd-concurrent`, every timestamp through the
-//! telemetry clock, every serve-site queue stays bounded. This crate
-//! makes them checkable: a hand-rolled lexer ([`lexer`]) blanks strings
-//! and comments so rules match only real code, the engine ([`rules`])
-//! evaluates the named invariants with `#[cfg(test)]` exemption and
-//! reasoned suppressions, and a ratchet baseline ([`baseline`]) fails
-//! the build on *new* findings while existing debt burns down.
+//! telemetry clock, every serve-site queue stays bounded, and that no
+//! CxThread blocks while holding shared state. This crate makes them
+//! checkable: a hand-rolled lexer ([`lexer`]) blanks strings and
+//! comments so rules match only real code, an item parser ([`parser`])
+//! recovers `fn`/`impl`/`mod` structure, a call graph ([`callgraph`])
+//! resolves intra-workspace calls, per-function summaries
+//! ([`summaries`]) compute acquires-lock / may-block / rewrites-wsa /
+//! records-telemetry-stage facts, and two rule layers evaluate the
+//! named invariants — lexical ([`rules`]) and interprocedural
+//! ([`interproc`]) — with `#[cfg(test)]` exemption, reasoned
+//! suppressions, a ratchet baseline ([`baseline`]) that fails the build
+//! only on *new* findings, and a SARIF emitter ([`sarif`]) for CI.
 //!
 //! No dependencies, by design: the build is offline and the linter must
 //! never be the thing that breaks the build for environmental reasons.
@@ -15,34 +21,113 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod interproc;
 pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod summaries;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
 pub use rules::{lint_source, suppressions_in, Finding, RULE_NAMES};
 
-/// Lints every workspace `.rs` file under `root`; findings come back
-/// sorted by (file, line, rule). Also returns the total suppression
-/// count (all carrying reasons — reason-less ones surface as
-/// `bad-suppression` findings instead).
-pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
-    let mut findings = Vec::new();
-    let mut suppressions = 0usize;
+/// Everything one analysis pass produces: findings (lexical +
+/// interprocedural, suppression-filtered, sorted), the suppression
+/// count, and the structures the findings were derived from — exposed
+/// so tests (e.g. the dynamic lock-order cross-check in
+/// `wsd-concurrent`) can interrogate the graph and edge set directly.
+pub struct WorkspaceAnalysis {
+    /// All unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Total count of well-formed, reasoned suppressions seen.
+    pub suppressions: usize,
+    /// The resolved workspace call graph.
+    pub graph: callgraph::Graph,
+    /// Per-function dataflow facts (parallel to `graph.fns`).
+    pub facts: summaries::Facts,
+    /// The static lock-order edge set (`held -> acquired`), for the
+    /// cross-check against `wsd_concurrent::ordered::audit::edges()`.
+    pub lock_edges: Vec<interproc::Edge>,
+}
+
+/// Full analysis of every workspace `.rs` file under `root`.
+///
+/// `self_mode` is the `--self` configuration: per-rule path scoping is
+/// dropped (paths are then relative to `crates/lint`, matching no
+/// scope) so the linter holds itself to the complete rule set.
+pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<WorkspaceAnalysis> {
+    let mut files: BTreeMap<String, summaries::FileEntry> = BTreeMap::new();
     for (rel, abs) in walk::rust_files(root)? {
         let Ok(source) = std::fs::read_to_string(&abs) else {
             continue; // non-UTF8 — nothing for a lexical linter to do
         };
-        findings.extend(rules::lint_source(&rel, &source));
-        suppressions += rules::suppressions_in(&source).len();
+        let parsed = parser::parse(&source);
+        files.insert(rel, summaries::FileEntry { source, parsed });
     }
+
+    let mut findings = Vec::new();
+    let mut suppressions = 0usize;
+    for (rel, entry) in &files {
+        findings.extend(rules::lint_source_parsed(
+            rel,
+            &entry.source,
+            &entry.parsed,
+            self_mode,
+        ));
+        suppressions += rules::suppressions_in(&entry.source).len();
+    }
+
+    // Interprocedural layer: test-path files are excluded from the
+    // graph wholesale (fixtures deliberately seed violations, and test
+    // helpers must not capture bare-name resolution).
+    let parsed_for_graph: BTreeMap<String, parser::ParsedFile> = files
+        .iter()
+        .filter(|(rel, _)| !rules::is_test_path(rel))
+        .map(|(rel, e)| (rel.clone(), parser::parse(&e.source)))
+        .collect();
+    let mut graph = callgraph::build(&parsed_for_graph, &|_| false);
+    let facts = summaries::compute(&files, &mut graph);
+    let (interproc_findings, lock_edges) = interproc::run(&files, &graph, &facts);
+
+    // Interprocedural findings honour the same suppression comments.
+    for f in interproc_findings {
+        let sups = files
+            .get(&f.file)
+            .map(|e| rules::active_suppressions(&e.parsed.stripped.comments))
+            .unwrap_or_default();
+        let silenced = sups.iter().any(|(line, is_line, rule)| {
+            rule == f.rule && (*line == f.line || (*is_line && line + 1 == f.line))
+        });
+        if !silenced {
+            findings.push(f);
+        }
+    }
+
     findings.sort_by(|a, b| {
         a.file
             .cmp(&b.file)
             .then(a.line.cmp(&b.line))
             .then(a.rule.cmp(b.rule))
     });
-    Ok((findings, suppressions))
+    Ok(WorkspaceAnalysis {
+        findings,
+        suppressions,
+        graph,
+        facts,
+        lock_edges,
+    })
+}
+
+/// Lints every workspace `.rs` file under `root`; findings come back
+/// sorted by (file, line, rule). Also returns the total suppression
+/// count (all carrying reasons — reason-less ones surface as
+/// `bad-suppression` findings instead).
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let wa = analyze_workspace(root, false)?;
+    Ok((wa.findings, wa.suppressions))
 }

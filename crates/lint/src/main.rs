@@ -1,7 +1,8 @@
 //! CLI for the workspace invariant checker.
 //!
 //! ```text
-//! wsd-lint [--root PATH] [--check] [--json PATH] [--update-baseline]
+//! wsd-lint [--root PATH] [--check] [--json PATH] [--sarif PATH]
+//!          [--update-baseline] [--self]
 //! ```
 //!
 //! * default: report all findings against the ratchet baseline
@@ -10,19 +11,28 @@
 //!   count — i.e. on *new* findings only.
 //! * `--update-baseline`: rewrite the baseline to the current counts
 //!   (used after burning down debt, never to absorb new debt casually).
-//! * `--json PATH`: also write the findings as JSON (`-` for stdout).
+//! * `--json PATH`: also write the report as JSON (`-` for stdout). The
+//!   payload is an object: `findings` plus the ratchet summary
+//!   (`burned_down` included, so machine consumers see burn-down too,
+//!   not just the diff output).
+//! * `--sarif PATH`: also write findings as SARIF 2.1.0 for CI
+//!   annotation (`-` for stdout).
+//! * `--self`: lint `crates/lint` itself with the full rule set (no
+//!   path scoping, no baseline tolerance — any finding fails).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wsd_lint::{baseline, json, lint_workspace, rules};
+use wsd_lint::{analyze_workspace, baseline, json, rules, sarif};
 
 struct Opts {
     root: PathBuf,
     check: bool,
     update_baseline: bool,
     json_path: Option<String>,
+    sarif_path: Option<String>,
+    self_mode: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -31,6 +41,8 @@ fn parse_args() -> Result<Opts, String> {
         check: false,
         update_baseline: false,
         json_path: None,
+        sarif_path: None,
+        self_mode: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -43,9 +55,14 @@ fn parse_args() -> Result<Opts, String> {
             "--json" => {
                 opts.json_path = Some(args.next().ok_or("--json needs a path (or -)")?);
             }
+            "--sarif" => {
+                opts.sarif_path = Some(args.next().ok_or("--sarif needs a path (or -)")?);
+            }
+            "--self" => opts.self_mode = true,
             "--help" | "-h" => {
                 println!(
-                    "wsd-lint [--root PATH] [--check] [--json PATH] [--update-baseline]"
+                    "wsd-lint [--root PATH] [--check] [--json PATH] [--sarif PATH] \
+                     [--update-baseline] [--self]"
                 );
                 std::process::exit(0);
             }
@@ -55,22 +72,67 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn findings_json(findings: &[rules::Finding], new_keys: &BTreeMap<String, ()>) -> String {
-    let mut out = String::from("[\n");
+/// The `--json` payload: an object so the ratchet summary (including
+/// burned-down pairs) travels with the findings — not only in the
+/// human diff output.
+fn report_json(
+    findings: &[rules::Finding],
+    new_keys: &BTreeMap<String, ()>,
+    report: &baseline::RatchetReport,
+    suppressions: usize,
+) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
     for (idx, f) in findings.iter().enumerate() {
         let is_new = new_keys.contains_key(&baseline::key(&f.file, f.rule));
+        let witness = match &f.witness {
+            Some(w) => format!(", \"witness\": \"{}\"", json::escape(w)),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"new\": {}, \"excerpt\": \"{}\"}}{}",
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"new\": {}, \"excerpt\": \"{}\"{}}}{}",
             json::escape(f.rule),
             json::escape(&f.file),
             f.line,
             is_new,
             json::escape(&f.excerpt),
+            witness,
             if idx + 1 == findings.len() { "\n" } else { ",\n" }
         ));
     }
-    out.push_str("]\n");
+    out.push_str("  ],\n  \"burned_down\": [\n");
+    for (idx, (k, base_n, cur)) in report.burned_down.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"key\": \"{}\", \"baseline\": {}, \"current\": {}}}{}",
+            json::escape(k),
+            base_n,
+            cur,
+            if idx + 1 == report.burned_down.len() {
+                "\n"
+            } else {
+                ",\n"
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"new\": {}, \"tolerated\": {}, \"burned_down\": {}, \"suppressions\": {}}}\n}}\n",
+        report.new_findings.len(),
+        report.tolerated,
+        report.burned_down.len(),
+        suppressions
+    ));
     out
+}
+
+fn write_out(path: &str, text: &str) -> Result<(), ExitCode> {
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else if let Err(e) = std::fs::write(path, text) {
+        eprintln!("wsd-lint: cannot write {path}: {e}");
+        Err(ExitCode::from(2))
+    } else {
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
@@ -82,13 +144,42 @@ fn main() -> ExitCode {
         }
     };
 
-    let (findings, suppression_count) = match lint_workspace(&opts.root) {
+    // `--self`: the linter lints itself, full rule set, zero tolerance.
+    let (root, self_mode) = if opts.self_mode {
+        (opts.root.join("crates").join("lint"), true)
+    } else {
+        (opts.root.clone(), false)
+    };
+
+    let analysis = match analyze_workspace(&root, self_mode) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("wsd-lint: walk failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let (findings, suppression_count) = (analysis.findings, analysis.suppressions);
+
+    if self_mode {
+        for f in &findings {
+            println!("! {}:{} [{}] {}", f.file, f.line, f.rule, f.excerpt);
+            if let Some(w) = &f.witness {
+                println!("       witness: {w}");
+            }
+        }
+        if findings.is_empty() {
+            println!(
+                "wsd-lint --self: clean ({} fn(s) in the self call graph)",
+                analysis.graph.fns.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "wsd-lint --self: FAIL — {} finding(s); the linter holds itself to the full rule set",
+            findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let baseline_path = opts.root.join("lint-baseline.json");
     let base = match std::fs::read_to_string(&baseline_path) {
@@ -137,6 +228,9 @@ fn main() -> ExitCode {
             '='
         };
         println!("{}{:<5} [{}] {}", marker, f.line, f.rule, f.excerpt);
+        if let Some(w) = &f.witness {
+            println!("       witness: {w}");
+        }
         let hint = rules::rule_hint(f.rule);
         if !hint.is_empty() {
             println!("       -> {hint}");
@@ -156,12 +250,15 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &opts.json_path {
-        let text = findings_json(&findings, &new_keys);
-        if path == "-" {
-            print!("{text}");
-        } else if let Err(e) = std::fs::write(path, &text) {
-            eprintln!("wsd-lint: cannot write {path}: {e}");
-            return ExitCode::from(2);
+        let text = report_json(&findings, &new_keys, &report, suppression_count);
+        if let Err(code) = write_out(path, &text) {
+            return code;
+        }
+    }
+    if let Some(path) = &opts.sarif_path {
+        let text = sarif::render(&findings);
+        if let Err(code) = write_out(path, &text) {
+            return code;
         }
     }
 

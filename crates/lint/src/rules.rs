@@ -13,14 +13,22 @@
 //! rule so silent opt-outs cannot accrete.
 
 use crate::lexer::{strip, Comment};
+use crate::parser::{parse, ParsedFile};
 
-/// All enforced rule names, in report order.
-pub const RULE_NAMES: [&str; 6] = [
+/// All enforced rule names, in report order. The first five are
+/// lexical (per-line); the next four are interprocedural (call-graph
+/// reachability, see [`crate::interproc`]); `bad-suppression` guards
+/// the suppression mechanism itself.
+pub const RULE_NAMES: [&str; 10] = [
     "raw-thread-spawn",
     "raw-clock",
     "std-sync-primitive",
     "unwrap-in-dispatcher",
     "unbounded-queue-at-serve-site",
+    "blocking-under-lock",
+    "static-lock-order",
+    "wsa-rewrite-before-forward",
+    "limits-at-serve-site",
     "bad-suppression",
 ];
 
@@ -33,8 +41,12 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// The offending source line, trimmed.
+    /// The offending source line, trimmed — or, for interprocedural
+    /// rules, a one-line statement of the violated contract.
     pub excerpt: String,
+    /// Call-chain witness for interprocedural findings (`f (file:line)
+    /// -> g (file:line) -> sink`); `None` for lexical rules.
+    pub witness: Option<String>,
 }
 
 /// What each rule protects, shown next to findings.
@@ -57,6 +69,26 @@ pub fn rule_hint(rule: &str) -> &'static str {
             "serve-site queues are bounded: the paper's WS-MsgBox hit its \
              ~50-client OOM wall on exactly this"
         }
+        "blocking-under-lock" => {
+            "no path from a held OrderedMutex/OrderedRwLock guard may \
+             reach an unbounded blocking sink — a stalled CxThread under \
+             lock wedges every peer of that lock class"
+        }
+        "static-lock-order" => {
+            "lock classes must acquire in one global order; a cycle in \
+             the static acquisition graph is a deadlock schedule waiting \
+             for the right interleaving"
+        }
+        "wsa-rewrite-before-forward" => {
+            "every path from envelope receipt to a forward enqueue must \
+             pass a ReplyTo rewrite (splice_forward / \
+             rewrite_for_forward) — the paper's MSG-Dispatcher contract"
+        }
+        "limits-at-serve-site" => {
+            "serve sites must thread Limits from config, not \
+             Limits::default() — otherwise ops cannot tighten parser \
+             bounds without a rebuild"
+        }
         "bad-suppression" => "suppressions need a known rule and a written reason",
         _ => "",
     }
@@ -66,8 +98,9 @@ fn path_in(file: &str, prefix: &str) -> bool {
     file.starts_with(prefix)
 }
 
-/// Whether the file as a whole is test collateral.
-fn is_test_path(file: &str) -> bool {
+/// Whether the file as a whole is test collateral (under `tests/`,
+/// `benches/`, `examples/`, or `fixtures/`).
+pub fn is_test_path(file: &str) -> bool {
     file.split('/').any(|seg| {
         seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures"
     })
@@ -193,6 +226,7 @@ fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<Finding>) 
                             "suppression of `{rule}` has no reason — use \
                              `wsd-lint: allow({rule}): <why this site is exempt>`"
                         ),
+                        witness: None,
                     });
                 } else {
                     sups.push(Suppression {
@@ -213,6 +247,7 @@ fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<Finding>) 
                          `wsd-lint: allow(<rule>): <reason>` with a known rule",
                         c.text
                     ),
+                    witness: None,
                 });
             }
         }
@@ -220,50 +255,14 @@ fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<Finding>) 
     (sups, bad)
 }
 
-/// Marks which lines fall inside `#[cfg(test)] mod ... { }` blocks.
-///
-/// Works on blanked code, so braces in strings/comments cannot skew the
-/// depth tracking.
-fn test_block_lines(code: &str) -> Vec<bool> {
-    let lines: Vec<&str> = code.lines().collect();
-    let mut in_test = vec![false; lines.len() + 2];
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].contains("#[cfg(test)]") {
-            // Find the opening brace of the following item (allowing
-            // further attributes / the `mod` line itself).
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            'scan: while j < lines.len() {
-                for ch in lines[j].chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                    if opened && depth == 0 {
-                        in_test[j] = true;
-                        break 'scan;
-                    }
-                }
-                in_test[j] = true;
-                j += 1;
-            }
-            let end = j.min(lines.len().saturating_sub(1));
-            for flag in in_test.iter_mut().take(end + 1).skip(i) {
-                *flag = true;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    in_test.truncate(lines.len());
-    in_test
+/// Active (well-formed) suppressions in a file's comments, as
+/// `(line, is_line_comment, rule)` — used to filter interprocedural
+/// findings, which are produced outside [`lint_source`].
+pub(crate) fn active_suppressions(comments: &[Comment]) -> Vec<(usize, bool, String)> {
+    let (sups, _) = parse_suppressions(comments);
+    sups.into_iter()
+        .map(|s| (s.line, s.is_line_comment, s.rule))
+        .collect()
 }
 
 /// Lints one file's source, returning all unsuppressed findings.
@@ -273,8 +272,24 @@ fn test_block_lines(code: &str) -> Vec<bool> {
 /// directive-only comment line directly above it, silence that rule for
 /// that line.
 pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
-    let (sups, mut bad) = parse_suppressions(&stripped.comments);
+    lint_source_parsed(file, source, &parse(source), false)
+}
+
+/// [`lint_source`] over an already-parsed file. `force_all` drops the
+/// per-rule path scoping (used by `--self`, where paths are relative to
+/// `crates/lint` and would otherwise match no scope).
+///
+/// Test exemption is parser-driven: `#[cfg(test)]` / `#[test]` item
+/// spans come from [`crate::parser`], so nested modules, attribute
+/// lines, and items following a test module are classified by actual
+/// scope structure rather than brace counting.
+pub fn lint_source_parsed(
+    file: &str,
+    source: &str,
+    parsed: &ParsedFile,
+    force_all: bool,
+) -> Vec<Finding> {
+    let (sups, mut bad) = parse_suppressions(&parsed.stripped.comments);
     for b in &mut bad {
         b.file = file.to_string();
     }
@@ -286,9 +301,8 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
         return Vec::new();
     }
 
-    let code_lines: Vec<&str> = stripped.code.lines().collect();
+    let code_lines: Vec<&str> = parsed.stripped.code.lines().collect();
     let src_lines: Vec<&str> = source.lines().collect();
-    let in_test = test_block_lines(&stripped.code);
 
     let suppressed = |rule: &str, line: usize| -> bool {
         sups.iter().any(|s| {
@@ -300,11 +314,11 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
     let mut findings = bad;
     for (idx, code_line) in code_lines.iter().enumerate() {
         let line = idx + 1;
-        if in_test.get(idx).copied().unwrap_or(false) {
+        if parsed.is_test_line(line) {
             continue;
         }
         for rule in RULE_NAMES {
-            if rule == "bad-suppression" || !rule_applies(rule, file) {
+            if rule == "bad-suppression" || (!force_all && !rule_applies(rule, file)) {
                 continue;
             }
             if line_violates(rule, code_line) && !suppressed(rule, line) {
@@ -313,6 +327,7 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                     file: file.to_string(),
                     line,
                     excerpt: src_lines.get(idx).unwrap_or(&"").trim().to_string(),
+                    witness: None,
                 });
             }
         }

@@ -1,0 +1,86 @@
+//! Minimal SARIF 2.1.0 emitter for CI annotation.
+//!
+//! Emits one run with the `wsd-lint` driver, a rule entry per
+//! [`crate::rules::RULE_NAMES`] member, and one result per finding.
+//! Interprocedural witnesses ride along in the message text so CI
+//! surfaces the call chain, not just the sink line. Only the subset of
+//! the schema that GitHub/GitLab code-scanning ingestion reads is
+//! produced — hand-rolled like the rest of the crate (no serde).
+
+use crate::json::escape;
+use crate::rules::{rule_hint, Finding, RULE_NAMES};
+
+/// Renders findings as a SARIF 2.1.0 document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"wsd-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RULE_NAMES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            escape(rule),
+            escape(rule_hint(rule)),
+            if i + 1 < RULE_NAMES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let mut message = f.excerpt.clone();
+        if let Some(w) = &f.witness {
+            message.push_str(" [witness: ");
+            message.push_str(w);
+            message.push(']');
+        }
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            escape(f.rule),
+            escape(&message),
+            escape(&f.file),
+            f.line.max(1),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_shape_and_escaping() {
+        let findings = vec![Finding {
+            rule: "blocking-under-lock",
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            excerpt: "join while \"held\"".to_string(),
+            witness: Some("A::f (crates/x/src/a.rs:7) -> thread join".to_string()),
+        }];
+        let doc = render(&findings);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"ruleId\": \"blocking-under-lock\""));
+        assert!(doc.contains("\"startLine\": 7"));
+        assert!(doc.contains("\\\"held\\\""));
+        assert!(doc.contains("witness: A::f"));
+        // Every rule is declared.
+        for rule in RULE_NAMES {
+            assert!(doc.contains(&format!("\"id\": \"{rule}\"")));
+        }
+    }
+
+    #[test]
+    fn empty_findings_still_valid() {
+        let doc = render(&[]);
+        assert!(doc.contains("\"results\": [\n      ]"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Known-good twin of the seeded pair: every path agrees on the
+//! left-before-right acquisition order, so the edge set is acyclic.
+
+pub struct Pair {
+    left: OrderedMutex<u8>,
+    right: OrderedMutex<u8>,
+}
+
+impl Pair {
+    pub fn new() -> Pair {
+        Pair {
+            left: OrderedMutex::new("pair.left", 0),
+            right: OrderedMutex::new("pair.right", 0),
+        }
+    }
+
+    /// Takes left, then right.
+    pub fn forward(&self) {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// Also left-then-right: same order, no cycle.
+    pub fn sweep(&self) {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        drop(b);
+        drop(a);
+    }
+}

@@ -1,0 +1,41 @@
+//! Known-good twin of the seeded pool: handles are taken *out* of the
+//! guard before any join, so no blocking sink is reachable under the
+//! lock.
+
+pub struct Pool {
+    handles: OrderedMutex<Vec<Handle>>,
+}
+
+impl Pool {
+    pub fn new() -> Pool {
+        Pool {
+            handles: OrderedMutex::new("pool.handles", Vec::new()),
+        }
+    }
+
+    /// Joins only after the guard is consumed inside `take`'s statement.
+    pub fn shutdown_direct(&self) {
+        let handles: Vec<Handle> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            h.join();
+        }
+    }
+
+    /// The guard is dropped before the joining helper runs.
+    pub fn shutdown_via_helper(&self) {
+        let g = self.handles.lock();
+        let count = g.len();
+        drop(g);
+        self.join_all(count);
+    }
+
+    fn join_all(&self, _count: usize) {
+        for h in self.list() {
+            h.join();
+        }
+    }
+
+    fn list(&self) -> Vec<Handle> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-good twin of the seeded serve site: parser limits are threaded
+//! in from the operator's config instead of defaulted at the site.
+
+pub struct Server;
+
+impl Server {
+    /// Limits arrive as a parameter, from config.
+    pub fn start(&self, net: &Network, limits: Limits) {
+        net.listen(move |stream| {
+            let _ = serve_connection(stream, &limits, handle);
+        });
+    }
+}
+
+fn handle(req: Request) -> Response {
+    Response::ok()
+}

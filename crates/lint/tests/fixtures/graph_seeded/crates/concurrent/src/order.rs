@@ -1,0 +1,32 @@
+//! Seeded interprocedural violation: the two lock classes are taken in
+//! opposite orders by the two paths — a static lock-order cycle.
+
+pub struct Pair {
+    left: OrderedMutex<u8>,
+    right: OrderedMutex<u8>,
+}
+
+impl Pair {
+    pub fn new() -> Pair {
+        Pair {
+            left: OrderedMutex::new("pair.left", 0),
+            right: OrderedMutex::new("pair.right", 0),
+        }
+    }
+
+    /// Takes left, then right.
+    pub fn forward(&self) {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// SEEDED(static-lock-order): takes right, then left.
+    pub fn backward(&self) {
+        let b = self.right.lock();
+        let a = self.left.lock();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,39 @@
+//! Seeded interprocedural violations: thread joins reachable from a
+//! held `pool.handles` guard — one direct, one through a helper.
+
+pub struct Pool {
+    handles: OrderedMutex<Vec<Handle>>,
+}
+
+impl Pool {
+    pub fn new() -> Pool {
+        Pool {
+            handles: OrderedMutex::new("pool.handles", Vec::new()),
+        }
+    }
+
+    /// SEEDED(blocking-under-lock): joins while the guard is live.
+    pub fn shutdown_direct(&self) {
+        let g = self.handles.lock();
+        for h in g.iter() {
+            h.join();
+        }
+    }
+
+    /// SEEDED(blocking-under-lock): the join hides behind a callee.
+    pub fn shutdown_via_helper(&self) {
+        let g = self.handles.lock();
+        self.join_all();
+        drop(g);
+    }
+
+    fn join_all(&self) {
+        for h in self.list() {
+            h.join();
+        }
+    }
+
+    fn list(&self) -> Vec<Handle> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded interprocedural violation: the serve site constructs default
+//! parser limits instead of threading operator config.
+
+pub struct Server;
+
+impl Server {
+    /// SEEDED(limits-at-serve-site).
+    pub fn start(&self, net: &Network) {
+        net.listen(move |stream| {
+            let _ = serve_connection(stream, &Limits::default(), handle);
+        });
+    }
+}
+
+fn handle(req: Request) -> Response {
+    Response::ok()
+}

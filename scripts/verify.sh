@@ -5,7 +5,9 @@
 # Modes:
 #   scripts/verify.sh                  invariant lint + build + test + clippy
 #   scripts/verify.sh lint             just the invariant checks: wsd-lint
-#                                      against lint-baseline.json, plus a
+#                                      against lint-baseline.json, wsd-lint
+#                                      linting itself (--self, full rule set,
+#                                      zero tolerance), plus a
 #                                      warnings-as-errors build
 #   scripts/verify.sh bench-smoke      the default, plus a quick dispatch_hotpath
 #                                      run emitting BENCH_hotpath.json at the
@@ -14,13 +16,21 @@
 #                                      connection_scaling sweep asserting the
 #                                      reactor's peak thread count stays within
 #                                      its handler pool size
+#   scripts/verify.sh bench-gate       the default, plus fresh dispatch_hotpath /
+#                                      connection_scaling smoke runs compared
+#                                      against the checked-in BENCH_*.json —
+#                                      fails on a >20% p50 / ns-per-op
+#                                      regression (BENCH_GATE_THRESHOLD=0.30
+#                                      loosens it on noisy machines)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 # Invariant checks run first in every mode: they are the cheapest gate
-# and the one most likely to catch a discipline regression.
+# and the one most likely to catch a discipline regression. The linter
+# also lints itself — full rule set, no baseline tolerance.
 cargo run -q -p wsd-lint -- --check
+cargo run -q -p wsd-lint -- --self
 RUSTFLAGS="-D warnings" cargo build --workspace
 
 if [ "${1:-}" = "lint" ]; then
@@ -43,4 +53,19 @@ if [ "${1:-}" = "connscale-smoke" ]; then
     # 64 mostly-idle connections, both front ends; the bench binary
     # asserts the reactor's peak thread count <= pool size + event loop.
     CONNSCALE_SMOKE=1 cargo bench -p wsd-bench --bench connection_scaling
+fi
+
+if [ "${1:-}" = "bench-gate" ]; then
+    : "${CRITERION_SAMPLES:=3}"
+    export CRITERION_SAMPLES
+    gate_dir=$(mktemp -d)
+    trap 'rm -rf "$gate_dir"' EXIT
+    BENCH_HOTPATH_JSON="$gate_dir/hotpath.json" \
+        cargo bench -p wsd-bench --bench dispatch_hotpath
+    CONNSCALE_SMOKE=1 BENCH_CONNSCALE_JSON="$gate_dir/connscale.json" \
+        cargo bench -p wsd-bench --bench connection_scaling
+    cargo run -q --release -p wsd-bench --bin bench_gate -- \
+        BENCH_hotpath.json "$gate_dir/hotpath.json"
+    cargo run -q --release -p wsd-bench --bin bench_gate -- \
+        BENCH_connscale.json "$gate_dir/connscale.json"
 fi
