@@ -13,6 +13,12 @@
 //! overrides). Throughput-free smoke runs only cover a subset of the
 //! sweeps, so reference-only keys are reported but never fatal.
 //!
+//! A missing *reference* file is a warning, not a failure (exit 0): a
+//! branch adding a new bench has no checked-in baseline yet, and the
+//! gate must not block the run that would create one. A missing *fresh*
+//! file is always an error — the bench that was supposed to produce it
+//! did not run.
+//!
 //! Hand-rolled JSON parsing: the gate must run in the offline build
 //! with no registry deps, exactly like wsd-lint.
 
@@ -185,15 +191,30 @@ fn main() -> ExitCode {
         .unwrap_or(0.20);
 
     let load = |path: &str| -> Result<BTreeMap<String, f64>, String> {
+        // wsd-lint: allow(raw-file-io): bench JSON artifacts, not durable state
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         flatten(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let (reference, fresh) = match (load(&reference_path), load(&fresh_path)) {
-        (Ok(r), Ok(f)) => (r, f),
-        (r, f) => {
-            for e in [r.err(), f.err()].into_iter().flatten() {
-                eprintln!("bench_gate: {e}");
-            }
+    // The fresh file first: its absence is fatal no matter what (the
+    // bench didn't run), including when the reference is also missing.
+    let fresh = match load(&fresh_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reference = match load(&reference_path) {
+        Ok(r) => r,
+        Err(e) if !std::path::Path::new(&reference_path).exists() => {
+            eprintln!("bench_gate: WARN — no reference baseline ({e}); skipping gate");
+            eprintln!("bench_gate: check in the fresh run as {reference_path} to arm it");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            // Present but unreadable/unparsable: that's corruption, not
+            // a missing baseline.
+            eprintln!("bench_gate: {e}");
             return ExitCode::from(2);
         }
     };

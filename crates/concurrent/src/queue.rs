@@ -662,6 +662,62 @@ mod tests {
     }
 
     #[test]
+    fn pop_timeout_batch_racing_close_never_hangs_or_loses() {
+        // Regression: consumers parked in `pop_timeout_batch` while
+        // another thread closes the queue must wake promptly with
+        // `Closed` after draining the backlog — not sleep out their full
+        // timeout (a lost close wakeup) and not drop queued elements.
+        // The long timeout makes a lost wakeup a loud test failure
+        // instead of a flake.
+        for round in 0..50usize {
+            let q = FifoQueue::bounded(8);
+            let mut consumers = Vec::new();
+            for c in 0..3 {
+                let q = q.clone();
+                consumers.push(thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.pop_timeout_batch(Duration::from_secs(30), 4) {
+                            Ok(batch) => got.extend(batch),
+                            Err(PopError::Closed) => return got,
+                            Err(PopError::Empty) => {
+                                panic!("consumer {c} slept through close: lost wakeup")
+                            }
+                        }
+                    }
+                }));
+            }
+            let producer = {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut sent = 0usize;
+                    for i in 0..round {
+                        // A producer blocked in `push` when the close
+                        // lands must also wake with `Closed`.
+                        if q.push(i).is_err() {
+                            break;
+                        }
+                        sent += 1;
+                    }
+                    sent
+                })
+            };
+            if round % 2 == 0 {
+                thread::yield_now();
+            }
+            q.close();
+            let sent = producer.join().unwrap();
+            let mut all: Vec<usize> = Vec::new();
+            for c in consumers {
+                all.extend(c.join().unwrap());
+            }
+            all.sort_unstable();
+            let expected: Vec<usize> = (0..sent).collect();
+            assert_eq!(all, expected, "round {round}: close dropped or duplicated elements");
+        }
+    }
+
+    #[test]
     fn pop_batch_telemetry_is_batched() {
         let reg = wsd_telemetry::Registry::new();
         let q = FifoQueue::bounded(8);

@@ -72,6 +72,31 @@ impl Default for DispatcherConfig {
     }
 }
 
+/// Which storage backs the mailbox store.
+#[derive(Debug, Clone, Default)]
+pub enum MailboxBackend {
+    /// The paper's RAM-only store: fastest, but a crash drops every
+    /// queued message and mailbox depth is bounded by the heap
+    /// (see [`MsgBoxConfig::heap_budget_bytes`]).
+    #[default]
+    Memory,
+    /// WAL-backed durable store (`wsd-store`): every acknowledged
+    /// deposit survives a crash, bodies spill to disk past the store's
+    /// memory budget, and per-tenant quotas bound the disk side. The
+    /// per-box message cap does not apply — depth is bounded by
+    /// disk/quota instead.
+    Durable {
+        /// WAL directory. `None` keeps the log on a process-local
+        /// in-memory "disk" — deterministic, used by the simulation
+        /// (durability then spans simulated restarts, not process
+        /// restarts).
+        dir: Option<std::path::PathBuf>,
+        /// WAL, spill and quota tuning. The simulation requires
+        /// `SyncMode::Always` (group-commit timing is wall-clock).
+        store: wsd_store::StoreConfig,
+    },
+}
+
 /// How WS-MsgBox handles reply work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgBoxStrategy {
@@ -100,6 +125,14 @@ pub struct MsgBoxConfig {
     /// Simulated native-thread budget for [`MsgBoxStrategy::ThreadPerMessage`]
     /// (the JVM's ceiling).
     pub thread_budget: usize,
+    /// Mailbox storage backend.
+    pub backend: MailboxBackend,
+    /// Heap bytes the store may keep resident before the process is
+    /// considered out of memory — the §4.3.2 "memory wall" for stored
+    /// message *bodies*. The simulation crashes the service when the
+    /// memory backend crosses it; the durable backend spills to disk
+    /// instead and stays under its own `memory_budget_bytes`.
+    pub heap_budget_bytes: usize,
     /// HTTP parser limits applied to every accepted connection.
     pub limits: Limits,
 }
@@ -111,6 +144,8 @@ impl Default for MsgBoxConfig {
             max_messages_per_box: 10_000,
             message_ttl: Duration::from_secs(3600),
             thread_budget: 1000,
+            backend: MailboxBackend::Memory,
+            heap_budget_bytes: usize::MAX,
             limits: Limits::default(),
         }
     }

@@ -11,15 +11,23 @@
 //! destroy) and **message expiration** (TTL cleanup).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use wsd_concurrent::ShardedMap;
 use wsd_soap::{rpc::RpcCall, Envelope, Fault, FaultCode, SoapVersion};
+use wsd_store::{DurableMsgBox, FsStorage, MemStorage, Storage, StoreError};
+use wsd_telemetry::Scope;
 use wsd_wsa::MsgIdGen;
 
-use crate::config::MsgBoxConfig;
+use crate::config::{MailboxBackend, MsgBoxConfig};
 
 /// Namespace of the WS-MsgBox SOAP operations.
 pub const MSGBOX_NS: &str = "urn:wsd:msgbox";
+
+/// Tenant every mailbox is billed to until the facade grows multi-tenant
+/// routing; the durable backend's per-tenant quota then caps the whole
+/// store.
+const TENANT: &str = "default";
 
 /// Mailbox errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +36,11 @@ pub enum MsgBoxError {
     NoSuchBox,
     /// Wrong access key.
     WrongKey,
-    /// The mailbox hit its stored-message cap.
+    /// The mailbox hit its stored-message cap (memory backend) or the
+    /// tenant's byte quota (durable backend).
     Full,
+    /// The durable backend's WAL failed (disk error).
+    Storage(String),
 }
 
 impl std::fmt::Display for MsgBoxError {
@@ -38,7 +49,17 @@ impl std::fmt::Display for MsgBoxError {
             MsgBoxError::NoSuchBox => f.write_str("no such mailbox"),
             MsgBoxError::WrongKey => f.write_str("wrong mailbox access key"),
             MsgBoxError::Full => f.write_str("mailbox full"),
+            MsgBoxError::Storage(e) => write!(f, "mailbox storage failure: {e}"),
         }
+    }
+}
+
+fn map_store_err(e: StoreError) -> MsgBoxError {
+    match e {
+        StoreError::NoSuchBox => MsgBoxError::NoSuchBox,
+        StoreError::WrongKey => MsgBoxError::WrongKey,
+        StoreError::QuotaExceeded => MsgBoxError::Full,
+        StoreError::Io(e) => MsgBoxError::Storage(e),
     }
 }
 
@@ -62,19 +83,59 @@ struct Mailbox {
     created_at: u64,
 }
 
+/// What actually holds the messages.
+enum Backing {
+    /// The paper's RAM-only store: a sharded map of mailboxes plus a
+    /// resident-byte counter (so the §4.3.2 memory wall is observable).
+    Memory {
+        boxes: ShardedMap<String, Mailbox>,
+        resident: AtomicU64,
+    },
+    /// WAL-backed durable store (boxed: much larger than `Memory`).
+    Durable(Box<DurableMsgBox>),
+}
+
 /// The mailbox store. Thread-safe; time is supplied by the caller in
 /// microseconds so both runtimes share it.
 pub struct MsgBoxStore {
-    boxes: ShardedMap<String, Mailbox>,
+    backing: Backing,
     ids: MsgIdGen,
     config: MsgBoxConfig,
 }
 
 impl MsgBoxStore {
-    /// An empty store.
+    /// An empty store with no telemetry.
     pub fn new(config: MsgBoxConfig, seed: u64) -> Self {
+        Self::with_telemetry(config, seed, &Scope::noop())
+    }
+
+    /// An empty store; the durable backend hangs its WAL metrics off
+    /// `scope`. Opening the durable backend replays any WAL already in
+    /// `dir`, so messages acknowledged before a crash are back.
+    ///
+    /// Panics if the durable backend cannot open or repair its WAL —
+    /// a store that cannot promise durability must not start.
+    pub fn with_telemetry(config: MsgBoxConfig, seed: u64, scope: &Scope) -> Self {
+        let backing = match &config.backend {
+            MailboxBackend::Memory => Backing::Memory {
+                boxes: ShardedMap::new(),
+                resident: AtomicU64::new(0),
+            },
+            MailboxBackend::Durable { dir, store } => {
+                let storage: Box<dyn Storage> = match dir {
+                    Some(d) => Box::new(
+                        FsStorage::open(d.clone()).expect("durable mailbox WAL directory"),
+                    ),
+                    None => Box::new(MemStorage::new()),
+                };
+                let (durable, _report) =
+                    DurableMsgBox::open(store.clone(), storage, scope, 0)
+                        .expect("durable mailbox WAL recovery");
+                Backing::Durable(Box::new(durable))
+            }
+        };
         MsgBoxStore {
-            boxes: ShardedMap::new(),
+            backing,
             ids: MsgIdGen::new(seed),
             config,
         }
@@ -84,14 +145,23 @@ impl MsgBoxStore {
     pub fn create(&self, now: u64) -> (String, String) {
         let id = format!("mbox-{}", &self.ids.next_id()[5..]);
         let key = format!("key-{}", &self.ids.next_id()[5..]);
-        self.boxes.insert(
-            id.clone(),
-            Mailbox {
-                key: key.clone(),
-                messages: VecDeque::new(),
-                created_at: now,
-            },
-        );
+        match &self.backing {
+            Backing::Memory { boxes, .. } => {
+                boxes.insert(
+                    id.clone(),
+                    Mailbox {
+                        key: key.clone(),
+                        messages: VecDeque::new(),
+                        created_at: now,
+                    },
+                );
+            }
+            Backing::Durable(store) => {
+                store
+                    .create(&id, &key, TENANT, now)
+                    .expect("durable mailbox create");
+            }
+        }
         (id, key)
     }
 
@@ -99,26 +169,43 @@ impl MsgBoxStore {
     /// (that is the point — services and dispatchers deliver here); only
     /// fetching needs the key.
     pub fn deposit(&self, id: &str, body: String, now: u64) -> Result<(), MsgBoxError> {
-        let cap = self.config.max_messages_per_box;
         let ttl = self.config.message_ttl.as_micros() as u64;
-        let mut result = Err(MsgBoxError::NoSuchBox);
-        self.boxes.update(id, |mbox| {
-            prune(mbox, now);
-            if mbox.messages.len() >= cap {
-                result = Err(MsgBoxError::Full);
-            } else {
-                mbox.messages.push_back(StoredMessage {
-                    body,
-                    received_at: now,
-                    expires_at: now.saturating_add(ttl),
+        let expires_at = now.saturating_add(ttl);
+        match &self.backing {
+            Backing::Memory { boxes, resident } => {
+                let cap = self.config.max_messages_per_box;
+                let len = body.len() as u64;
+                let mut result = Err(MsgBoxError::NoSuchBox);
+                let mut pruned = 0;
+                boxes.update(id, |mbox| {
+                    pruned = prune(mbox, now);
+                    if mbox.messages.len() >= cap {
+                        result = Err(MsgBoxError::Full);
+                    } else {
+                        mbox.messages.push_back(StoredMessage {
+                            body,
+                            received_at: now,
+                            expires_at,
+                        });
+                        result = Ok(());
+                    }
                 });
-                result = Ok(());
+                if result.is_ok() {
+                    resident.fetch_add(len, Ordering::Relaxed);
+                }
+                resident.fetch_sub(pruned, Ordering::Relaxed);
+                result
             }
-        });
-        result
+            Backing::Durable(store) => store
+                .deposit(id, body, now, expires_at)
+                .map_err(map_store_err),
+        }
     }
 
     /// Fetches up to `max` messages in arrival order, removing them.
+    /// With the durable backend the removal is logged and fsynced
+    /// *before* the messages are returned: pickup is at-most-once even
+    /// across a crash.
     pub fn fetch(
         &self,
         id: &str,
@@ -126,72 +213,166 @@ impl MsgBoxStore {
         max: usize,
         now: u64,
     ) -> Result<Vec<StoredMessage>, MsgBoxError> {
-        let mut result = Err(MsgBoxError::NoSuchBox);
-        self.boxes.update(id, |mbox| {
-            if mbox.key != key {
-                result = Err(MsgBoxError::WrongKey);
-                return;
+        match &self.backing {
+            Backing::Memory { boxes, resident } => {
+                let mut result = Err(MsgBoxError::NoSuchBox);
+                let mut freed = 0;
+                boxes.update(id, |mbox| {
+                    if mbox.key != key {
+                        result = Err(MsgBoxError::WrongKey);
+                        return;
+                    }
+                    freed = prune(mbox, now);
+                    let n = max.min(mbox.messages.len());
+                    let got: Vec<StoredMessage> = mbox.messages.drain(..n).collect();
+                    freed += got.iter().map(|m| m.body.len() as u64).sum::<u64>();
+                    result = Ok(got);
+                });
+                resident.fetch_sub(freed, Ordering::Relaxed);
+                result
             }
-            prune(mbox, now);
-            let n = max.min(mbox.messages.len());
-            result = Ok(mbox.messages.drain(..n).collect());
-        });
-        result
+            Backing::Durable(store) => Ok(store
+                .fetch(id, key, max, now)
+                .map_err(map_store_err)?
+                .into_iter()
+                .map(|m| StoredMessage {
+                    body: m.body,
+                    received_at: m.received_at,
+                    expires_at: m.expires_at,
+                })
+                .collect()),
+        }
     }
 
     /// Number of messages waiting (after expiry pruning).
     pub fn len(&self, id: &str, now: u64) -> Result<usize, MsgBoxError> {
-        let mut result = Err(MsgBoxError::NoSuchBox);
-        self.boxes.update(id, |mbox| {
-            prune(mbox, now);
-            result = Ok(mbox.messages.len());
-        });
-        result
+        match &self.backing {
+            Backing::Memory { boxes, resident } => {
+                let mut result = Err(MsgBoxError::NoSuchBox);
+                let mut pruned = 0;
+                boxes.update(id, |mbox| {
+                    pruned = prune(mbox, now);
+                    result = Ok(mbox.messages.len());
+                });
+                resident.fetch_sub(pruned, Ordering::Relaxed);
+                result
+            }
+            Backing::Durable(store) => store.len(id, now).map_err(map_store_err),
+        }
     }
 
     /// Destroys a mailbox, freeing its storage.
     pub fn destroy(&self, id: &str, key: &str) -> Result<(), MsgBoxError> {
-        match self.boxes.get(id) {
-            None => Err(MsgBoxError::NoSuchBox),
-            Some(mbox) if mbox.key != key => Err(MsgBoxError::WrongKey),
-            Some(_) => {
-                self.boxes.remove(id);
-                Ok(())
-            }
+        match &self.backing {
+            Backing::Memory { boxes, resident } => match boxes.get(id) {
+                None => Err(MsgBoxError::NoSuchBox),
+                Some(mbox) if mbox.key != key => Err(MsgBoxError::WrongKey),
+                Some(_) => {
+                    if let Some(mbox) = boxes.remove(id) {
+                        let freed: u64 =
+                            mbox.messages.iter().map(|m| m.body.len() as u64).sum();
+                        resident.fetch_sub(freed, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }
+            },
+            Backing::Durable(store) => store.destroy(id, key).map_err(map_store_err),
         }
     }
 
     /// Whether a mailbox exists.
     pub fn exists(&self, id: &str) -> bool {
-        self.boxes.contains_key(id)
+        match &self.backing {
+            Backing::Memory { boxes, .. } => boxes.contains_key(id),
+            Backing::Durable(store) => store.exists(id),
+        }
     }
 
     /// Number of live mailboxes.
     pub fn box_count(&self) -> usize {
-        self.boxes.len()
+        match &self.backing {
+            Backing::Memory { boxes, .. } => boxes.len(),
+            Backing::Durable(store) => store.box_count(),
+        }
     }
 
     /// Drops expired messages everywhere; returns how many were dropped.
     pub fn expire_all(&self, now: u64) -> usize {
-        let mut dropped = 0;
-        for id in self.boxes.keys() {
-            self.boxes.update(&id, |mbox| {
-                let before = mbox.messages.len();
-                prune(mbox, now);
-                dropped += before - mbox.messages.len();
-            });
+        match &self.backing {
+            Backing::Memory { boxes, resident } => {
+                let mut dropped = 0;
+                let mut freed = 0;
+                for id in boxes.keys() {
+                    boxes.update(&id, |mbox| {
+                        let before = mbox.messages.len();
+                        freed += prune(mbox, now);
+                        dropped += before - mbox.messages.len();
+                    });
+                }
+                resident.fetch_sub(freed, Ordering::Relaxed);
+                dropped
+            }
+            Backing::Durable(store) => store.expire_all(now),
         }
-        dropped
     }
 
     /// Age of a mailbox in µs, if it exists.
     pub fn age(&self, id: &str, now: u64) -> Option<u64> {
-        self.boxes.get(id).map(|m| now.saturating_sub(m.created_at))
+        match &self.backing {
+            Backing::Memory { boxes, .. } => {
+                boxes.get(id).map(|m| now.saturating_sub(m.created_at))
+            }
+            Backing::Durable(store) => store.age(id, now),
+        }
+    }
+
+    /// Message bytes held in RAM right now. For the memory backend this
+    /// is every stored body — the quantity that hits the heap wall; the
+    /// durable backend caps it at its configured memory budget.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Memory { resident, .. } => resident.load(Ordering::Relaxed),
+            Backing::Durable(store) => store.resident_bytes(),
+        }
+    }
+
+    /// Message bytes living only on disk (0 for the memory backend).
+    pub fn spilled_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Memory { .. } => 0,
+            Backing::Durable(store) => store.spilled_bytes(),
+        }
+    }
+
+    /// Cumulative WAL fsyncs (0 for the memory backend). The simulation
+    /// turns deltas of this into virtual disk latency.
+    pub fn wal_fsyncs(&self) -> u64 {
+        match &self.backing {
+            Backing::Memory { .. } => 0,
+            Backing::Durable(store) => store.wal().fsync_count(),
+        }
+    }
+
+    /// Cumulative WAL bytes appended (0 for the memory backend).
+    pub fn wal_bytes_appended(&self) -> u64 {
+        match &self.backing {
+            Backing::Memory { .. } => 0,
+            Backing::Durable(store) => store.wal().bytes_appended(),
+        }
     }
 }
 
-fn prune(mbox: &mut Mailbox, now: u64) {
-    mbox.messages.retain(|m| m.expires_at > now);
+fn prune(mbox: &mut Mailbox, now: u64) -> u64 {
+    let mut dropped = 0;
+    mbox.messages.retain(|m| {
+        if m.expires_at > now {
+            true
+        } else {
+            dropped += m.body.len() as u64;
+            false
+        }
+    });
+    dropped
 }
 
 // ---------------------------------------------------------------------
@@ -479,6 +660,89 @@ mod tests {
             0,
         );
         assert!(resp.as_fault().is_some());
+    }
+
+    #[test]
+    fn memory_backend_tracks_resident_bytes() {
+        let cfg = MsgBoxConfig {
+            message_ttl: Duration::from_micros(100),
+            ..MsgBoxConfig::default()
+        };
+        let s = MsgBoxStore::new(cfg, 1);
+        let (id, key) = s.create(0);
+        assert_eq!(s.resident_bytes(), 0);
+        s.deposit(&id, "12345".into(), 0).unwrap();
+        s.deposit(&id, "678".into(), 10).unwrap();
+        assert_eq!(s.resident_bytes(), 8);
+        s.fetch(&id, &key, 1, 20).unwrap();
+        assert_eq!(s.resident_bytes(), 3);
+        // Expiry pruning releases heap too (second deposit dies at 110).
+        assert_eq!(s.expire_all(120), 1);
+        assert_eq!(s.resident_bytes(), 0);
+        s.deposit(&id, "zz".into(), 130).unwrap();
+        s.destroy(&id, &key).unwrap();
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.spilled_bytes(), 0);
+        assert_eq!(s.wal_fsyncs(), 0);
+    }
+
+    fn durable_config(dir: Option<std::path::PathBuf>) -> MsgBoxConfig {
+        MsgBoxConfig {
+            backend: MailboxBackend::Durable {
+                dir,
+                store: wsd_store::StoreConfig {
+                    wal: wsd_store::WalConfig {
+                        sync: wsd_store::SyncMode::Always,
+                        ..wsd_store::WalConfig::default()
+                    },
+                    ..wsd_store::StoreConfig::default()
+                },
+            },
+            ..MsgBoxConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_backend_survives_reopen() {
+        let dir = std::env::temp_dir().join("wsd-core-durable-msgbox-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = durable_config(Some(dir.clone()));
+        let s = MsgBoxStore::new(cfg.clone(), 42);
+        let (id, key) = s.create(0);
+        s.deposit(&id, "<durable/>".into(), 1).unwrap();
+        s.deposit(&id, "<second/>".into(), 2).unwrap();
+        assert_eq!(s.len(&id, 3).unwrap(), 2);
+        drop(s);
+        // A fresh store over the same directory replays the WAL.
+        let s = MsgBoxStore::new(cfg.clone(), 43);
+        assert!(s.exists(&id));
+        let got = s.fetch(&id, &key, 10, 4).unwrap();
+        assert_eq!(
+            got.iter().map(|m| m.body.as_str()).collect::<Vec<_>>(),
+            vec!["<durable/>", "<second/>"]
+        );
+        drop(s);
+        // The pickup was logged before the messages were returned, so a
+        // third incarnation must not re-deliver.
+        let s = MsgBoxStore::new(cfg, 44);
+        assert!(s.fetch(&id, &key, 10, 5).unwrap().is_empty());
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_backend_maps_quota_to_full() {
+        let mut cfg = durable_config(None);
+        if let MailboxBackend::Durable { store, .. } = &mut cfg.backend {
+            store.quota_bytes_per_tenant = 4;
+        }
+        let s = MsgBoxStore::new(cfg, 7);
+        let (id, _key) = s.create(0);
+        assert_eq!(s.deposit(&id, "12345".into(), 1), Err(MsgBoxError::Full));
+        s.deposit(&id, "1234".into(), 1).unwrap();
+        assert_eq!(s.deposit("mbox-nope", "x".into(), 2), Err(MsgBoxError::NoSuchBox));
+        assert!(s.wal_fsyncs() > 0);
+        assert!(s.wal_bytes_appended() > 0);
     }
 
     #[test]

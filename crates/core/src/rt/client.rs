@@ -110,9 +110,35 @@ impl MailboxClient {
         })
     }
 
+    /// Re-attaches to an existing mailbox (e.g. one that survived a
+    /// service restart under the durable backend) without creating a
+    /// new one. No network round trip: the next `poll` validates the
+    /// key.
+    pub fn attach(
+        net: &Arc<Network>,
+        host: &str,
+        port: u16,
+        box_id: impl Into<String>,
+        key: impl Into<String>,
+    ) -> MailboxClient {
+        MailboxClient {
+            net: Arc::clone(net),
+            host: host.to_string(),
+            port,
+            box_id: box_id.into(),
+            key: key.into(),
+        }
+    }
+
     /// The mailbox id.
     pub fn box_id(&self) -> &str {
         &self.box_id
+    }
+
+    /// The secret access key (needed to re-[`attach`](Self::attach)
+    /// after a restart).
+    pub fn access_key(&self) -> &str {
+        &self.key
     }
 
     /// The deposit URL other peers (or the dispatcher) use as this

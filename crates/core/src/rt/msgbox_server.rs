@@ -80,7 +80,13 @@ impl MsgBoxServer {
         seed: u64,
         scope: &Scope,
     ) -> Arc<MsgBoxServer> {
-        let store = Arc::new(MsgBoxStore::new(config.clone(), seed));
+        // The store hangs its WAL/spill metrics (durable backend) off a
+        // `store` sub-scope; the memory backend registers nothing.
+        let store = Arc::new(MsgBoxStore::with_telemetry(
+            config.clone(),
+            seed,
+            &scope.child("store"),
+        ));
         let budget = ThreadBudget::new(config.thread_budget);
         budget.bind_telemetry(&scope.child("budget"));
         let pool = match config.strategy {
@@ -298,6 +304,47 @@ mod tests {
         assert_eq!(server.deposits(), 1);
         assert!(server.rpc_calls() >= 3);
         server.shutdown();
+    }
+
+    #[test]
+    fn durable_backend_survives_server_restart() {
+        let dir = std::env::temp_dir().join("wsd-rt-durable-msgbox-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 2 },
+            backend: crate::config::MailboxBackend::Durable {
+                dir: Some(dir.clone()),
+                store: wsd_store::StoreConfig::default(),
+            },
+            ..MsgBoxConfig::default()
+        };
+        let net = Network::new();
+        let server = MsgBoxServer::start(&net, "msgbox", 8082, cfg.clone(), 11);
+        let mbox = MailboxClient::create(&net, "msgbox", 8082).unwrap();
+        let inner = wsd_soap::rpc::echo_response(SoapVersion::V11, "precious").to_xml();
+        let stream = net.connect("msgbox", 8082).unwrap();
+        let mut c = HttpClient::new(stream);
+        let req = Request::soap_post(
+            "msgbox:8082",
+            &format!("/deposit/{}", mbox.box_id()),
+            "text/xml",
+            inner.into_bytes(),
+        );
+        assert_eq!(c.call(&req).unwrap().status, Status::ACCEPTED);
+        let (id, key) = (mbox.box_id().to_string(), mbox.access_key().to_string());
+        server.shutdown();
+        // A new process over the same WAL directory: the deposit (acked
+        // with 202 before the crash) must still be there.
+        let server = MsgBoxServer::start(&net, "msgbox", 8083, cfg, 12);
+        let mbox = MailboxClient::attach(&net, "msgbox", 8083, id, key);
+        let messages = mbox.poll(10).unwrap();
+        assert_eq!(messages.len(), 1);
+        assert_eq!(
+            wsd_soap::rpc::parse_echo_response(&messages[0]).unwrap(),
+            "precious"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

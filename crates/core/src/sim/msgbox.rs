@@ -95,15 +95,40 @@ impl BoxTelemetry {
     }
 }
 
+/// Virtual disk cost model: the durable backend's WAL counter deltas
+/// (fsyncs, bytes appended) become simulated service latency, so the
+/// price of durability is visible on the simulated clock. The defaults
+/// model a 2004-era spinning disk: ~8 ms per fsync, ~30 MB/s streaming.
+/// The memory backend never touches the WAL, so its deltas — and added
+/// latency — are always zero.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskProfile {
+    /// Cost of one fsync, in µs.
+    pub fsync_us: u64,
+    /// Sequential append cost per KiB, in µs.
+    pub us_per_kib: u64,
+}
+
+impl Default for DiskProfile {
+    fn default() -> Self {
+        DiskProfile {
+            fsync_us: 8_000,
+            us_per_kib: 33,
+        }
+    }
+}
+
 /// The WS-MsgBox service as a simulation actor.
 pub struct SimMsgBox {
     store: MsgBoxStore,
     config: MsgBoxConfig,
+    seed: u64,
     /// CPU cost of one operation.
     service_time: SimDuration,
     /// Thread-lifetime growth per live thread (thrash factor) for the
     /// thread-per-message strategy.
     thrash_factor: f64,
+    disk: DiskProfile,
     stats: SimMsgBoxStats,
     tele: BoxTelemetry,
     cpu: CpuQueue,
@@ -118,13 +143,17 @@ pub struct SimMsgBox {
 }
 
 impl SimMsgBox {
-    /// Creates the service with the given strategy and budget.
+    /// Creates the service with the given strategy and budget. With a
+    /// durable backend, use `dir: None` (in-memory "disk") and
+    /// `SyncMode::Always` so the simulation stays deterministic.
     pub fn new(config: MsgBoxConfig, service_time: SimDuration, seed: u64) -> Self {
         SimMsgBox {
             store: MsgBoxStore::new(config.clone(), seed),
             config,
+            seed,
             service_time,
             thrash_factor: 0.02,
+            disk: DiskProfile::default(),
             stats: SimMsgBoxStats::default(),
             tele: BoxTelemetry::new(&Scope::noop()),
             cpu: CpuQueue::default(),
@@ -143,16 +172,32 @@ impl SimMsgBox {
         self
     }
 
+    /// Overrides the virtual disk cost model. Returns `self` for
+    /// chaining.
+    pub fn with_disk_profile(mut self, disk: DiskProfile) -> Self {
+        self.disk = disk;
+        self
+    }
+
     /// Registers telemetry instruments under `scope`. Returns `self`
-    /// for chaining.
+    /// for chaining. Call before any traffic: the store is rebuilt so
+    /// the durable backend's WAL metrics land under `scope` too.
     pub fn with_telemetry(mut self, scope: &Scope) -> Self {
         self.tele = BoxTelemetry::new(scope);
+        self.store =
+            MsgBoxStore::with_telemetry(self.config.clone(), self.seed, &scope.child("store"));
         self
     }
 
     /// A handle to the live counters.
     pub fn stats(&self) -> SimMsgBoxStats {
         self.stats.clone()
+    }
+
+    /// The backing store (e.g. to pre-create mailboxes for a workload,
+    /// or to read resident/spilled byte counters).
+    pub fn store(&self) -> &MsgBoxStore {
+        &self.store
     }
 
     fn token(&mut self) -> u64 {
@@ -219,6 +264,25 @@ impl SimMsgBox {
         self.backlog.clear();
     }
 
+    /// Runs [`respond_to`](Self::respond_to) and converts any WAL work
+    /// it caused into virtual disk latency (0 for the memory backend).
+    fn respond_with_disk_cost(&mut self, bytes: &Payload, now_us: u64) -> (Payload, SimDuration) {
+        let fsyncs = self.store.wal_fsyncs();
+        let appended = self.store.wal_bytes_appended();
+        let response = self.respond_to(bytes, now_us);
+        let disk_us = (self.store.wal_fsyncs() - fsyncs) * self.disk.fsync_us
+            + (self.store.wal_bytes_appended() - appended) * self.disk.us_per_kib / 1024;
+        (response, SimDuration(disk_us))
+    }
+
+    /// The §4.3.2 memory wall for stored bodies: once the store keeps
+    /// more bytes resident than the heap budget, the JVM dies. The
+    /// durable backend spills to disk and stays under its memory
+    /// budget, so it never trips this.
+    fn heap_exhausted(&self) -> bool {
+        self.store.resident_bytes() > self.config.heap_budget_bytes as u64
+    }
+
     fn on_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: Payload) {
         match self.config.strategy {
             MsgBoxStrategy::ThreadPerMessage => {
@@ -238,10 +302,15 @@ impl SimMsgBox {
                 }
                 let factor = 1.0 + self.thrash_factor * live as f64;
                 let lifetime = SimDuration((self.service_time.0 as f64 * factor) as u64);
-                let response = self.respond_to(&bytes, ctx.now().as_micros());
+                let (response, disk) =
+                    self.respond_with_disk_cost(&bytes, ctx.now().as_micros());
+                if self.heap_exhausted() {
+                    self.crash(ctx);
+                    return;
+                }
                 let token = self.token();
                 self.pending.insert(token, (conn, response));
-                ctx.set_timer(lifetime, token);
+                ctx.set_timer(SimDuration(lifetime.0 + disk.0), token);
             }
             MsgBoxStrategy::Pooled { workers } => {
                 if self.busy_workers < workers {
@@ -253,8 +322,15 @@ impl SimMsgBox {
                     }
                     self.tele.thread_spawns.inc();
                     self.tele.threads.set(self.busy_workers as i64);
-                    let done_at = self.cpu.reserve(ctx.now(), self.service_time);
-                    let response = self.respond_to(&bytes, ctx.now().as_micros());
+                    let (response, disk) =
+                        self.respond_with_disk_cost(&bytes, ctx.now().as_micros());
+                    if self.heap_exhausted() {
+                        self.crash(ctx);
+                        return;
+                    }
+                    let done_at = self
+                        .cpu
+                        .reserve(ctx.now(), SimDuration(self.service_time.0 + disk.0));
                     let token = self.token();
                     self.pending.insert(token, (conn, response));
                     ctx.set_timer(done_at.since(ctx.now()), token);
@@ -546,6 +622,85 @@ mod tests {
         assert!(stats.peak_threads() <= 8);
         // Every client got its answer.
         assert!(resp_handles.iter().all(|r| r.borrow().len() == 1));
+    }
+
+    #[test]
+    fn memory_backend_hits_the_heap_wall() {
+        // Bodies pile up in RAM (nobody fetches); past the heap budget
+        // the JVM dies — the §4.3.2 memory wall for stored messages.
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 4 },
+            heap_budget_bytes: 1024,
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(1), 5);
+        let (box_id, _key) = service.store().create(0);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        let ch = sim.add_host(HostConfig::named("client"));
+        let body = "x".repeat(200);
+        sim.spawn(
+            ch,
+            Box::new(Scripted {
+                steps: (0..10).map(|_| deposit_payload(&box_id, &body)).collect(),
+                at: 0,
+                responses: Rc::new(RefCell::new(vec![])),
+            }),
+        );
+        sim.run();
+        assert!(stats.oom(), "unbounded mailbox growth must OOM");
+        assert!(stats.deposits() < 10, "the fatal deposit is never acked");
+    }
+
+    #[test]
+    fn durable_backend_spills_past_the_heap_wall() {
+        // Same workload, durable backend: bodies spill to the WAL once
+        // the store's memory budget fills, resident bytes stay bounded,
+        // and the service survives — at a visible disk-latency price.
+        let mut sim = Simulation::new(1);
+        let mb_host = sim.add_host(HostConfig::named("msgbox"));
+        let cfg = MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 4 },
+            heap_budget_bytes: 1024,
+            backend: crate::config::MailboxBackend::Durable {
+                dir: None,
+                store: wsd_store::StoreConfig {
+                    wal: wsd_store::WalConfig {
+                        sync: wsd_store::SyncMode::Always,
+                        ..wsd_store::WalConfig::default()
+                    },
+                    memory_budget_bytes: 512,
+                    ..wsd_store::StoreConfig::default()
+                },
+            },
+            ..MsgBoxConfig::default()
+        };
+        let service = SimMsgBox::new(cfg, SimDuration::from_millis(1), 5);
+        let (box_id, _key) = service.store().create(0);
+        let stats = service.stats();
+        let mp = sim.spawn(mb_host, Box::new(service));
+        sim.listen(mp, 8082);
+        let ch = sim.add_host(HostConfig::named("client"));
+        let responses = Rc::new(RefCell::new(vec![]));
+        let body = "x".repeat(200);
+        sim.spawn(
+            ch,
+            Box::new(Scripted {
+                steps: (0..10).map(|_| deposit_payload(&box_id, &body)).collect(),
+                at: 0,
+                responses: responses.clone(),
+            }),
+        );
+        sim.run();
+        assert!(!stats.oom(), "durable backend must ride out the burst");
+        assert_eq!(stats.deposits(), 10);
+        assert!(responses.borrow().iter().all(|r| r.starts_with("HTTP/1.1 202")));
+        // Each deposit fsynced: the virtual disk made durability cost
+        // simulated time (10 fsyncs ≥ 80 ms on the default profile).
+        assert!(sim.now().as_micros() >= 80_000, "at {}", sim.now().as_micros());
     }
 
     #[test]

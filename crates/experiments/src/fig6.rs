@@ -296,6 +296,8 @@ pub struct OomOutcome {
 struct DepositBlaster {
     box_id: String,
     interval: SimDuration,
+    /// Extra payload padding bytes (0 keeps the tiny burst body).
+    pad: usize,
     conn: Option<wsd_netsim::ConnId>,
     seq: u64,
 }
@@ -314,11 +316,16 @@ impl wsd_netsim::Process for DepositBlaster {
             ProcEvent::Timer { token: 1 } => {
                 if let Some(conn) = self.conn {
                     self.seq += 1;
+                    let body = if self.pad == 0 {
+                        format!("<burst n=\"{}\"/>", self.seq)
+                    } else {
+                        format!("<burst n=\"{}\" pad=\"{}\"/>", self.seq, "x".repeat(self.pad))
+                    };
                     let req = wsd_http::Request::soap_post(
                         "msgbox:8082",
                         &format!("/deposit/{}", self.box_id),
                         "text/xml",
-                        format!("<burst n=\"{}\"/>", self.seq).into_bytes(),
+                        body.into_bytes(),
                     );
                     let _ = ctx.send(
                         conn,
@@ -361,6 +368,7 @@ pub fn run_oom(clients: usize, seconds: u64) -> OomOutcome {
                 Box::new(DepositBlaster {
                     box_id: "mbox-any".into(),
                     interval: SimDuration::from_millis(20),
+                    pad: 0,
                     conn: None,
                     seq: 0,
                 }),
@@ -390,6 +398,165 @@ pub fn print_oom(o: &OomOutcome) {
         "pooled redesign:    oom={} peak_threads={}",
         o.pooled_oom, o.pooled_peak
     );
+}
+
+// ---------------------------------------------------------------------
+// The memory wall for stored bodies, and how the durable backend breaks
+// it: the paper destroys mailboxes "to free memory space in the
+// WS-MsgBox service implementation" because every stored message lives
+// on the JVM heap. An open-loop deposit storm that nobody drains kills
+// the memory backend once resident bytes cross the heap budget; the
+// WAL-backed backend spills bodies to disk and rides the same storm out.
+// ---------------------------------------------------------------------
+
+/// Client counts for the durability-wall sweep.
+pub const DURABILITY_CLIENT_COUNTS: &[usize] = &[1, 2, 5, 10, 20, 50];
+
+/// One point of the durable-vs-memory wall sweep.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Concurrent deposit storms.
+    pub clients: usize,
+    /// Whether the memory backend died of heap exhaustion.
+    pub memory_oom: bool,
+    /// Deposits the memory backend accepted before dying (or the window
+    /// ended).
+    pub memory_deposits: u64,
+    /// Whether the durable backend died (it must not).
+    pub durable_oom: bool,
+    /// Deposits the durable backend accepted — each one fsynced, so the
+    /// virtual disk makes durability cost simulated time.
+    pub durable_deposits: u64,
+    /// Bytes the durable backend spilled to disk past its memory budget.
+    pub durable_spilled_bytes: u64,
+}
+
+/// Outcome of the sweep, with the walls extracted.
+#[derive(Debug, Clone)]
+pub struct DurabilityOutcome {
+    /// Per-client-count results.
+    pub rows: Vec<DurabilityRow>,
+    /// Smallest client count that killed the memory backend (`None` if
+    /// it never died).
+    pub memory_wall_clients: Option<usize>,
+    /// Same for the durable backend.
+    pub durable_wall_clients: Option<usize>,
+}
+
+/// Per-client deposit bytes/second of the storm (50 deposits/s of
+/// ~260-byte bodies). Used to size the heap budget so the memory wall
+/// sits at 2 clients regardless of the run window.
+const STORM_BYTES_PER_CLIENT_SEC: u64 = 13_000;
+
+fn run_wall_point(durable: bool, clients: usize, seconds: u64) -> (bool, u64, u64) {
+    let reg = wsd_telemetry::Registry::new();
+    let mut sim = Simulation::new(0xD00B + clients as u64);
+    let mb_host =
+        sim.add_host(light_cpu(profiles::inria_fast("msgbox")).firewall(FirewallPolicy::Open));
+    let client_host = sim.add_host(light_cpu(profiles::iu_high("clients")));
+    let backend = if durable {
+        wsd_core::config::MailboxBackend::Durable {
+            dir: None,
+            store: wsd_store::StoreConfig {
+                wal: wsd_store::WalConfig {
+                    // Small segments so rotation/checkpointing runs too.
+                    segment_bytes: 256 * 1024,
+                    sync: wsd_store::SyncMode::Always,
+                },
+                memory_budget_bytes: 16 * 1024,
+                quota_bytes_per_tenant: u64::MAX,
+            },
+        }
+    } else {
+        wsd_core::config::MailboxBackend::Memory
+    };
+    // 1.5× one client's whole-window output: one storm fits, two don't.
+    let heap_budget = (STORM_BYTES_PER_CLIENT_SEC * seconds * 3 / 2) as usize;
+    let mbox = SimMsgBox::new(
+        MsgBoxConfig {
+            strategy: MsgBoxStrategy::Pooled { workers: 16 },
+            heap_budget_bytes: heap_budget,
+            backend,
+            ..MsgBoxConfig::default()
+        },
+        SimDuration::from_millis(2),
+        13,
+    )
+    .with_telemetry(&reg.scope("msgbox"));
+    // The storm needs a real mailbox: deposits to unknown boxes are 404s
+    // and store nothing.
+    let (box_id, _key) = mbox.store().create(0);
+    let stats = mbox.stats();
+    let mp = sim.spawn(mb_host, Box::new(mbox));
+    sim.listen(mp, 8082);
+    for _ in 0..clients {
+        sim.spawn(
+            client_host,
+            Box::new(DepositBlaster {
+                box_id: box_id.clone(),
+                interval: SimDuration::from_millis(20),
+                pad: 240,
+                conn: None,
+                seq: 0,
+            }),
+        );
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(seconds));
+    let spilled = reg.snapshot().gauge_peak("msgbox.store.spilled_bytes").max(0) as u64;
+    (stats.oom(), stats.deposits(), spilled)
+}
+
+/// Runs the durability-wall sweep.
+pub fn run_durability_wall(seconds: u64, counts: &[usize]) -> DurabilityOutcome {
+    let rows = crate::parallel_map(counts.to_vec(), |clients| {
+        let (memory_oom, memory_deposits, _) = run_wall_point(false, clients, seconds);
+        let (durable_oom, durable_deposits, durable_spilled_bytes) =
+            run_wall_point(true, clients, seconds);
+        DurabilityRow {
+            clients,
+            memory_oom,
+            memory_deposits,
+            durable_oom,
+            durable_deposits,
+            durable_spilled_bytes,
+        }
+    });
+    let memory_wall_clients = rows.iter().find(|r| r.memory_oom).map(|r| r.clients);
+    let durable_wall_clients = rows.iter().find(|r| r.durable_oom).map(|r| r.clients);
+    DurabilityOutcome {
+        rows,
+        memory_wall_clients,
+        durable_wall_clients,
+    }
+}
+
+/// Prints the durability-wall sweep.
+pub fn print_durability(o: &DurabilityOutcome) {
+    println!("# WS-MsgBox memory wall vs wsd-store durable backend");
+    println!(
+        "{:>8} {:>12} {:>14} {:>13} {:>15} {:>15}",
+        "clients", "memory_oom", "memory_deposits", "durable_oom", "durable_deposits", "spilled_bytes"
+    );
+    for r in &o.rows {
+        println!(
+            "{:>8} {:>12} {:>14} {:>13} {:>15} {:>15}",
+            r.clients,
+            r.memory_oom,
+            r.memory_deposits,
+            r.durable_oom,
+            r.durable_deposits,
+            r.durable_spilled_bytes
+        );
+    }
+    match (o.memory_wall_clients, o.durable_wall_clients) {
+        (Some(m), None) => println!(
+            "memory wall at {m} clients; durable backend survived every count \
+             (wall moved >= {}x)",
+            o.rows.last().map(|r| r.clients / m).unwrap_or(0)
+        ),
+        (Some(m), Some(d)) => println!("memory wall at {m} clients; durable wall at {d}"),
+        (None, _) => println!("memory backend never hit the wall (window too short?)"),
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +607,24 @@ mod tests {
         assert!(c.responses_fetched > 0, "{c:?}");
         // Conservation: fetched ≤ processed by the WS.
         assert!(c.responses_fetched <= c.ws_processed);
+    }
+
+    #[test]
+    fn durable_backend_moves_the_memory_wall_10x() {
+        let o = run_durability_wall(5, DURABILITY_CLIENT_COUNTS);
+        let wall = o.memory_wall_clients.expect("memory backend must hit the wall");
+        assert!(wall <= 5, "memory wall unexpectedly high: {o:?}");
+        assert_eq!(o.durable_wall_clients, None, "durable backend died: {o:?}");
+        let top = o.rows.last().unwrap();
+        assert!(
+            top.clients >= wall * 10,
+            "sweep does not reach 10x the wall: {o:?}"
+        );
+        assert!(top.durable_deposits > 0);
+        assert!(
+            top.durable_spilled_bytes > 0,
+            "storm must overflow the durable memory budget: {o:?}"
+        );
     }
 
     #[test]

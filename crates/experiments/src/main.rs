@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom]
-//!             [--connwall] [--calibration] [--all] [--seconds N]
-//!             [--quick] [--json PATH]
+//!             [--fig6-durable] [--connwall] [--calibration] [--all]
+//!             [--seconds N] [--quick] [--json PATH]
 //! ```
 //!
 //! `--connwall` reruns the §4.3.2 connection wall on the threaded
-//! runtime (real OS threads); it is *not* part of `--all`, which covers
-//! the simulated-network figures only.
+//! runtime (real OS threads); `--fig6-durable` sweeps the stored-body
+//! memory wall against the WAL-backed durable mailbox backend. Neither
+//! is part of `--all`, which covers the paper's own figures only.
 //!
 //! `--quick` shortens the virtual run window and thins the sweeps (for
 //! smoke runs); the default regenerates the paper's one-minute windows.
@@ -27,6 +28,7 @@ struct Options {
     fig5: bool,
     fig6: bool,
     fig6_oom: bool,
+    fig6_durable: bool,
     connwall: bool,
     calibration: bool,
     seconds: u64,
@@ -41,6 +43,7 @@ fn parse_args() -> Result<Options, String> {
         fig5: false,
         fig6: false,
         fig6_oom: false,
+        fig6_durable: false,
         connwall: false,
         calibration: false,
         seconds: 60,
@@ -69,6 +72,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--fig6-oom" => {
                 opts.fig6_oom = true;
+                any = true;
+            }
+            "--fig6-durable" => {
+                opts.fig6_durable = true;
                 any = true;
             }
             "--connwall" => {
@@ -221,6 +228,32 @@ fn json_fig6(rows: &[fig6::Fig6Row], snap: &Snapshot) -> String {
     )
 }
 
+fn json_fig6_durable(o: &fig6::DurabilityOutcome) -> String {
+    let rows: Vec<String> = o
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"clients\":{},\"memory_oom\":{},\"memory_deposits\":{},\
+                 \"durable_oom\":{},\"durable_deposits\":{},\"durable_spilled_bytes\":{}}}",
+                r.clients,
+                r.memory_oom,
+                r.memory_deposits,
+                r.durable_oom,
+                r.durable_deposits,
+                r.durable_spilled_bytes
+            )
+        })
+        .collect();
+    let wall = |w: Option<usize>| w.map(|c| c.to_string()).unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"rows\":[{}],\"memory_wall_clients\":{},\"durable_wall_clients\":{}}}",
+        rows.join(","),
+        wall(o.memory_wall_clients),
+        wall(o.durable_wall_clients)
+    )
+}
+
 fn json_connwall(o: &connwall::ConnWallOutcome) -> String {
     let point = |p: &connwall::ConnWallPoint| {
         format!(
@@ -252,7 +285,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom] \
-                 [--connwall] [--calibration] [--all] [--seconds N] [--quick] [--json PATH]"
+                 [--fig6-durable] [--connwall] [--calibration] [--all] [--seconds N] \
+                 [--quick] [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -306,6 +340,15 @@ fn main() {
         fig6::print_oom(&fig6::run_oom(60, opts.seconds.min(30)));
         println!();
     }
+    if opts.fig6_durable {
+        let outcome = fig6::run_durability_wall(
+            opts.seconds.min(30),
+            fig6::DURABILITY_CLIENT_COUNTS,
+        );
+        fig6::print_durability(&outcome);
+        json_figures.push(("fig6_durable", json_fig6_durable(&outcome)));
+        println!();
+    }
     if opts.connwall {
         let (tpm, reactor): (&[usize], &[usize]) = if opts.quick {
             (&[25, 60], &[200])
@@ -327,6 +370,7 @@ fn main() {
             opts.seconds,
             figs.join(",")
         );
+        // wsd-lint: allow(raw-file-io): figure JSON is a report artifact, not durable state
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("error: writing {path}: {e}");
             std::process::exit(1);

@@ -63,6 +63,7 @@ pub struct WorkspaceAnalysis {
 pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<WorkspaceAnalysis> {
     let mut files: BTreeMap<String, summaries::FileEntry> = BTreeMap::new();
     for (rel, abs) in walk::rust_files(root)? {
+        // wsd-lint: allow(raw-file-io): the linter reads the sources it lints
         let Ok(source) = std::fs::read_to_string(&abs) else {
             continue; // non-UTF8 — nothing for a lexical linter to do
         };

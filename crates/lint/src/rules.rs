@@ -15,16 +15,17 @@
 use crate::lexer::{strip, Comment};
 use crate::parser::{parse, ParsedFile};
 
-/// All enforced rule names, in report order. The first five are
+/// All enforced rule names, in report order. The first six are
 /// lexical (per-line); the next four are interprocedural (call-graph
 /// reachability, see [`crate::interproc`]); `bad-suppression` guards
 /// the suppression mechanism itself.
-pub const RULE_NAMES: [&str; 10] = [
+pub const RULE_NAMES: [&str; 11] = [
     "raw-thread-spawn",
     "raw-clock",
     "std-sync-primitive",
     "unwrap-in-dispatcher",
     "unbounded-queue-at-serve-site",
+    "raw-file-io",
     "blocking-under-lock",
     "static-lock-order",
     "wsa-rewrite-before-forward",
@@ -68,6 +69,11 @@ pub fn rule_hint(rule: &str) -> &'static str {
         "unbounded-queue-at-serve-site" => {
             "serve-site queues are bounded: the paper's WS-MsgBox hit its \
              ~50-client OOM wall on exactly this"
+        }
+        "raw-file-io" => {
+            "durable state goes through wsd_store (WAL, fsync discipline, \
+             crash recovery) — ad-hoc std::fs writes are invisible to the \
+             durability contract"
         }
         "blocking-under-lock" => {
             "no path from a held OrderedMutex/OrderedRwLock guard may \
@@ -159,6 +165,8 @@ fn rule_applies(rule: &str, file: &str) -> bool {
                 || path_in(file, "crates/concurrent/")
                 || path_in(file, "crates/http/")
         }
+        // wsd-store *is* the file-IO abstraction.
+        "raw-file-io" => !path_in(file, "crates/store/"),
         _ => true,
     }
 }
@@ -186,6 +194,17 @@ fn line_violates(rule: &str, code_line: &str) -> bool {
             code_line.contains("::unbounded(")
                 || code_line.contains(".unbounded(")
                 || code_line.contains("mpsc::channel(")
+        }
+        "raw-file-io" => {
+            code_line.contains("std::fs::")
+                || code_line.contains("fs::read")
+                || code_line.contains("fs::write")
+                || code_line.contains("fs::File")
+                || code_line.contains("fs::create_dir")
+                || code_line.contains("fs::remove_")
+                || code_line.contains("File::open")
+                || code_line.contains("File::create")
+                || code_line.contains("OpenOptions")
         }
         _ => false,
     }
@@ -434,6 +453,26 @@ mod tests {
         let f = lint_source("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "unbounded-queue-at-serve-site");
+    }
+
+    #[test]
+    fn raw_file_io_flagged_outside_store() {
+        let src = "fn f() { let _ = std::fs::write(\"state.bin\", b\"x\"); }\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "raw-file-io");
+    }
+
+    #[test]
+    fn raw_file_io_in_store_is_the_abstraction() {
+        let src = "fn f(p: &Path) { let _ = File::open(p); OpenOptions::new(); }\n";
+        assert!(lint_source("crates/store/src/storage.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_file_io_suppression_with_reason_silences() {
+        let src = "// wsd-lint: allow(raw-file-io): report artifact, not durable state\nstd::fs::write(\"report.json\", text);\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -32,9 +32,10 @@ fn every_seeded_violation_is_caught() {
         2,
         "{findings:#?}"
     );
+    assert_eq!(count_rule(&findings, "raw-file-io"), 2, "{findings:#?}");
     // One reasonless suppression + one unknown-rule suppression.
     assert_eq!(count_rule(&findings, "bad-suppression"), 2, "{findings:#?}");
-    assert_eq!(findings.len(), 12);
+    assert_eq!(findings.len(), 14);
 }
 
 #[test]
@@ -61,7 +62,7 @@ fn known_good_fixture_has_zero_findings() {
 #[test]
 fn known_good_fixture_suppressions_all_carry_reasons() {
     let sups = suppressions_in(KNOWN_GOOD);
-    assert_eq!(sups.len(), 2);
+    assert_eq!(sups.len(), 3);
     for (line, rule, reason) in sups {
         assert!(!reason.is_empty(), "suppression of {rule} at {line} lacks a reason");
     }

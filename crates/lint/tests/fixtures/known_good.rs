@@ -22,6 +22,14 @@ fn suppressed_with_reasons() {
     // wsd-lint: allow(raw-clock): fixture demonstrating a reasoned suppression
     let _t = std::time::Instant::now();
     let _b = std::thread::Builder::new(); // wsd-lint: allow(raw-thread-spawn): fixture demonstrating a trailing reasoned suppression
+    // wsd-lint: allow(raw-file-io): fixture demonstrating a reasoned suppression
+    let _meta = std::fs::metadata("artifact.json");
+}
+
+fn file_io_in_prose_is_fine() {
+    let doc = "call std::fs::write or File::open through wsd_store instead";
+    // OpenOptions::new() in a comment is not a finding either
+    p3(doc);
 }
 
 fn unwrap_off_io_is_fine() {

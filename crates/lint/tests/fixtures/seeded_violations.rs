@@ -13,6 +13,8 @@ fn serve() {
     let (tx, rx) = mpsc::channel(); // unbounded-queue-at-serve-site
     q.pop().unwrap(); // unwrap-in-dispatcher
     rx.recv().expect("recv"); // unwrap-in-dispatcher
+    let _state = std::fs::read("state.bin"); // raw-file-io
+    let _log = OpenOptions::new().append(true); // raw-file-io
 }
 
 // wsd-lint: allow(raw-clock)

@@ -1,0 +1,315 @@
+//! Segment storage backends for the WAL.
+//!
+//! [`FsStorage`] is the real thing: one file per segment under a
+//! directory, buffered appends made durable by `sync()` (fsync). The
+//! durability contract every backend honors: bytes before the last
+//! `sync()` survive a crash; bytes after it may survive wholly,
+//! partially, or not at all — which is exactly what recovery's torn-tail
+//! truncation handles.
+//!
+//! [`MemStorage`] models that contract deterministically, with an
+//! explicit `crash(..)` that keeps the synced prefix plus a seeded slice
+//! of the unsynced tail. It backs the in-sim durable mailbox (virtual
+//! "disk", no real I/O — netsim charges the latency) and the seeded
+//! crash-recovery sweep, where real SIGKILL per seed would be far too
+//! slow; the real-process kill path is covered by the
+//! `durability_smoke` binary on `FsStorage`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A segment store: append-only numbered segments with explicit sync.
+///
+/// All offsets are byte offsets from the segment start. Implementations
+/// are used under the WAL's lock, so they need no internal ordering
+/// guarantees beyond `Send`.
+pub trait Storage: Send {
+    /// Base LSNs of existing segments, ascending.
+    fn list_segments(&self) -> io::Result<Vec<u64>>;
+    /// Creates an empty segment for `base`.
+    fn create_segment(&mut self, base: u64) -> io::Result<()>;
+    /// Appends bytes to a segment (buffered; durable only after
+    /// [`Storage::sync`]).
+    fn append(&mut self, base: u64, bytes: &[u8]) -> io::Result<()>;
+    /// Makes every appended byte of `base` durable.
+    fn sync(&mut self, base: u64) -> io::Result<()>;
+    /// Reads a whole segment.
+    fn read_segment(&mut self, base: u64) -> io::Result<Vec<u8>>;
+    /// Reads `len` bytes at `off` (for spilled message bodies).
+    fn read_at(&mut self, base: u64, off: u64, len: u64) -> io::Result<Vec<u8>>;
+    /// Truncates a segment to `len` bytes (torn-tail repair).
+    fn truncate(&mut self, base: u64, len: u64) -> io::Result<()>;
+    /// Deletes a segment (checkpoint GC).
+    fn delete_segment(&mut self, base: u64) -> io::Result<()>;
+}
+
+fn segment_file_name(base: u64) -> String {
+    format!("{base:020}.wal")
+}
+
+/// Directory-of-files storage. Keeps the head segment's write handle
+/// open; reads reopen on demand.
+pub struct FsStorage {
+    dir: PathBuf,
+    /// Open append handle for the segment being written.
+    head: Option<(u64, std::fs::File)>,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) a WAL directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<FsStorage> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FsStorage { dir, head: None })
+    }
+
+    fn path(&self, base: u64) -> PathBuf {
+        self.dir.join(segment_file_name(base))
+    }
+
+    fn head_file(&mut self, base: u64) -> io::Result<&mut std::fs::File> {
+        let reopen = !matches!(self.head, Some((b, _)) if b == base);
+        if reopen {
+            let f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(self.path(base))?;
+            self.head = Some((base, f));
+        }
+        Ok(&mut self.head.as_mut().expect("head just set").1)
+    }
+}
+
+impl Storage for FsStorage {
+    fn list_segments(&self) -> io::Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".wal") {
+                if let Ok(base) = stem.parse::<u64>() {
+                    out.push(base);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn create_segment(&mut self, base: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(self.path(base))?;
+        self.head = Some((base, f));
+        Ok(())
+    }
+
+    fn append(&mut self, base: u64, bytes: &[u8]) -> io::Result<()> {
+        self.head_file(base)?.write_all(bytes)
+    }
+
+    fn sync(&mut self, base: u64) -> io::Result<()> {
+        self.head_file(base)?.sync_data()
+    }
+
+    fn read_segment(&mut self, base: u64) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(base))
+    }
+
+    fn read_at(&mut self, base: u64, off: u64, len: u64) -> io::Result<Vec<u8>> {
+        let mut f = std::fs::File::open(self.path(base))?;
+        f.seek(SeekFrom::Start(off))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&mut self, base: u64, len: u64) -> io::Result<()> {
+        // Drop the append handle first: its cursor is past the cut.
+        self.head = None;
+        let f = std::fs::OpenOptions::new().write(true).open(self.path(base))?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn delete_segment(&mut self, base: u64) -> io::Result<()> {
+        if matches!(self.head, Some((b, _)) if b == base) {
+            self.head = None;
+        }
+        std::fs::remove_file(self.path(base))
+    }
+}
+
+#[derive(Default)]
+struct MemSegment {
+    bytes: Vec<u8>,
+    synced_len: usize,
+}
+
+#[derive(Default)]
+struct MemInner {
+    segments: BTreeMap<u64, MemSegment>,
+}
+
+/// Deterministic in-memory storage with an explicit crash model.
+///
+/// Cloning shares the underlying "disk", so a harness can keep a handle,
+/// crash it, and reopen a fresh WAL over the surviving bytes.
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory disk.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Simulates a kill: synced bytes survive; of each segment's
+    /// unsynced tail, a prefix chosen by `keep_unsynced` (given the tail
+    /// length, returns how many of those bytes "made it to disk")
+    /// survives — possibly slicing a record in half, which is the torn
+    /// tail recovery must truncate.
+    pub fn crash(&self, mut keep_unsynced: impl FnMut(usize) -> usize) {
+        let mut inner = self.inner.lock();
+        for seg in inner.segments.values_mut() {
+            let tail = seg.bytes.len() - seg.synced_len;
+            let keep = keep_unsynced(tail).min(tail);
+            seg.bytes.truncate(seg.synced_len + keep);
+            seg.synced_len = seg.bytes.len();
+        }
+    }
+
+    /// Total bytes currently on the simulated disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.inner.lock().segments.values().map(|s| s.bytes.len() as u64).sum()
+    }
+}
+
+impl Storage for MemStorage {
+    fn list_segments(&self) -> io::Result<Vec<u64>> {
+        Ok(self.inner.lock().segments.keys().copied().collect())
+    }
+
+    fn create_segment(&mut self, base: u64) -> io::Result<()> {
+        self.inner.lock().segments.insert(base, MemSegment::default());
+        Ok(())
+    }
+
+    fn append(&mut self, base: u64, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let seg = inner
+            .segments
+            .get_mut(&base)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))?;
+        seg.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, base: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let seg = inner
+            .segments
+            .get_mut(&base)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))?;
+        seg.synced_len = seg.bytes.len();
+        Ok(())
+    }
+
+    fn read_segment(&mut self, base: u64) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner
+            .segments
+            .get(&base)
+            .map(|s| s.bytes.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))
+    }
+
+    fn read_at(&mut self, base: u64, off: u64, len: u64) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let seg = inner
+            .segments
+            .get(&base)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))?;
+        let start = off as usize;
+        let end = start + len as usize;
+        seg.bytes
+            .get(start..end)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "short read"))
+    }
+
+    fn truncate(&mut self, base: u64, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let seg = inner
+            .segments
+            .get_mut(&base)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such segment"))?;
+        seg.bytes.truncate(len as usize);
+        seg.synced_len = seg.synced_len.min(len as usize);
+        Ok(())
+    }
+
+    fn delete_segment(&mut self, base: u64) -> io::Result<()> {
+        self.inner.lock().segments.remove(&base);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(storage: &mut dyn Storage) {
+        storage.create_segment(0).unwrap();
+        storage.append(0, b"hello ").unwrap();
+        storage.append(0, b"world").unwrap();
+        storage.sync(0).unwrap();
+        assert_eq!(storage.read_segment(0).unwrap(), b"hello world");
+        assert_eq!(storage.read_at(0, 6, 5).unwrap(), b"world");
+        storage.truncate(0, 5).unwrap();
+        assert_eq!(storage.read_segment(0).unwrap(), b"hello");
+        storage.create_segment(100).unwrap();
+        assert_eq!(storage.list_segments().unwrap(), vec![0, 100]);
+        storage.delete_segment(0).unwrap();
+        assert_eq!(storage.list_segments().unwrap(), vec![100]);
+    }
+
+    #[test]
+    fn mem_storage_round_trip() {
+        exercise(&mut MemStorage::new());
+    }
+
+    #[test]
+    fn fs_storage_round_trip() {
+        let dir = std::env::temp_dir().join(format!("wsd-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&mut FsStorage::open(&dir).unwrap());
+        // Reopen sees what was written.
+        let mut reopened = FsStorage::open(&dir).unwrap();
+        assert_eq!(reopened.list_segments().unwrap(), vec![100]);
+        assert_eq!(reopened.read_segment(100).unwrap(), b"");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_crash_keeps_synced_prefix_and_seeded_tail_slice() {
+        let mem = MemStorage::new();
+        {
+            let storage: &mut dyn Storage = &mut mem.clone();
+            storage.create_segment(0).unwrap();
+            storage.append(0, b"durable|").unwrap();
+            storage.sync(0).unwrap();
+            storage.append(0, b"buffered-tail").unwrap();
+        }
+        mem.crash(|tail| tail / 2); // keep 6 of 13 unsynced bytes
+        let mut survivor = mem.clone();
+        let bytes = Storage::read_segment(&mut survivor, 0).unwrap();
+        assert_eq!(bytes, b"durable|buffer");
+    }
+}

@@ -17,11 +17,18 @@
 #                                      reactor's peak thread count stays within
 #                                      its handler pool size
 #   scripts/verify.sh bench-gate       the default, plus fresh dispatch_hotpath /
-#                                      connection_scaling smoke runs compared
-#                                      against the checked-in BENCH_*.json —
-#                                      fails on a >20% p50 / ns-per-op
-#                                      regression (BENCH_GATE_THRESHOLD=0.30
-#                                      loosens it on noisy machines)
+#                                      connection_scaling / durability smoke runs
+#                                      compared against the checked-in
+#                                      BENCH_*.json — fails on a >20% p50 /
+#                                      ns-per-op regression
+#                                      (BENCH_GATE_THRESHOLD=0.30 loosens it on
+#                                      noisy machines); a missing reference
+#                                      baseline warns and skips that gate
+#   scripts/verify.sh durability-smoke the real-process WAL crash smoke alone
+#                                      (also part of the default mode): SIGKILL
+#                                      a durable-msgbox writer mid-deposit over
+#                                      a temp dir, recover, assert no acked
+#                                      message is lost or delivered twice
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,6 +47,16 @@ fi
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
+
+# Real-process crash coverage for the durable msgbox: the seeded
+# property sweep runs under `cargo test`; this adds actual SIGKILLs
+# against actual files and fsyncs. Cheap (three rounds), so it is part
+# of the default sequence, not just its named mode.
+if [ -z "${1:-}" ] || [ "${1:-}" = "durability-smoke" ]; then
+    smoke_dir=$(mktemp -d)
+    cargo run -q --release -p wsd-store --bin durability_smoke -- "$smoke_dir"
+    rm -rf "$smoke_dir"
+fi
 
 if [ "${1:-}" = "bench-smoke" ]; then
     : "${CRITERION_SAMPLES:=3}"
@@ -64,8 +81,12 @@ if [ "${1:-}" = "bench-gate" ]; then
         cargo bench -p wsd-bench --bench dispatch_hotpath
     CONNSCALE_SMOKE=1 BENCH_CONNSCALE_JSON="$gate_dir/connscale.json" \
         cargo bench -p wsd-bench --bench connection_scaling
+    BENCH_DURABILITY_JSON="$gate_dir/durability.json" \
+        cargo bench -p wsd-bench --bench durability
     cargo run -q --release -p wsd-bench --bin bench_gate -- \
         BENCH_hotpath.json "$gate_dir/hotpath.json"
     cargo run -q --release -p wsd-bench --bin bench_gate -- \
         BENCH_connscale.json "$gate_dir/connscale.json"
+    cargo run -q --release -p wsd-bench --bin bench_gate -- \
+        BENCH_durability.json "$gate_dir/durability.json"
 fi
