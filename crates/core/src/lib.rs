@@ -51,7 +51,7 @@ pub mod url;
 
 pub use config::{ConnFrontEnd, DispatcherConfig, MsgBoxConfig, MsgBoxStrategy};
 pub use error::WsdError;
-pub use msg::{MsgCore, Routed, RoutedRaw};
+pub use msg::{MsgCore, Routed, RoutedMeta, RoutedRaw};
 pub use msgbox::MsgBoxStore;
 pub use registry::{BalanceStrategy, Registry, ServiceEntry};
 pub use url::Url;

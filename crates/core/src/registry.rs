@@ -168,9 +168,10 @@ impl Registry {
         let entry = self
             .map
             .get(logical)
-            .ok_or_else(|| WsdError::UnknownService(logical.to_string()))?;
+            .ok_or_else(|| WsdError::UnknownService(logical.to_string()))?; // wsd-lint: allow(alloc-in-drain): error detail, not steady state
         entry
             .select(self.strategy)
+            // wsd-lint: allow(alloc-in-drain): error detail, not steady state
             .ok_or_else(|| WsdError::UnknownService(format!("{logical} (no live endpoint)")))
     }
 

@@ -7,7 +7,7 @@
 //! the forwarded request / relayed response — shared by the simulated and
 //! threaded runtimes.
 
-use wsd_http::{Request, Response, Status};
+use wsd_http::{Bytes, Request, Response, Status};
 use wsd_soap::{Envelope, Fault, FaultCode, SoapVersion};
 
 use crate::error::WsdError;
@@ -80,20 +80,35 @@ pub fn error_response(version: SoapVersion, err: &WsdError) -> Response {
         WsdError::Overloaded => (Status::SERVICE_UNAVAILABLE, FaultCode::Receiver),
         WsdError::MsgBox(_) => (Status::BAD_REQUEST, FaultCode::Sender),
     };
-    let fault = Envelope::fault(version, Fault::new(code, err.to_string()));
-    Response::new(status, version.content_type(), fault.to_xml().into_bytes())
+    fault_response(status, version, &code, &err.to_string())
 }
 
 /// Builds the 502 the client sees when the upstream call failed.
 pub fn upstream_failure_response(version: SoapVersion, why: &str) -> Response {
-    let fault = Envelope::fault(
-        version,
-        Fault::new(FaultCode::Receiver, format!("upstream failure: {why}")),
-    );
-    Response::new(
+    fault_response(
         Status::BAD_GATEWAY,
+        version,
+        &FaultCode::Receiver,
+        &format!("upstream failure: {why}"),
+    )
+}
+
+/// Writes the fault envelope through the raw byte path — pooled scratch
+/// buffer, no tree construction — and wraps it in a `Response`. The one
+/// copy into `Bytes` is unavoidable (the response owns its body); the
+/// scratch returns to the pool for the next fault.
+fn fault_response(
+    status: Status,
+    version: SoapVersion,
+    code: &FaultCode,
+    reason: &str,
+) -> Response {
+    let mut scratch = wsd_soap::checkout();
+    Fault::push_fault_envelope(version, code, reason, &mut scratch.out);
+    Response::new(
+        status,
         version.content_type(),
-        fault.to_xml().into_bytes(),
+        Bytes::copy_from_slice(scratch.out.as_bytes()),
     )
 }
 

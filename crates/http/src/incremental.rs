@@ -93,7 +93,7 @@ impl RequestParser {
     /// oversized declared body as soon as the head closes.
     fn try_finish_head(&mut self) -> Result<bool, HttpError> {
         let from = self.scan_from.saturating_sub(3);
-        let Some(pos) = self.buf[from..].windows(4).position(|w| w == b"\r\n\r\n") else {
+        let Some(pos) = wsd_xml::swar::find_seq(&self.buf[from..], b"\r\n\r\n") else {
             if self.buf.len() > self.limits.max_head {
                 return Err(HttpError::TooLarge("head"));
             }

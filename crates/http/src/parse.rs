@@ -73,7 +73,13 @@ fn split_head(bytes: &[u8]) -> Result<(&str, usize), HttpError> {
 }
 
 fn find_head_end(bytes: &[u8]) -> Option<usize> {
-    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+    wsd_xml::swar::find_seq(bytes, b"\r\n\r\n")
+}
+
+/// [`find_head_end`] resuming at `from` — used by the incremental reader
+/// so bytes already scanned on a previous fill are not rescanned.
+fn find_head_end_from(bytes: &[u8], from: usize) -> Option<usize> {
+    wsd_xml::swar::find_seq(bytes.get(from..)?, b"\r\n\r\n").map(|i| i + from)
 }
 
 fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, HttpError> {
@@ -147,9 +153,13 @@ impl<S: Stream> MessageReader<S> {
         limits: &Limits,
         parse: impl Fn(&[u8]) -> Result<T, HttpError>,
     ) -> Result<T, HttpError> {
-        // 1. Accumulate the head.
+        // 1. Accumulate the head. Each fill resumes the terminator scan
+        // where the last one stopped (minus 3 bytes, for a `\r\n\r\n`
+        // torn across the chunk boundary) instead of rescanning the
+        // whole buffer.
+        let mut scan_from = 0usize;
         let head_end = loop {
-            if let Some(end) = find_head_end(&self.buf) {
+            if let Some(end) = find_head_end_from(&self.buf, scan_from) {
                 // The completed head must itself respect the limit: a
                 // large read chunk must not smuggle in an oversized head
                 // that a byte-at-a-time arrival would have rejected.
@@ -161,6 +171,7 @@ impl<S: Stream> MessageReader<S> {
             if self.buf.len() > limits.max_head {
                 return Err(HttpError::TooLarge("head"));
             }
+            scan_from = self.buf.len().saturating_sub(3);
             if self.fill()? == 0 {
                 return if self.buf.is_empty() {
                     Err(HttpError::Closed)
@@ -197,6 +208,35 @@ impl<S: Stream> MessageReader<S> {
         let result = parse(&self.buf[..total]);
         self.buf.drain(..total);
         result
+    }
+
+    /// Whether the buffer already holds one complete message (head plus
+    /// declared body) — i.e. whether the next `read_*` call can succeed
+    /// without touching the stream. Malformed buffered heads report
+    /// `true`: the subsequent read errors out instead of blocking.
+    ///
+    /// Servers use this to keep serving pipelined requests from the
+    /// buffer and only flush batched responses before a read that would
+    /// actually block.
+    pub fn has_buffered_message(&self) -> bool {
+        let Some(end) = find_head_end(&self.buf) else {
+            return false;
+        };
+        let Ok(head) = std::str::from_utf8(&self.buf[..end]) else {
+            return true; // read_* will reject it without blocking
+        };
+        let mut body_len = 0usize;
+        for line in head.split("\r\n").skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    match value.trim().parse() {
+                        Ok(n) => body_len = n,
+                        Err(_) => return true, // ditto: immediate BadSyntax
+                    }
+                }
+            }
+        }
+        self.buf.len() >= end + 4 + body_len
     }
 
     /// Reads one request.

@@ -5,7 +5,6 @@
 //! two [`PipeStream`] halves with blocking reads, bounded buffering
 //! (back-pressure like a TCP window), EOF on close, and read timeouts.
 
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -81,9 +80,49 @@ impl ReadyStream for std::net::TcpStream {
 }
 
 struct PipeBuf {
-    data: VecDeque<u8>,
+    /// Buffered bytes live at `data[start..]`: a flat `Vec` with a
+    /// consumed prefix instead of a ring buffer, so both endpoints move
+    /// bytes with bulk `copy_from_slice`/`extend_from_slice` (a deque's
+    /// per-byte push/pop dominated drain profiles at envelope sizes).
+    data: Vec<u8>,
+    start: usize,
     closed: bool,
     capacity: usize,
+}
+
+impl PipeBuf {
+    fn buffered(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Bulk-copies up to `out.len()` buffered bytes into `out`; resets
+    /// the buffer once fully consumed so the allocation is reused.
+    fn read_into(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.buffered());
+        out[..n].copy_from_slice(&self.data[self.start..self.start + n]);
+        self.start += n;
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        }
+        n
+    }
+
+    /// Bulk-appends as much of `data` as the window allows, reclaiming
+    /// the consumed prefix first when appending would grow the `Vec`
+    /// beyond the window size (keeps memory bounded by ~capacity).
+    fn write_from(&mut self, data: &[u8]) -> usize {
+        let free = self.capacity.saturating_sub(self.buffered());
+        let n = free.min(data.len());
+        if self.start > 0 && self.data.len() + n > self.capacity {
+            self.data.copy_within(self.start.., 0);
+            let kept = self.data.len() - self.start;
+            self.data.truncate(kept);
+            self.start = 0;
+        }
+        self.data.extend_from_slice(&data[..n]);
+        n
+    }
 }
 
 struct PipeHalfShared {
@@ -99,7 +138,8 @@ impl PipeHalfShared {
     fn new(capacity: usize) -> Arc<Self> {
         Arc::new(PipeHalfShared {
             buf: Mutex::new(PipeBuf {
-                data: VecDeque::new(),
+                data: Vec::new(),
+                start: 0,
                 closed: false,
                 capacity,
             }),
@@ -178,11 +218,8 @@ impl ReadyStream for PipeStream {
             return Ok(0);
         }
         let mut buf = self.incoming.buf.lock();
-        if !buf.data.is_empty() {
-            let n = out.len().min(buf.data.len());
-            for slot in out.iter_mut().take(n) {
-                *slot = buf.data.pop_front().expect("len checked");
-            }
+        if buf.buffered() > 0 {
+            let n = buf.read_into(out);
             drop(buf);
             self.incoming.writable.notify_all();
             return Ok(n);
@@ -204,12 +241,10 @@ impl ReadyStream for PipeStream {
                 "peer closed the connection",
             ));
         }
-        let free = buf.capacity.saturating_sub(buf.data.len());
-        if free == 0 {
+        if buf.capacity.saturating_sub(buf.buffered()) == 0 {
             return Err(io::Error::new(io::ErrorKind::WouldBlock, "pipe full"));
         }
-        let n = free.min(data.len());
-        buf.data.extend(&data[..n]);
+        let n = buf.write_from(data);
         drop(buf);
         self.outgoing.readable.notify_all();
         self.outgoing.wake();
@@ -252,11 +287,8 @@ impl Read for PipeStream {
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
         let mut buf = self.incoming.buf.lock();
         loop {
-            if !buf.data.is_empty() {
-                let n = out.len().min(buf.data.len());
-                for slot in out.iter_mut().take(n) {
-                    *slot = buf.data.pop_front().expect("len checked");
-                }
+            if buf.buffered() > 0 {
+                let n = buf.read_into(out);
                 drop(buf);
                 self.incoming.writable.notify_all();
                 return Ok(n);
@@ -289,10 +321,8 @@ impl Write for PipeStream {
                     "peer closed the connection",
                 ));
             }
-            let free = buf.capacity.saturating_sub(buf.data.len());
-            if free > 0 {
-                let n = free.min(data.len());
-                buf.data.extend(&data[..n]);
+            if buf.capacity.saturating_sub(buf.buffered()) > 0 {
+                let n = buf.write_from(data);
                 drop(buf);
                 self.outgoing.readable.notify_all();
                 self.outgoing.wake();

@@ -1,4 +1,4 @@
-//! The four call-graph–aware rules.
+//! The five call-graph–aware rules.
 //!
 //! * `blocking-under-lock` — no call path from inside a held
 //!   `OrderedMutex`/`OrderedRwLock` guard region may reach an unbounded
@@ -19,6 +19,12 @@
 //! * `limits-at-serve-site` — serve sites (`serve_connection`, `serve`,
 //!   `RequestParser::new`) in the runtime/sim dispatchers must thread
 //!   `Limits` from config, never `Limits::default()`.
+//! * `alloc-in-drain` — the dispatch hot path is zero-alloc by
+//!   contract: no function call-graph-reachable from a WsThread `drain`
+//!   or a `route_raw*` entry point in `crates/core` may contain
+//!   `String::from(..)`, `.to_string()`, `Vec::new()`, or `format!` —
+//!   allocation belongs to setup and to the (suppressed, reasoned)
+//!   tree-fallback path, never to the steady state.
 
 use crate::callgraph::Graph;
 use crate::rules::Finding;
@@ -48,7 +54,13 @@ const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_rea
 const FORWARD_SINKS: &[&str] = &["enqueue", "ack_enqueue"];
 const SERVE_TRIGGERS: &[&str] = &["serve_connection", "serve"];
 
-/// Runs all four interprocedural rules. Returns unfiltered findings
+/// Allocation spellings forbidden on the drain path. `format!` is a
+/// macro, never a [`crate::callgraph::CallSite`], so all four are
+/// matched lexically against the blanked code of each reachable fn.
+const DRAIN_ALLOC_MARKERS: &[&str] =
+    &["String::from(", ".to_string()", "Vec::new()", "format!("];
+
+/// Runs all five interprocedural rules. Returns unfiltered findings
 /// (suppressions are applied by the caller) plus the static lock-order
 /// edge set for the dynamic cross-check.
 pub fn run(
@@ -62,6 +74,7 @@ pub fn run(
     static_lock_order(&edges, &mut findings);
     wsa_rewrite_before_forward(graph, facts, &mut findings);
     limits_at_serve_site(files, graph, &mut findings);
+    alloc_in_drain(files, graph, &mut findings);
     (findings, edges)
 }
 
@@ -379,6 +392,122 @@ fn limits_at_serve_site(
     }
 }
 
+/// `alloc-in-drain`: no per-message allocation on the dispatch hot
+/// path. Entry points are the WsThread queue pump (`drain`) and the raw
+/// routing family (`route_raw*`) in `crates/core`; every fn reachable
+/// from them through resolved call edges is scanned for the forbidden
+/// allocation spellings.
+///
+/// Suppressions are *edge-aware*: a `wsd-lint: allow(alloc-in-drain)`
+/// on the line of a call site stops propagation through that edge — the
+/// callee's whole subtree is declared outside the zero-alloc domain for
+/// the stated reason (the tree-fallback route, per-connection setup,
+/// reply translation). An allow on an allocation line itself silences
+/// just that line (the budgeted `Url::parse` pair on the reply path).
+fn alloc_in_drain(
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    findings: &mut Vec<Finding>,
+) {
+    // Per-file alloc-in-drain suppressions, as (line, is_line_comment);
+    // used here to prune call edges (finding-line filtering happens in
+    // the caller, like every other interprocedural rule).
+    let mut allows: BTreeMap<&str, Vec<(usize, bool)>> = BTreeMap::new();
+    for (path, entry) in files {
+        let sups = crate::rules::active_suppressions(&entry.parsed.stripped.comments);
+        let v: Vec<(usize, bool)> = sups
+            .into_iter()
+            .filter(|(_, _, rule)| rule == "alloc-in-drain")
+            .map(|(line, is_line, _)| (line, is_line))
+            .collect();
+        if !v.is_empty() {
+            allows.insert(path.as_str(), v);
+        }
+    }
+    let edge_allowed = |file: &str, call_line: usize| -> bool {
+        allows.get(file).is_some_and(|v| {
+            v.iter().any(|(line, is_line)| {
+                *line == call_line || (*is_line && line + 1 == call_line)
+            })
+        })
+    };
+
+    // Forward reachability, keeping the first-discovered witness chain
+    // per fn (entry chains start at the entry's signature line).
+    let mut chain: BTreeMap<usize, String> = BTreeMap::new();
+    let mut work: Vec<usize> = Vec::new();
+    for (fi, f) in graph.fns.iter().enumerate() {
+        if !f.file.starts_with("crates/core/") {
+            continue;
+        }
+        if f.name == "drain" || f.name.starts_with("route_raw") {
+            chain.insert(fi, format!("{} ({}:{})", f.qualified, f.file, f.sig_line));
+            work.push(fi);
+        }
+    }
+    while let Some(fi) = work.pop() {
+        let prefix = chain.get(&fi).cloned().unwrap();
+        for c in &graph.fns[fi].calls {
+            let Some(t) = c.callee else { continue };
+            if chain.contains_key(&t) {
+                continue;
+            }
+            if edge_allowed(&graph.fns[fi].file, c.line) {
+                continue; // reasoned exit from the zero-alloc domain
+            }
+            let tf = &graph.fns[t];
+            chain.insert(
+                t,
+                format!("{prefix} -> {} ({}:{})", tf.qualified, tf.file, c.line),
+            );
+            work.push(t);
+        }
+    }
+
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for (fi, prefix) in &chain {
+        let f = &graph.fns[*fi];
+        let Some(entry) = files.get(&f.file) else { continue };
+        let pf = &entry.parsed;
+        let Some(item) = pf.fns.get(f.local_idx) else { continue };
+        let Some((bs, be)) = item.body else { continue };
+        let code = &pf.stripped.code;
+        let be = be.min(code.len());
+        let nested = pf.nested_spans(f.local_idx);
+        let starts = crate::callgraph::line_index(code);
+        let src_lines: Vec<&str> = entry.source.lines().collect();
+        for marker in DRAIN_ALLOC_MARKERS {
+            let mut at = bs;
+            while let Some(rel) = code[at..be].find(marker) {
+                let off = at + rel;
+                at = off + marker.len();
+                if nested.iter().any(|(s, e)| *s <= off && off < *e) {
+                    continue; // nested fn bodies are their own graph nodes
+                }
+                let line = crate::callgraph::line_at(&starts, off);
+                if !seen.insert((f.file.clone(), line)) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "alloc-in-drain",
+                    file: f.file.clone(),
+                    line,
+                    excerpt: src_lines
+                        .get(line.saturating_sub(1))
+                        .unwrap_or(&"")
+                        .trim()
+                        .to_string(),
+                    witness: Some(format!(
+                        "allocation `{}` in {} on drain path: {prefix}",
+                        marker.trim_end_matches('('),
+                        f.qualified
+                    )),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,5 +751,56 @@ fn start(stream: S, limits: &Limits) {
             f.iter().filter(|x| x.rule == "limits-at-serve-site").count(),
             1
         );
+    }
+
+    #[test]
+    fn alloc_reachable_from_route_raw_is_flagged_with_chain() {
+        let src = r#"
+struct C;
+impl C {
+    fn route_raw(&self, xml: &str) { self.helper(xml); }
+    fn helper(&self, xml: &str) { let s = xml.to_string(); }
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/msg.rs", src)]);
+        let a: Vec<_> = f.iter().filter(|x| x.rule == "alloc-in-drain").collect();
+        assert_eq!(a.len(), 1, "{f:?}");
+        assert_eq!(a[0].line, 5);
+        let w = a[0].witness.as_ref().unwrap();
+        assert!(w.contains("C::route_raw") && w.contains("C::helper"), "{w}");
+    }
+
+    #[test]
+    fn alloc_in_drain_entry_itself_is_scanned() {
+        let src = "struct C;\nimpl C {\n    fn drain(&self) { let s = format!(\"x\"); }\n}\n";
+        let (f, _) = run_on(&[("crates/core/src/rt/d.rs", src)]);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "alloc-in-drain").count(),
+            1,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn allowed_call_edge_prunes_the_callee_subtree() {
+        let src = r#"
+struct C;
+impl C {
+    fn route_raw(&self, xml: &str) {
+        // wsd-lint: allow(alloc-in-drain): anomaly fallback, allocates by design
+        self.fallback(xml);
+    }
+    fn fallback(&self, xml: &str) { let s = xml.to_string(); }
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/msg.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "alloc-in-drain"), "{f:?}");
+    }
+
+    #[test]
+    fn drain_outside_core_is_not_an_entry() {
+        let src = "struct B;\nimpl B {\n    fn drain(&self) { let s = format!(\"x\"); }\n}\n";
+        let (f, _) = run_on(&[("crates/http/src/buf.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "alloc-in-drain"), "{f:?}");
     }
 }

@@ -16,10 +16,10 @@ use crate::lexer::{strip, Comment};
 use crate::parser::{parse, ParsedFile};
 
 /// All enforced rule names, in report order. The first six are
-/// lexical (per-line); the next four are interprocedural (call-graph
+/// lexical (per-line); the next five are interprocedural (call-graph
 /// reachability, see [`crate::interproc`]); `bad-suppression` guards
 /// the suppression mechanism itself.
-pub const RULE_NAMES: [&str; 11] = [
+pub const RULE_NAMES: [&str; 12] = [
     "raw-thread-spawn",
     "raw-clock",
     "std-sync-primitive",
@@ -30,6 +30,7 @@ pub const RULE_NAMES: [&str; 11] = [
     "static-lock-order",
     "wsa-rewrite-before-forward",
     "limits-at-serve-site",
+    "alloc-in-drain",
     "bad-suppression",
 ];
 
@@ -94,6 +95,12 @@ pub fn rule_hint(rule: &str) -> &'static str {
             "serve sites must thread Limits from config, not \
              Limits::default() — otherwise ops cannot tighten parser \
              bounds without a rebuild"
+        }
+        "alloc-in-drain" => {
+            "the dispatch hot path (WsThread drain / route_raw) is \
+             zero-alloc in steady state — per-message String/Vec/format! \
+             allocation belongs to setup or the reasoned tree-fallback \
+             suppressions, not the drain loop"
         }
         "bad-suppression" => "suppressions need a known rule and a written reason",
         _ => "",

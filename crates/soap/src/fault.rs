@@ -23,14 +23,18 @@ pub enum FaultCode {
 }
 
 impl FaultCode {
-    fn local_name(&self, version: SoapVersion) -> String {
+    fn local_str(&self, version: SoapVersion) -> &str {
         match self {
-            FaultCode::VersionMismatch => "VersionMismatch".to_string(),
-            FaultCode::MustUnderstand => "MustUnderstand".to_string(),
-            FaultCode::Sender => version.sender_fault_code().to_string(),
-            FaultCode::Receiver => version.receiver_fault_code().to_string(),
-            FaultCode::Custom(name) => name.clone(),
+            FaultCode::VersionMismatch => "VersionMismatch",
+            FaultCode::MustUnderstand => "MustUnderstand",
+            FaultCode::Sender => version.sender_fault_code(),
+            FaultCode::Receiver => version.receiver_fault_code(),
+            FaultCode::Custom(name) => name,
         }
+    }
+
+    fn local_name(&self, version: SoapVersion) -> String {
+        self.local_str(version).to_string()
     }
 
     fn from_local_name(local: &str) -> FaultCode {
@@ -137,6 +141,78 @@ impl Fault {
             }
         }
         fault
+    }
+
+    /// Writes the complete fault envelope as raw bytes into `out` —
+    /// byte-identical to
+    /// `Envelope::fault(version, Fault::new(code, reason)).to_xml()` but
+    /// with no element tree built. Covers the faults the dispatcher
+    /// generates on the hot path (code + reason, no role/detail); faults
+    /// carrying role or detail still go through the tree path.
+    pub fn push_fault_envelope(
+        version: SoapVersion,
+        code: &FaultCode,
+        reason: &str,
+        out: &mut String,
+    ) {
+        use wsd_xml::escape::push_escaped_text;
+
+        let prefix = version.prefix();
+        let ns = version.envelope_ns();
+        out.push('<');
+        out.push_str(prefix);
+        out.push_str(":Envelope xmlns:");
+        out.push_str(prefix);
+        out.push_str("=\"");
+        out.push_str(ns);
+        out.push_str("\"><");
+        out.push_str(prefix);
+        out.push_str(":Body><");
+        out.push_str(prefix);
+        out.push_str(":Fault>");
+        match version {
+            SoapVersion::V11 => {
+                out.push_str("<faultcode>");
+                out.push_str(prefix);
+                out.push(':');
+                push_escaped_text(code.local_str(version), out);
+                out.push_str("</faultcode><faultstring>");
+                push_escaped_text(reason, out);
+                out.push_str("</faultstring>");
+            }
+            SoapVersion::V12 => {
+                out.push('<');
+                out.push_str(prefix);
+                out.push_str(":Code><");
+                out.push_str(prefix);
+                out.push_str(":Value>");
+                out.push_str(prefix);
+                out.push(':');
+                push_escaped_text(code.local_str(version), out);
+                out.push_str("</");
+                out.push_str(prefix);
+                out.push_str(":Value></");
+                out.push_str(prefix);
+                out.push_str(":Code><");
+                out.push_str(prefix);
+                out.push_str(":Reason><");
+                out.push_str(prefix);
+                out.push_str(":Text xml:lang=\"en\">");
+                push_escaped_text(reason, out);
+                out.push_str("</");
+                out.push_str(prefix);
+                out.push_str(":Text></");
+                out.push_str(prefix);
+                out.push_str(":Reason>");
+            }
+        }
+        out.push_str("</");
+        out.push_str(prefix);
+        out.push_str(":Fault></");
+        out.push_str(prefix);
+        out.push_str(":Body></");
+        out.push_str(prefix);
+        out.push_str(":Envelope>");
     }
 
     /// Parses a `<Fault>` element in the given version's shape.
@@ -252,6 +328,24 @@ mod tests {
             let got = round_trip(v, f);
             assert_eq!(got.detail.len(), 1, "{v}");
             assert_eq!(got.detail[0].text(), "42");
+        }
+    }
+
+    #[test]
+    fn raw_fault_bytes_match_tree_path() {
+        for v in [SoapVersion::V11, SoapVersion::V12] {
+            for (code, reason) in [
+                (FaultCode::Sender, "unknown service: <echo> & \"co\""),
+                (FaultCode::Receiver, "upstream failure: timed out"),
+                (FaultCode::VersionMismatch, ""),
+                (FaultCode::MustUnderstand, "hdr"),
+                (FaultCode::Custom("Throttled".into()), "busy"),
+            ] {
+                let mut raw = String::new();
+                Fault::push_fault_envelope(v, &code, reason, &mut raw);
+                let tree = Envelope::fault(v, Fault::new(code.clone(), reason)).to_xml();
+                assert_eq!(raw, tree, "{v} {code:?}");
+            }
         }
     }
 

@@ -23,10 +23,12 @@
 pub mod envelope;
 pub mod fault;
 pub mod rpc;
+pub mod scratch;
 pub mod version;
 
 pub use envelope::{Body, Envelope};
 pub use fault::{Fault, FaultCode};
+pub use scratch::{checkout, EnvelopeScratch, ScratchGuard};
 pub use version::SoapVersion;
 
 /// Errors raised while interpreting a document as a SOAP envelope.

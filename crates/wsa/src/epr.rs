@@ -22,8 +22,8 @@ impl EndpointReference {
     pub fn new(address: impl Into<String>) -> Self {
         EndpointReference {
             address: address.into(),
-            reference_properties: Vec::new(),
-            reference_parameters: Vec::new(),
+            reference_properties: Vec::new(), // wsd-lint: allow(alloc-in-drain): empty Vec::new never touches the allocator
+            reference_parameters: Vec::new(), // wsd-lint: allow(alloc-in-drain): empty Vec::new never touches the allocator
         }
     }
 

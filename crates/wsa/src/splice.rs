@@ -3,8 +3,12 @@
 //! [`scan`] runs one streaming pass over a serialized envelope and
 //! locates the WS-Addressing header elements; [`ScannedWsa::splice_forward`]
 //! and [`ScannedWsa::splice_reply`] then emit every byte outside the
-//! addressing block verbatim — the body is never parsed, rebuilt or
-//! re-escaped — and splice the rewritten headers in.
+//! addressing block verbatim — the body is never parsed into a tree,
+//! rebuilt or re-escaped — and splice the rewritten headers in. The body
+//! bytes are still *verified* ([`wsd_xml::splice::verify_element_with_prefixes`]):
+//! the fast path must never forward an envelope the tree path would
+//! reject, so mismatched tags, unknown entity references and unbound
+//! prefixes all decline to the tree parser instead of being spliced.
 //!
 //! The scan is deliberately strict: it accepts exactly the canonical
 //! serialization our own [`wsd_xml::writer`] produces (the form every
@@ -22,13 +26,15 @@
 //! verbatim where the tree path would normalize it (e.g. `<x></x>` to
 //! `<x/>`).
 
+use std::borrow::Cow;
 use std::ops::Range;
+use std::sync::OnceLock;
 
-use wsd_xml::escape::{escape_attr, escape_text};
-use wsd_xml::{unescape, write_element_into};
+use wsd_xml::escape::{escape_attr, escape_text, push_escaped_text};
+use wsd_xml::intern::{seeded, Atom};
+use wsd_xml::unescape;
 
 use crate::epr::EndpointReference;
-use crate::headers::text_header;
 use crate::rewrite::RouteRecord;
 
 /// Canonical envelope framing per SOAP version, as `to_xml()` emits it.
@@ -38,6 +44,9 @@ struct Shape {
     header_close: &'static str,
     body_open: &'static str,
     env_close: &'static str,
+    /// Envelope prefix, bound on the root open tag and therefore in scope
+    /// for the Body the verifier walks.
+    env_prefix: &'static str,
 }
 
 const V11_SHAPE: Shape = Shape {
@@ -46,6 +55,7 @@ const V11_SHAPE: Shape = Shape {
     header_close: "</SOAP-ENV:Header>",
     body_open: "<SOAP-ENV:Body",
     env_close: "</SOAP-ENV:Envelope>",
+    env_prefix: "SOAP-ENV",
 };
 
 const V12_SHAPE: Shape = Shape {
@@ -54,23 +64,43 @@ const V12_SHAPE: Shape = Shape {
     header_close: "</env:Header>",
     body_open: "<env:Body",
     env_close: "</env:Envelope>",
+    env_prefix: "env",
 };
 
 /// The canonical namespace declaration every WSA header block carries.
 const XMLNS_WSA: &str = " xmlns:wsa=\"http://schemas.xmlsoap.org/ws/2004/08/addressing\"";
 
+/// The WSA header locals as interned atoms, resolved once: after the
+/// single [`seeded`] lookup per scanned header, slot matching is seven
+/// pointer compares instead of string compares.
+struct HeaderAtoms {
+    slots: [Atom; 7],
+}
+
+fn header_atoms() -> &'static HeaderAtoms {
+    static ATOMS: OnceLock<HeaderAtoms> = OnceLock::new();
+    ATOMS.get_or_init(|| HeaderAtoms {
+        slots: [
+            seeded("To").expect("seeded vocabulary"),
+            seeded("From").expect("seeded vocabulary"),
+            seeded("ReplyTo").expect("seeded vocabulary"),
+            seeded("FaultTo").expect("seeded vocabulary"),
+            seeded("Action").expect("seeded vocabulary"),
+            seeded("MessageID").expect("seeded vocabulary"),
+            seeded("RelatesTo").expect("seeded vocabulary"),
+        ],
+    })
+}
+
 /// Canonical header order (the order `WsaHeaders::apply` emits).
+/// Non-WSA names miss the intern table and return `None` (fall back).
 fn slot_of(local: &str) -> Option<i32> {
-    match local {
-        "To" => Some(0),
-        "From" => Some(1),
-        "ReplyTo" => Some(2),
-        "FaultTo" => Some(3),
-        "Action" => Some(4),
-        "MessageID" => Some(5),
-        "RelatesTo" => Some(6),
-        _ => None,
-    }
+    let atom = seeded(local)?;
+    header_atoms()
+        .slots
+        .iter()
+        .position(|&s| s == atom)
+        .map(|i| i as i32)
 }
 
 /// The addressing block of one canonically-serialized envelope: decoded
@@ -81,13 +111,17 @@ pub struct ScannedWsa<'a> {
     run_start: usize,
     /// Offset of `</PFX:Header>` (end of the spliced region).
     run_end: usize,
-    to: Option<(String, Range<usize>)>,
+    to: Option<(Cow<'a, str>, Range<usize>)>,
     from: Option<Range<usize>>,
-    reply_to: Option<(String, Range<usize>)>,
-    fault_to: Option<(String, Range<usize>)>,
+    reply_to: Option<(Cow<'a, str>, Range<usize>)>,
+    fault_to: Option<(Cow<'a, str>, Range<usize>)>,
     action: Option<Range<usize>>,
-    message_id: Option<(String, Range<usize>)>,
-    relates_to: Vec<(String, Range<usize>)>,
+    message_id: Option<(Cow<'a, str>, Range<usize>)>,
+    /// First `RelatesTo` inline (a canonical reply has exactly one; keeping
+    /// it out of the `Vec` keeps the steady-state scan allocation-free),
+    /// repeats spill into `relates_to_rest`.
+    relates_to_first: Option<(Cow<'a, str>, Range<usize>)>,
+    relates_to_rest: Vec<(Cow<'a, str>, Range<usize>)>,
 }
 
 /// Scans a serialized envelope for its WS-Addressing block. Returns
@@ -120,7 +154,8 @@ pub fn scan(src: &str) -> Option<ScannedWsa<'_>> {
         fault_to: None,
         action: None,
         message_id: None,
-        relates_to: Vec::new(),
+        relates_to_first: None,
+        relates_to_rest: Vec::new(),
     };
     let mut last_slot = -1i32;
     loop {
@@ -138,6 +173,20 @@ pub fn scan(src: &str) -> Option<ScannedWsa<'_>> {
                 Some(b'>') | Some(b'/') => {}
                 _ => return None,
             }
+            // The splice copies every body byte verbatim, so the fast
+            // path must never accept a body the tree path would fault
+            // on: verify the Body element token-for-token (matched close
+            // tags, canonical attributes, known entity references, bound
+            // prefixes) before committing. Anything questionable falls
+            // back to the tree parser and its precise diagnostics.
+            let body_end = wsd_xml::splice::verify_element_with_prefixes(
+                src,
+                body,
+                &[shape.env_prefix],
+            )?;
+            if &src[body_end..] != shape.env_close {
+                return None;
+            }
             return Some(out);
         }
         let start = pos;
@@ -148,20 +197,22 @@ pub fn scan(src: &str) -> Option<ScannedWsa<'_>> {
             return None;
         }
         last_slot = slot;
-        match local {
-            "To" | "Action" | "MessageID" => {
+        match slot {
+            0 | 4 | 5 => {
+                // To / Action / MessageID: text-only headers.
                 if !tag.extra.is_empty() {
                     return None;
                 }
                 let (value, end) = scan_text_content(src, tag.content_start, local)?;
-                match local {
-                    "To" => out.to = Some((value, start..end)),
-                    "Action" => out.action = Some(start..end),
+                match slot {
+                    0 => out.to = Some((value, start..end)),
+                    4 => out.action = Some(start..end),
                     _ => out.message_id = Some((value, start..end)),
                 }
                 pos = end;
             }
-            "RelatesTo" => {
+            6 => {
+                // RelatesTo.
                 if !tag.extra.is_empty() {
                     // Only the canonical `RelationshipType` attribute, in
                     // canonical escaping, keeps byte identity.
@@ -176,7 +227,11 @@ pub fn scan(src: &str) -> Option<ScannedWsa<'_>> {
                     }
                 }
                 let (value, end) = scan_text_content(src, tag.content_start, local)?;
-                out.relates_to.push((value, start..end));
+                if out.relates_to_first.is_none() {
+                    out.relates_to_first = Some((value, start..end));
+                } else {
+                    out.relates_to_rest.push((value, start..end));
+                }
                 pos = end;
             }
             _ => {
@@ -185,9 +240,9 @@ pub fn scan(src: &str) -> Option<ScannedWsa<'_>> {
                     return None;
                 }
                 let (addr, end) = scan_epr_content(src, tag.content_start, local)?;
-                match local {
-                    "From" => out.from = Some(start..end),
-                    "ReplyTo" => out.reply_to = Some((addr, start..end)),
+                match slot {
+                    1 => out.from = Some(start..end),
+                    2 => out.reply_to = Some((addr, start..end)),
                     _ => out.fault_to = Some((addr, start..end)),
                 }
                 pos = end;
@@ -223,10 +278,16 @@ fn scan_wsa_open(src: &str, pos: usize) -> Option<(&str, OpenTag<'_>)> {
 }
 
 /// Matches `text</wsa:local>` with canonically-escaped text. Returns the
-/// decoded text and the offset past the close tag.
-fn scan_text_content(src: &str, content_start: usize, local: &str) -> Option<(String, usize)> {
+/// decoded text (borrowed from `src` unless it needed unescaping — the
+/// canonical URIs and uuids on the hot path never do) and the offset past
+/// the close tag.
+fn scan_text_content<'a>(
+    src: &'a str,
+    content_start: usize,
+    local: &str,
+) -> Option<(Cow<'a, str>, usize)> {
     let rest = &src[content_start..];
-    let lt = rest.find('<')?;
+    let lt = wsd_xml::swar::find_byte(rest.as_bytes(), b'<')?;
     let raw = &rest[..lt];
     rest[lt..]
         .strip_prefix("</wsa:")?
@@ -237,15 +298,19 @@ fn scan_text_content(src: &str, content_start: usize, local: &str) -> Option<(St
         return None;
     }
     let end = content_start + lt + "</wsa:".len() + local.len() + 1;
-    Some((value.into_owned(), end))
+    Some((value, end))
 }
 
 /// Matches `<wsa:Address>addr</wsa:Address></wsa:local>` — the canonical
 /// serialization of an address-only EPR. Reference properties/parameters
 /// (or any other child) fall back to the tree path.
-fn scan_epr_content(src: &str, content_start: usize, local: &str) -> Option<(String, usize)> {
+fn scan_epr_content<'a>(
+    src: &'a str,
+    content_start: usize,
+    local: &str,
+) -> Option<(Cow<'a, str>, usize)> {
     let rest = src[content_start..].strip_prefix("<wsa:Address>")?;
-    let lt = rest.find('<')?;
+    let lt = wsd_xml::swar::find_byte(rest.as_bytes(), b'<')?;
     let raw = &rest[..lt];
     rest[lt..]
         .strip_prefix("</wsa:Address>")?
@@ -263,23 +328,61 @@ fn scan_epr_content(src: &str, content_start: usize, local: &str) -> Option<(Str
         + "</wsa:".len()
         + local.len()
         + 1;
-    Some((addr.into_owned(), end))
+    Some((addr, end))
+}
+
+/// Emits the canonical serialization of a text-only WSA header —
+/// byte-identical to `write_element_into(&text_header(local, value))`
+/// without building the element.
+fn push_text_header(out: &mut String, local: &str, value: &str) {
+    out.push_str("<wsa:");
+    out.push_str(local);
+    out.push_str(XMLNS_WSA);
+    out.push('>');
+    push_escaped_text(value, out);
+    out.push_str("</wsa:");
+    out.push_str(local);
+    out.push('>');
+}
+
+/// Emits the canonical serialization of an address-only EPR header —
+/// byte-identical to `write_element_into(&EndpointReference::new(addr)
+/// .to_element(local))` without building the elements.
+fn push_epr_header(out: &mut String, local: &str, address: &str) {
+    out.push_str("<wsa:");
+    out.push_str(local);
+    out.push_str(XMLNS_WSA);
+    out.push_str("><wsa:Address>");
+    push_escaped_text(address, out);
+    out.push_str("</wsa:Address></wsa:");
+    out.push_str(local);
+    out.push('>');
+}
+
+impl<'a> ScannedWsa<'a> {
+    /// Decoded `wsa:MessageID` carrying the scan input's lifetime —
+    /// borrowed from the envelope bytes unless unescaping had to own it
+    /// (canonical ids never do), so callers can outlive the scan without
+    /// copying.
+    pub fn message_id_cow(&self) -> Option<Cow<'a, str>> {
+        self.message_id.as_ref().map(|(v, _)| v.clone())
+    }
 }
 
 impl ScannedWsa<'_> {
     /// Decoded `wsa:To`, if present.
     pub fn to(&self) -> Option<&str> {
-        self.to.as_ref().map(|(v, _)| v.as_str())
+        self.to.as_ref().map(|(v, _)| v.as_ref())
     }
 
     /// Decoded `wsa:MessageID`, if present.
     pub fn message_id(&self) -> Option<&str> {
-        self.message_id.as_ref().map(|(v, _)| v.as_str())
+        self.message_id.as_ref().map(|(v, _)| v.as_ref())
     }
 
     /// Decoded first `wsa:RelatesTo` — the reply-correlation key.
     pub fn correlation_id(&self) -> Option<&str> {
-        self.relates_to.first().map(|(v, _)| v.as_str())
+        self.relates_to_first.as_ref().map(|(v, _)| v.as_ref())
     }
 
     fn push_raw(&self, out: &mut String, span: &Range<usize>) {
@@ -298,34 +401,43 @@ impl ScannedWsa<'_> {
         minted_id: Option<&str>,
     ) -> (String, RouteRecord) {
         let mut out = String::with_capacity(self.src.len() + 128);
+        let record = self.splice_forward_into(physical_to, dispatcher_address, minted_id, &mut out);
+        (out, record)
+    }
+
+    /// [`splice_forward`](Self::splice_forward), appending into a caller
+    /// buffer (the checked-out `EnvelopeScratch`): rewritten headers are
+    /// emitted as raw bytes — no element trees are built.
+    pub fn splice_forward_into(
+        &self,
+        physical_to: &str,
+        dispatcher_address: &str,
+        minted_id: Option<&str>,
+        out: &mut String,
+    ) -> RouteRecord {
+        out.reserve(self.src.len() + 128);
         out.push_str(&self.src[..self.run_start]);
-        write_element_into(&text_header("To", physical_to), &mut out);
+        push_text_header(out, "To", physical_to);
         if let Some(span) = &self.from {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
-        write_element_into(
-            &EndpointReference::new(dispatcher_address).to_element("ReplyTo"),
-            &mut out,
-        );
+        push_epr_header(out, "ReplyTo", dispatcher_address);
         if self.fault_to.is_some() {
-            write_element_into(
-                &EndpointReference::new(dispatcher_address).to_element("FaultTo"),
-                &mut out,
-            );
+            push_epr_header(out, "FaultTo", dispatcher_address);
         }
         if let Some(span) = &self.action {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
         match (&self.message_id, minted_id) {
-            (Some((_, span)), _) => self.push_raw(&mut out, span),
-            (None, Some(id)) => write_element_into(&text_header("MessageID", id), &mut out),
+            (Some((_, span)), _) => self.push_raw(out, span),
+            (None, Some(id)) => push_text_header(out, "MessageID", id),
             (None, None) => {}
         }
-        for (_, span) in &self.relates_to {
-            self.push_raw(&mut out, span);
+        for (_, span) in self.relates_to_first.iter().chain(&self.relates_to_rest) {
+            self.push_raw(out, span);
         }
         out.push_str(&self.src[self.run_end..]);
-        let record = RouteRecord {
+        RouteRecord {
             message_id: self
                 .message_id()
                 .or(minted_id)
@@ -333,14 +445,13 @@ impl ScannedWsa<'_> {
             original_reply_to: self
                 .reply_to
                 .as_ref()
-                .map(|(a, _)| EndpointReference::new(a.clone())),
+                .map(|(a, _)| EndpointReference::new(a.clone().into_owned())),
             original_fault_to: self
                 .fault_to
                 .as_ref()
-                .map(|(a, _)| EndpointReference::new(a.clone())),
-            logical_to: self.to.as_ref().map(|(v, _)| v.clone()),
-        };
-        (out, record)
+                .map(|(a, _)| EndpointReference::new(a.clone().into_owned())),
+            logical_to: self.to.as_ref().map(|(v, _)| v.clone().into_owned()),
+        }
     }
 
     /// The reply rewrite, spliced: `To` becomes `destination` (or is
@@ -348,30 +459,39 @@ impl ScannedWsa<'_> {
     /// is byte-identical to `rewrite_for_reply` + `to_xml()`.
     pub fn splice_reply(&self, destination: Option<&str>) -> String {
         let mut out = String::with_capacity(self.src.len() + 64);
+        self.splice_reply_into(destination, &mut out);
+        out
+    }
+
+    /// [`splice_reply`](Self::splice_reply), appending into a caller
+    /// buffer (the checked-out `EnvelopeScratch`). The steady-state reply
+    /// path allocates nothing here: spans are copied and the `To` header
+    /// is emitted as raw bytes.
+    pub fn splice_reply_into(&self, destination: Option<&str>, out: &mut String) {
+        out.reserve(self.src.len() + 64);
         out.push_str(&self.src[..self.run_start]);
         if let Some(dest) = destination {
-            write_element_into(&text_header("To", dest), &mut out);
+            push_text_header(out, "To", dest);
         }
         if let Some(span) = &self.from {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
         if let Some((_, span)) = &self.reply_to {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
         if let Some((_, span)) = &self.fault_to {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
         if let Some(span) = &self.action {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
         if let Some((_, span)) = &self.message_id {
-            self.push_raw(&mut out, span);
+            self.push_raw(out, span);
         }
-        for (_, span) in &self.relates_to {
-            self.push_raw(&mut out, span);
+        for (_, span) in self.relates_to_first.iter().chain(&self.relates_to_rest) {
+            self.push_raw(out, span);
         }
         out.push_str(&self.src[self.run_end..]);
-        out
     }
 }
 

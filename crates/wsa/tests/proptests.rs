@@ -167,6 +167,61 @@ proptest! {
         prop_assert!(wsd_wsa::scan(&env.to_xml()).is_none());
     }
 
+    /// Adversarial envelopes — torn tags (truncation at every offset),
+    /// deep nesting spliced into the payload, entity-heavy and
+    /// malformed-entity text — either fall back (the scanner declines
+    /// and the tree path takes over) or splice byte-identically. The
+    /// fast path never accepts an envelope the tree parser rejects, and
+    /// never produces different bytes than the tree rewrite.
+    #[test]
+    fn adversarial_envelopes_fall_back_never_diverge(
+        h in headers_strategy(),
+        v in prop_oneof![Just(SoapVersion::V11), Just(SoapVersion::V12)],
+        mode in 0u8..3,
+        depth in 1usize..40,
+        soup in "(&[a-z]{1,6};|[a-z<>\"' ]){0,16}",
+        cut_permille in 0u32..=1000,
+    ) {
+        let mut env = rpc::echo_request(v, "MARKER");
+        h.apply(&mut env);
+        let xml = env.to_xml();
+        let mutated = match mode {
+            // Torn tag: truncate anywhere (1000 = the full envelope).
+            0 => xml[..(xml.len() as u64 * cut_permille as u64 / 1000) as usize].to_string(),
+            // Deep nesting in the payload.
+            1 => xml.replace(
+                "MARKER",
+                &format!("{}{}", "<n>".repeat(depth), "</n>".repeat(depth)),
+            ),
+            // Entity soup, including undefined references like `&bogus;`.
+            _ => xml.replace("MARKER", &soup),
+        };
+        // Well-formed adversarial envelopes are compared in
+        // parse-canonical form (the tree path always re-serializes, so
+        // byte identity is only defined on canonical input, as in the
+        // forward test above). Ill-formed ones stay raw: the fast path
+        // must decline them outright.
+        let adversarial = match Envelope::parse(&mutated) {
+            Ok(well_formed) => well_formed.to_xml(),
+            Err(_) => mutated,
+        };
+        let Some(scanned) = wsd_wsa::scan(&adversarial) else { return Ok(()); };
+        // Accepted by the fast path: the tree path must agree it is
+        // well-formed, and both rewrites must emit identical bytes.
+        let tree = Envelope::parse(&adversarial);
+        prop_assert!(tree.is_ok(), "fast path accepted, tree rejected: {adversarial}");
+        let spliced = scanned.splice_reply(Some("http://dest.example/mb"));
+        let record = RouteRecord {
+            message_id: Some("uuid:q".into()),
+            original_reply_to: Some(EndpointReference::new("http://dest.example/mb")),
+            original_fault_to: None,
+            logical_to: None,
+        };
+        let mut tree = tree.unwrap();
+        rewrite_for_reply(&mut tree, &record, None).unwrap();
+        prop_assert_eq!(spliced, tree.to_xml());
+    }
+
     /// EPRs round-trip through their element form.
     #[test]
     fn epr_round_trips(addr in uri(), param_text in "[a-z0-9]{1,16}") {

@@ -43,6 +43,23 @@ fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
     Cow::Owned(out)
 }
 
+/// Escapes character data directly into an existing buffer — the
+/// zero-intermediate-allocation form of [`escape_text`] for raw byte
+/// emitters. Produces identical bytes.
+pub fn push_escaped_text(s: &str, out: &mut String) {
+    let mut rest = s;
+    while let Some(i) = crate::swar::find_byte3(rest.as_bytes(), b'&', b'<', b'>') {
+        out.push_str(&rest[..i]);
+        match rest.as_bytes()[i] {
+            b'&' => out.push_str("&amp;"),
+            b'<' => out.push_str("&lt;"),
+            _ => out.push_str("&gt;"),
+        }
+        rest = &rest[i + 1..];
+    }
+    out.push_str(rest);
+}
+
 /// Resolves one predefined entity name (`lt`, `gt`, `amp`, `apos`,
 /// `quot`) to its character.
 pub fn predefined_entity(name: &str) -> Option<char> {
@@ -95,6 +112,15 @@ mod tests {
     #[test]
     fn text_does_not_escape_quotes() {
         assert_eq!(escape_text("a\"b'c"), "a\"b'c");
+    }
+
+    #[test]
+    fn push_escaped_text_matches_escape_text() {
+        for s in ["plain", "", "a<b&c>d", "&&&", "tail>", "héllo — 世界 <&>"] {
+            let mut out = String::from("prefix:");
+            push_escaped_text(s, &mut out);
+            assert_eq!(out, format!("prefix:{}", escape_text(s)));
+        }
     }
 
     #[test]

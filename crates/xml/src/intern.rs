@@ -1,0 +1,180 @@
+//! Interned QName atoms with a pointer-compare fast path.
+//!
+//! The dispatcher looks at the same handful of names on every envelope:
+//! the SOAP envelope vocabulary and the WSA header locals. Interning
+//! maps each distinct name to a single `&'static str`, so equality on
+//! the hot path is a pointer compare instead of a byte compare, and a
+//! scanned header name resolves to its routing slot with one table
+//! lookup.
+//!
+//! [`Atom`]s are only constructible through this module ([`seeded`] /
+//! [`intern`]), which is what makes pointer equality sound: two atoms
+//! with equal contents always share one allocation. (Relying on literal
+//! promotion instead would not — the compiler may or may not dedup a
+//! repeated `"To"` across mention sites.)
+//!
+//! The seeded vocabulary lives in a static sorted table read without
+//! any locking. Names outside the vocabulary fall back to a mutex'd
+//! leaking side table — a cold path that only runs for non-SOAP/WSA
+//! names an application interns explicitly.
+
+// wsd-lint: allow(std-sync-primitive): wsd-xml is dependency-free by design; this Mutex only guards the cold dynamic-intern path (seeded lookups are lock-free)
+use std::sync::Mutex;
+
+/// An interned name: equality is pointer equality.
+#[derive(Clone, Copy, Debug, Eq)]
+pub struct Atom(&'static str);
+
+impl Atom {
+    /// The interned string.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for Atom {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl std::hash::Hash for Atom {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+    }
+}
+
+impl std::ops::Deref for Atom {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// The pre-seeded vocabulary: SOAP 1.1/1.2 envelope locals, WSA header
+/// locals, and the namespace URIs the dispatcher matches on. MUST stay
+/// sorted (binary-searched); `seeds_are_sorted_and_unique` enforces it.
+static SEEDS: [&str; 28] = [
+    "Action",
+    "Address",
+    "Body",
+    "Code",
+    "Envelope",
+    "Fault",
+    "FaultTo",
+    "From",
+    "Header",
+    "MessageID",
+    "Reason",
+    "ReferenceParameters",
+    "ReferenceProperties",
+    "RelatesTo",
+    "RelationshipType",
+    "ReplyTo",
+    "Role",
+    "Subcode",
+    "Text",
+    "To",
+    "Value",
+    "faultactor",
+    "faultcode",
+    "faultstring",
+    "http://schemas.xmlsoap.org/soap/envelope/",
+    "http://schemas.xmlsoap.org/ws/2004/08/addressing",
+    "http://www.w3.org/2003/05/soap-envelope",
+    "wsa",
+];
+
+/// Looks up a name in the seeded vocabulary. Lock-free; this is the
+/// hot-path entry point. Returns `None` for names outside the seeded
+/// set (callers on the fast path treat that as "not a header we route
+/// on" and fall back).
+#[inline]
+pub fn seeded(name: &str) -> Option<Atom> {
+    SEEDS
+        .binary_search(&name)
+        .ok()
+        .map(|i| Atom(SEEDS[i]))
+}
+
+/// Dynamic side table for non-seeded names. Interned strings are leaked
+/// (each distinct name once); the table is only consulted after
+/// [`seeded`] misses, so steady-state dispatch never takes this lock.
+static DYNAMIC: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Interns an arbitrary name, seeding from the static vocabulary when
+/// possible. Cold path for unknown names: takes a mutex and leaks the
+/// first occurrence.
+pub fn intern(name: &str) -> Atom {
+    if let Some(atom) = seeded(name) {
+        return atom;
+    }
+    let mut table = DYNAMIC.lock().expect("intern table poisoned");
+    if let Some(&existing) = table.iter().find(|s| **s == name) {
+        return Atom(existing);
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    Atom(leaked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_sorted_and_unique() {
+        for w in SEEDS.windows(2) {
+            assert!(w[0] < w[1], "SEEDS out of order near {:?}", w);
+        }
+    }
+
+    #[test]
+    fn seeded_hits_share_a_pointer() {
+        let a = seeded("To").unwrap();
+        let b = seeded("To").unwrap();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a.as_str(), "To");
+    }
+
+    #[test]
+    fn seeded_misses_unknown_names() {
+        assert!(seeded("NotAHeader").is_none());
+        assert!(seeded("to").is_none()); // case-sensitive, like XML
+    }
+
+    #[test]
+    fn distinct_atoms_compare_unequal() {
+        let to = seeded("To").unwrap();
+        let from = seeded("From").unwrap();
+        assert_ne!(to, from);
+    }
+
+    #[test]
+    fn dynamic_interning_is_stable() {
+        let a = intern("x-custom-header");
+        let b = intern("x-custom-header");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        // Seeded names never hit the dynamic table.
+        assert_eq!(intern("To"), seeded("To").unwrap());
+    }
+
+    #[test]
+    fn atom_derefs_like_a_str() {
+        let action = intern("Action");
+        assert_eq!(&*action, "Action");
+        assert_eq!(action.len(), 6);
+        assert_eq!(action.to_string(), "Action");
+    }
+}

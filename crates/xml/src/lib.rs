@@ -31,16 +31,19 @@
 
 pub mod error;
 pub mod escape;
+pub mod intern;
 pub mod name;
 pub mod parser;
 pub mod splice;
+pub mod swar;
 pub mod tree;
 pub mod writer;
 
 pub use error::{XmlError, XmlErrorKind};
+pub use intern::{intern, Atom};
 pub use name::QName;
 pub use parser::{Event, PullParser, StartTag};
-pub use splice::{skip_element, unescape};
+pub use splice::{skip_element, unescape, verify_element};
 pub use tree::{Attribute, Document, Element, Node};
 pub use writer::write_element_into;
 

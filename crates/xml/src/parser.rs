@@ -131,8 +131,9 @@ impl<'a> PullParser<'a> {
     /// Decodes `&...;` starting just after the `&`.
     fn read_entity(&mut self) -> Result<char, XmlError> {
         let start = self.pos;
-        let semi = match self.rest().find(';') {
-            // Entities are short; cap the scan so broken input fails fast.
+        // Entities are short; cap the scan so broken input fails fast.
+        let window = &self.rest().as_bytes()[..self.rest().len().min(13)];
+        let semi = match crate::swar::find_byte(window, b';') {
             Some(i) if i <= 12 => i,
             _ => {
                 return Err(self.error_at(
@@ -161,20 +162,32 @@ impl<'a> PullParser<'a> {
             Some(c) => return Err(self.error(XmlErrorKind::UnexpectedChar(c))),
             None => return Err(self.error(XmlErrorKind::UnexpectedEof)),
         };
+        // Bulk-scan to the next quote/entity/`<`, copying plain runs in one
+        // step. Stops land on the same bytes the per-char loop decided on,
+        // so error positions are unchanged.
         let mut out = String::new();
         loop {
-            match self.bump() {
-                Some(c) if c == quote => return Ok(out),
-                Some('&') => out.push(self.read_entity()?),
-                Some('<') => return Err(self.error(XmlErrorKind::UnexpectedChar('<'))),
-                Some(c) => out.push(c),
-                None => return Err(self.error(XmlErrorKind::UnexpectedEof)),
+            let rest = self.rest();
+            match crate::swar::find_byte3(rest.as_bytes(), quote as u8, b'&', b'<') {
+                None => {
+                    self.pos = self.input.len();
+                    return Err(self.error(XmlErrorKind::UnexpectedEof));
+                }
+                Some(i) => {
+                    out.push_str(&rest[..i]);
+                    self.pos += i + 1;
+                    match rest.as_bytes()[i] {
+                        b'&' => out.push(self.read_entity()?),
+                        b'<' => return Err(self.error(XmlErrorKind::UnexpectedChar('<'))),
+                        _ => return Ok(out),
+                    }
+                }
             }
         }
     }
 
     fn read_until(&mut self, terminator: &str, what: &'static str) -> Result<String, XmlError> {
-        match self.rest().find(terminator) {
+        match crate::swar::find_seq(self.rest().as_bytes(), terminator.as_bytes()) {
             Some(i) => {
                 let content = self.rest()[..i].to_string();
                 self.pos += i + terminator.len();
@@ -242,17 +255,25 @@ impl<'a> PullParser<'a> {
     }
 
     fn read_text(&mut self) -> Result<String, XmlError> {
+        // Bulk-scan to the next markup/entity byte; plain character data
+        // is copied in one `push_str` per run instead of per char.
         let mut out = String::new();
         loop {
-            match self.peek() {
-                None | Some('<') => return Ok(out),
-                Some('&') => {
-                    self.bump();
-                    out.push(self.read_entity()?);
+            let rest = self.rest();
+            match crate::swar::find_byte2(rest.as_bytes(), b'<', b'&') {
+                None => {
+                    out.push_str(rest);
+                    self.pos = self.input.len();
+                    return Ok(out);
                 }
-                Some(c) => {
-                    self.bump();
-                    out.push(c);
+                Some(i) => {
+                    out.push_str(&rest[..i]);
+                    self.pos += i;
+                    if rest.as_bytes()[i] == b'<' {
+                        return Ok(out);
+                    }
+                    self.pos += 1; // past the '&'
+                    out.push(self.read_entity()?);
                 }
             }
         }

@@ -97,3 +97,110 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+/// A haystack over the bytes the parser actually hunts for, so matches
+/// (and near-misses straddling the 8-byte SWAR chunks) are common.
+fn xmlish_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(b'<'),
+            Just(b'>'),
+            Just(b'&'),
+            Just(b'"'),
+            Just(b'\r'),
+            Just(b'\n'),
+            Just(b'x'),
+            any::<u8>(),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// The SWAR finders are byte-identical to a naive linear scan for
+    /// every haystack/needle combination — the parser and head-scanner
+    /// swapped them in on the strength of exactly this equivalence.
+    #[test]
+    fn swar_finders_match_naive_scan(
+        h in xmlish_bytes(),
+        n1 in any::<u8>(),
+        n2 in any::<u8>(),
+        n3 in any::<u8>(),
+    ) {
+        use wsd_xml::swar;
+        prop_assert_eq!(swar::find_byte(&h, n1), h.iter().position(|&b| b == n1));
+        prop_assert_eq!(
+            swar::find_byte2(&h, n1, n2),
+            h.iter().position(|&b| b == n1 || b == n2)
+        );
+        prop_assert_eq!(
+            swar::find_byte3(&h, n1, n2, n3),
+            h.iter().position(|&b| b == n1 || b == n2 || b == n3)
+        );
+    }
+
+    /// `find_seq` agrees with the naive windowed search, including
+    /// needles that straddle chunk boundaries (`\r\n\r\n` head scans).
+    #[test]
+    fn swar_find_seq_matches_naive_scan(
+        h in xmlish_bytes(),
+        needle in proptest::collection::vec(
+            prop_oneof![Just(b'\r'), Just(b'\n'), Just(b'<'), any::<u8>()],
+            1..5,
+        ),
+    ) {
+        let naive = h.windows(needle.len()).position(|w| w == &needle[..]);
+        prop_assert_eq!(wsd_xml::swar::find_seq(&h, &needle), naive);
+    }
+
+    /// Deeply nested documents round-trip exactly — the splice scanner's
+    /// depth tracking and the parser's SWAR skips never lose a level.
+    #[test]
+    fn deeply_nested_documents_round_trip(depth in 1usize..80, text in text_strategy()) {
+        let mut el = Element::new("leaf");
+        if !text.is_empty() {
+            el.children.push(Node::Text(text));
+        }
+        for _ in 0..depth {
+            let mut outer = Element::new("n");
+            outer.children.push(Node::Element(el));
+            el = outer;
+        }
+        let doc = Document::with_root(el);
+        let xml = write(&doc);
+        let reparsed = parse(&xml).unwrap();
+        prop_assert_eq!(reparsed.root, doc.root);
+    }
+
+    /// Entity-heavy content — every reference the writer can emit, plus
+    /// numeric forms — round-trips through the accelerated parser.
+    #[test]
+    fn entity_heavy_content_round_trips(runs in proptest::collection::vec("[&<>\"'a-z]{0,8}", 0..12)) {
+        let text: String = runs.concat();
+        let el = Element::new("t").with_text(text.clone());
+        let reparsed = parse(&write(&Document::with_root(el))).unwrap();
+        prop_assert_eq!(reparsed.root.text(), text);
+    }
+
+    /// Torn tags: every strict prefix of a well-formed document is an
+    /// error (kind and position included), never a panic and never a
+    /// silent success.
+    #[test]
+    fn torn_tag_prefixes_error_cleanly(depth in 1usize..30, cut_permille in 0u32..1000) {
+        let mut el = Element::new("leaf");
+        el.children.push(Node::Text("payload & more".to_string()));
+        for _ in 0..depth {
+            let mut outer = Element::new("n");
+            outer.children.push(Node::Element(el));
+            el = outer;
+        }
+        let xml = write(&Document::with_root(el));
+        let cut = (xml.len() as u64 * cut_permille as u64 / 1000) as usize;
+        // ASCII by construction, so any byte offset is a char boundary.
+        let torn = &xml[..cut];
+        let result = parse(torn);
+        prop_assert!(result.is_err(), "strict prefix parsed: {torn:?}");
+        // Determinism of the error itself (kind, line, column).
+        prop_assert_eq!(result.err(), parse(torn).err());
+    }
+}

@@ -34,6 +34,14 @@ impl Bytes {
         }
     }
 
+    /// Copies `data` into a fresh owned buffer (the real crate's
+    /// constructor for borrowed slices).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            repr: Repr::Shared(data.into()),
+        }
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
         self.as_slice().len()
