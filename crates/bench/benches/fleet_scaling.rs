@@ -1,0 +1,150 @@
+//! Fleet scaling: delivered throughput vs instance count, plus the
+//! kill-one failover invariants.
+//!
+//! The sweep reruns `wsd_experiments::fleet` — N sharded dispatcher
+//! instances at a fixed offered load far above one instance's durable
+//! ack rate. Delivered throughput is deterministic (virtual time), so
+//! what this bench *times* is the simulator itself: wall-clock
+//! nanoseconds per delivered message, a proxy for the whole
+//! envelope/netsim/store pipeline the fleet exercises.
+//!
+//! Set `BENCH_FLEET_JSON=<path>` to emit a machine-readable summary
+//! (checked in as `BENCH_fleet.json`, gated by `bench_gate` on the
+//! `sim_ns_per_delivered` keys); `FLEET_SMOKE=1` runs a shortened
+//! 1-vs-4-instance sweep and asserts the scale-out acceptance floor
+//! (>=3x delivered 1→4) plus the failover invariants (zero acked loss,
+//! zero duplicates) — used by `scripts/verify.sh fleet-smoke`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion, Throughput};
+use wsd_experiments::fleet;
+
+/// Virtual seconds of offered load per sweep point.
+const SWEEP_SECONDS: u64 = 10;
+/// Shortened window for the smoke mode.
+const SMOKE_SECONDS: u64 = 6;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet");
+    // One short single-instance run: the per-delivered-message cost of
+    // the full deposit→WAL→drain→sink pipeline in the simulator.
+    let probe = fleet::run_scaling(4, &[1], fleet::SCALING_CLIENTS);
+    g.throughput(Throughput::Elements(probe[0].delivered));
+    g.bench_function("sim_run_1_instance_4s", |b| {
+        b.iter(|| fleet::run_scaling(4, std::hint::black_box(&[1]), fleet::SCALING_CLIENTS))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+struct TimedRow {
+    row: fleet::FleetScaleRow,
+    sim_ns_per_delivered: f64,
+}
+
+fn timed_sweep(seconds: u64, counts: &[usize]) -> Vec<TimedRow> {
+    counts
+        .iter()
+        .map(|&n| {
+            let start = Instant::now();
+            let mut rows = fleet::run_scaling(seconds, &[n], fleet::SCALING_CLIENTS);
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let row = rows.remove(0);
+            TimedRow {
+                sim_ns_per_delivered: elapsed / row.delivered.max(1) as f64,
+                row,
+            }
+        })
+        .collect()
+}
+
+fn emit_json(path: &str, seconds: u64, rows: &[TimedRow], failover: &fleet::FailoverOutcome) {
+    let base = rows.first().map(|t| t.row.delivered).unwrap_or(0);
+    let sweep: Vec<String> = rows
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{ \"instances\": {}, \"delivered\": {}, \"delivered_per_sec\": {:.1}, \
+                 \"speedup_vs_1\": {:.2}, \"sim_ns_per_delivered\": {:.0} }}",
+                t.row.instances,
+                t.row.delivered,
+                t.row.delivered_per_sec,
+                t.row.delivered as f64 / base.max(1) as f64,
+                t.sim_ns_per_delivered,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fleet_scaling\",\n",
+            "  \"seconds\": {seconds},\n",
+            "  \"clients\": {clients},\n",
+            "  \"scaling\": [\n{sweep}\n  ],\n",
+            "  \"failover\": {{\n",
+            "    \"instances\": {fi}, \"killed\": {killed},\n",
+            "    \"acked\": {acked}, \"delivered\": {delivered},\n",
+            "    \"acked_lost\": {lost}, \"duplicates\": {dups},\n",
+            "    \"recovered\": {recovered}, \"resent\": {resent},\n",
+            "    \"rebalance_latency_us\": {rebalance}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        seconds = seconds,
+        clients = fleet::SCALING_CLIENTS,
+        sweep = sweep.join(",\n"),
+        fi = failover.instances,
+        killed = failover.killed,
+        acked = failover.acked,
+        delivered = failover.delivered,
+        lost = failover.acked_lost,
+        dups = failover.duplicates,
+        recovered = failover.recovered,
+        resent = failover.resent,
+        rebalance = failover.rebalance_latency_us,
+    );
+    std::fs::write(path, &json).expect("write BENCH_fleet.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::var("FLEET_SMOKE").is_ok_and(|v| v == "1");
+    if !smoke {
+        benches();
+    }
+    let json_path = std::env::var("BENCH_FLEET_JSON").ok();
+    if smoke || json_path.is_some() {
+        let (seconds, counts): (u64, &[usize]) = if smoke {
+            (SMOKE_SECONDS, &[1, 4])
+        } else {
+            (SWEEP_SECONDS, fleet::INSTANCE_COUNTS)
+        };
+        let rows = timed_sweep(seconds, counts);
+        let failover = fleet::run_failover(seconds.max(8));
+        if let Some(path) = &json_path {
+            emit_json(path, seconds, &rows, &failover);
+        }
+        let one = rows.first().expect("sweep has a 1-instance point");
+        let four = rows
+            .iter()
+            .find(|t| t.row.instances == 4)
+            .expect("sweep has a 4-instance point");
+        assert!(
+            four.row.delivered as f64 >= one.row.delivered as f64 * 3.0,
+            "4 instances delivered {} vs {} for 1 — below the 3x floor",
+            four.row.delivered,
+            one.row.delivered,
+        );
+        assert_eq!(failover.acked_lost, 0, "kill lost an acked message");
+        assert_eq!(failover.duplicates, 0, "recovery double-delivered");
+        assert!(failover.recovered > 0, "victim stranded no acked mail");
+        println!(
+            "fleet{} PASS: 1->4 speedup {:.2}x, failover acked_lost=0 duplicates=0 recovered={}",
+            if smoke { "-smoke" } else { "" },
+            four.row.delivered as f64 / one.row.delivered as f64,
+            failover.recovered,
+        );
+    }
+}

@@ -41,6 +41,7 @@ pub mod error;
 pub mod msg;
 pub mod msgbox;
 pub mod registry;
+pub mod registry_repl;
 pub mod registry_soap;
 pub mod reliable;
 pub mod rpc;
@@ -49,7 +50,7 @@ pub mod security;
 pub mod sim;
 pub mod url;
 
-pub use config::{ConnFrontEnd, DispatcherConfig, MsgBoxConfig, MsgBoxStrategy};
+pub use config::{ConnFrontEnd, DispatcherConfig, FleetConfig, MsgBoxConfig, MsgBoxStrategy};
 pub use error::WsdError;
 pub use msg::{MsgCore, Routed, RoutedMeta, RoutedRaw};
 pub use msgbox::MsgBoxStore;

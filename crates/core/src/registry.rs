@@ -225,6 +225,12 @@ impl Registry {
         names
     }
 
+    /// Removes every entry — used when a replication follower installs
+    /// a full-resync snapshot over whatever it held before.
+    pub fn clear(&self) {
+        self.map.clear();
+    }
+
     /// Number of registered services.
     pub fn len(&self) -> usize {
         self.map.len()

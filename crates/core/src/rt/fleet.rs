@@ -1,0 +1,246 @@
+//! The sharded dispatcher fleet on the threaded runtime: N complete
+//! [`Deployment`]s behind one consistent-hash ring.
+//!
+//! Instance 0's registry is the replication leader; every other
+//! instance runs a [`RegistryFollower`] that tails it ([`FleetDeployment::sync`]
+//! is the control tick). Clients route a logical service name through
+//! [`FleetDeployment::route`] — the ring owner — before dispatching to
+//! that instance's ports, the same route-then-enqueue shape the
+//! simulated fleet (and the `shard-route-before-enqueue` lint rule)
+//! enforces.
+//!
+//! Ownership handoff of durable mailboxes is modeled on the simulated
+//! runtime (`sim::fleet`), where kills are injectable and virtual
+//! time makes recovery measurable; here [`FleetDeployment::stop_instance`]
+//! reassigns the dead instance's arcs so routing stays total.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use wsd_fleet::{InstanceId, ShardRing};
+
+use crate::config::FleetConfig;
+use crate::registry::Registry;
+use crate::registry_repl::{RegistryFollower, RegistryLeader};
+use crate::rt::{Deployment, Network};
+use crate::url::Url;
+use crate::WsdError;
+
+/// One member of the fleet: a full dispatcher deployment plus its
+/// replication role.
+pub struct FleetMember {
+    id: InstanceId,
+    host: String,
+    deployment: Deployment,
+    /// `None` on the leader (instance 0), which applies writes locally.
+    follower: Option<RegistryFollower>,
+}
+
+impl FleetMember {
+    /// The ring identity of this member.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+
+    /// The host this member's services listen on.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The member's running deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The member's replication offset (the leader is always current).
+    pub fn repl_offset(&self, leader: &RegistryLeader) -> u64 {
+        match &self.follower {
+            Some(f) => f.offset(),
+            None => leader.offset(),
+        }
+    }
+}
+
+/// N dispatcher instances behind a seeded consistent-hash ring, with
+/// the registry replicated leader → followers.
+pub struct FleetDeployment {
+    ring: RwLock<ShardRing>,
+    leader: Arc<RegistryLeader>,
+    members: Vec<Option<FleetMember>>,
+}
+
+impl FleetDeployment {
+    /// Starts `cfg.instances` deployments on hosts `{base}-0` ..
+    /// `{base}-{n-1}`, instance 0 holding the registry leader.
+    pub fn start(net: &Arc<Network>, base_host: &str, cfg: &FleetConfig) -> FleetDeployment {
+        let leader = Arc::new(RegistryLeader::new(
+            Arc::new(Registry::new()),
+            cfg.repl_backlog,
+        ));
+        let members = (0..cfg.instances.max(1) as u32)
+            .map(|i| {
+                let host = format!("{base_host}-{i}");
+                let (registry, follower) = if i == 0 {
+                    (Arc::clone(leader.registry()), None)
+                } else {
+                    let follower = RegistryFollower::new(Arc::new(Registry::new()));
+                    (Arc::clone(follower.registry()), Some(follower))
+                };
+                let deployment = Deployment::builder(net, &host)
+                    .registry(registry)
+                    .seed(cfg.ring_seed ^ u64::from(i))
+                    .start();
+                Some(FleetMember {
+                    id: InstanceId(i),
+                    host,
+                    deployment,
+                    follower,
+                })
+            })
+            .collect();
+        FleetDeployment {
+            ring: RwLock::new(cfg.ring()),
+            leader,
+            members,
+        }
+    }
+
+    /// The registry replication leader (instance 0's registry).
+    pub fn leader(&self) -> &RegistryLeader {
+        &self.leader
+    }
+
+    /// Live members, in instance order.
+    pub fn members(&self) -> impl Iterator<Item = &FleetMember> {
+        self.members.iter().flatten()
+    }
+
+    /// Registers a service at the leader. Followers see it on the next
+    /// [`sync`](FleetDeployment::sync).
+    pub fn register(&self, logical: &str, url: Url) -> u64 {
+        self.leader.register(logical, url)
+    }
+
+    /// Removes a service at the leader.
+    pub fn unregister(&self, logical: &str) -> u64 {
+        self.leader.unregister(logical)
+    }
+
+    /// One replication tick: every follower tails the leader. Returns
+    /// the total number of commands applied.
+    pub fn sync(&self) -> Result<usize, WsdError> {
+        let mut applied = 0;
+        for member in self.members.iter().flatten() {
+            if let Some(follower) = &member.follower {
+                applied += follower.catch_up(&self.leader)?;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Routes a logical service name to the owning live member. This
+    /// is the step every fleet client must take before enqueuing.
+    pub fn route(&self, logical: &str) -> Option<&FleetMember> {
+        let owner = self.ring.read().owner_of(logical)?;
+        self.members.get(owner.0 as usize)?.as_ref()
+    }
+
+    /// Stops one instance and reassigns its ring arcs, so
+    /// [`route`](FleetDeployment::route) stays total over live members.
+    /// Returns how many arcs moved.
+    pub fn stop_instance(&mut self, id: InstanceId) -> usize {
+        let Some(member) = self.members.get_mut(id.0 as usize).and_then(Option::take) else {
+            return 0;
+        };
+        member.deployment.shutdown();
+        self.ring.write().remove_instance(id).len()
+    }
+
+    /// Stops every member.
+    pub fn shutdown(&self) {
+        for member in self.members.iter().flatten() {
+            member.deployment.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::{rpc_call, EchoServer};
+    use std::time::Duration;
+    use wsd_soap::{rpc, SoapVersion};
+
+    fn fleet_cfg(n: usize) -> FleetConfig {
+        FleetConfig {
+            instances: n,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_routes_and_replicates() {
+        let net = Network::new();
+        let ws = EchoServer::start(&net, "ws", 8888, 2, Duration::ZERO);
+        let mut fleet = FleetDeployment::start(&net, "fleet", &fleet_cfg(3));
+
+        fleet.register("Echo", Url::parse("http://ws:8888/echo").unwrap());
+        fleet.sync().unwrap();
+
+        // Every member's registry converged on the same entry.
+        for member in fleet.members() {
+            assert!(
+                member.deployment().registry().lookup("Echo").is_ok(),
+                "{} missing Echo",
+                member.host()
+            );
+            assert_eq!(member.repl_offset(fleet.leader()), fleet.leader().offset());
+        }
+
+        // Route, then dispatch at the owner — through its own stack.
+        let owner = fleet.route("Echo").expect("ring is non-empty");
+        let resp = rpc_call(
+            &net,
+            owner.host(),
+            owner.deployment().rpc_port(),
+            "/svc/Echo",
+            &rpc::echo_request(SoapVersion::V11, "fleet"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(rpc::parse_echo_response(&resp).unwrap(), "fleet");
+
+        // Kill the owner: routing must fail over to a live member and
+        // keep serving.
+        let dead = owner.id();
+        let moved = fleet.stop_instance(dead);
+        assert!(moved > 0, "dead instance owned arcs");
+        let successor = fleet.route("Echo").expect("ring still non-empty");
+        assert_ne!(successor.id(), dead);
+        let resp = rpc_call(
+            &net,
+            successor.host(),
+            successor.deployment().rpc_port(),
+            "/svc/Echo",
+            &rpc::echo_request(SoapVersion::V11, "again"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(rpc::parse_echo_response(&resp).unwrap(), "again");
+
+        fleet.shutdown();
+        ws.shutdown();
+    }
+
+    #[test]
+    fn single_instance_fleet_is_a_plain_deployment() {
+        let net = Network::new();
+        let fleet = FleetDeployment::start(&net, "solo", &fleet_cfg(1));
+        fleet.register("Svc", Url::parse("http://ws:1/x").unwrap());
+        assert_eq!(fleet.sync().unwrap(), 0, "no followers to catch up");
+        let owner = fleet.route("Svc").unwrap();
+        assert_eq!(owner.id(), InstanceId(0));
+        fleet.shutdown();
+    }
+}

@@ -13,6 +13,7 @@
 pub mod client;
 pub mod deployment;
 pub mod echo_server;
+pub mod fleet;
 pub mod msg_server;
 pub mod msgbox_server;
 pub mod reactor_front;
@@ -22,6 +23,7 @@ pub mod rpc_server;
 pub use client::{rpc_call, send_oneway, MailboxClient};
 pub use deployment::{Deployment, DeploymentBuilder};
 pub use echo_server::EchoServer;
+pub use fleet::{FleetDeployment, FleetMember};
 pub use msg_server::MsgDispatcherServer;
 pub use msgbox_server::MsgBoxServer;
 pub use reactor_front::{ReactorFrontEnd, RequestHandler, ServedConn};

@@ -12,11 +12,13 @@
 //! paper's plateaus.
 
 pub mod echo;
+pub mod fleet;
 pub mod msg_dispatcher;
 pub mod msgbox;
 pub mod rpc_dispatcher;
 
 pub use echo::{EchoMode, EchoStats, SimEchoService};
+pub use fleet::{run_fleet, FleetOutcome, FleetParams, HandoffReport};
 pub use msg_dispatcher::{MsgDispatcherStats, SimMsgDispatcher, WsThreadConfig};
 pub use msgbox::{SimMsgBox, SimMsgBoxStats};
 pub use rpc_dispatcher::{RpcDispatcherStats, SimRpcDispatcher};
@@ -59,6 +61,16 @@ impl CpuQueue {
     /// Whether the CPU is idle at `now`.
     pub fn idle_at(&self, now: SimTime) -> bool {
         self.busy_until <= now
+    }
+
+    /// How much queued work separates `now` from the CPU going idle —
+    /// the backlog an admission controller sheds load on.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        if self.busy_until > now {
+            self.busy_until.since(now)
+        } else {
+            SimDuration(0)
+        }
     }
 }
 

@@ -1,0 +1,177 @@
+//! Fleet scaling and failover — the scale-out extension beyond the
+//! paper's single-dispatcher evaluation.
+//!
+//! The paper's dispatcher is one intermediary host; §4.3 shows its
+//! throughput pinned by one machine's resources. This experiment runs
+//! the sharded fleet (`wsd_core::sim::fleet`) at a fixed offered load
+//! far above what one instance can ack durably, sweeping the instance
+//! count: delivered throughput should scale ~linearly until the offered
+//! load is absorbed, because the consistent-hash ring splits both the
+//! deposit fsyncs and the drain CPU across instances.
+//!
+//! The failover scenario kills one instance mid-run and checks the
+//! tier's two delivery invariants — no acknowledged message lost, no
+//! message delivered twice — plus how long the ring took to rebalance.
+
+use std::time::Duration;
+
+use wsd_core::sim::{run_fleet, FleetParams};
+use wsd_core::FleetConfig;
+
+use crate::parallel_map;
+
+/// Instance counts the scaling sweep visits.
+pub const INSTANCE_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Simulated client population for the scaling sweep: 200k clients on
+/// a 60 s think time offer ~3 333 msg/s — more than 8 disk-bound
+/// instances absorb, so every sweep point saturates.
+pub const SCALING_CLIENTS: u64 = 200_000;
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct FleetScaleRow {
+    /// Fleet size at this point.
+    pub instances: usize,
+    /// Messages the generator offered.
+    pub generated: u64,
+    /// Messages acked durable (202).
+    pub acked: u64,
+    /// Messages shed with 503 under overload.
+    pub shed: u64,
+    /// Distinct messages delivered to the sink.
+    pub delivered: u64,
+    /// Delivered messages per virtual second of offered load.
+    pub delivered_per_sec: f64,
+}
+
+/// Outcome of the kill-one failover scenario.
+#[derive(Debug, Clone)]
+pub struct FailoverOutcome {
+    /// Fleet size.
+    pub instances: usize,
+    /// Which instance was killed.
+    pub killed: u32,
+    /// Messages acked durable across the whole run.
+    pub acked: u64,
+    /// Distinct messages delivered.
+    pub delivered: u64,
+    /// Acked messages that never arrived — the invariant says 0.
+    pub acked_lost: u64,
+    /// Messages delivered more than once — the invariant says 0.
+    pub duplicates: u64,
+    /// Acked-but-undrained messages the successor replayed.
+    pub recovered: u64,
+    /// Unacked tail the clients re-routed to live instances.
+    pub resent: u64,
+    /// Announce → recovery-complete span in virtual µs.
+    pub rebalance_latency_us: u64,
+}
+
+fn scaling_params(instances: usize, seconds: u64, clients: u64) -> FleetParams {
+    FleetParams {
+        fleet: FleetConfig {
+            instances,
+            ..FleetConfig::default()
+        },
+        services: 64,
+        clients,
+        duration: Duration::from_secs(seconds),
+        ..FleetParams::default()
+    }
+}
+
+/// Sweeps fleet sizes at a fixed offered load (points run in
+/// parallel; each is an independent deterministic simulation).
+pub fn run_scaling(seconds: u64, counts: &[usize], clients: u64) -> Vec<FleetScaleRow> {
+    parallel_map(counts.to_vec(), |instances| {
+        let out = run_fleet(&scaling_params(instances, seconds, clients));
+        FleetScaleRow {
+            instances,
+            generated: out.generated,
+            acked: out.acked,
+            shed: out.shed,
+            delivered: out.delivered,
+            delivered_per_sec: out.delivered as f64 / seconds as f64,
+        }
+    })
+}
+
+/// Kills instance 1 of a 4-instance fleet halfway through the run.
+/// The drain is made CPU-bound (12 ms/dispatch) so the victim carries
+/// an acked-but-undrained backlog — the hard case for handoff.
+pub fn run_failover(seconds: u64) -> FailoverOutcome {
+    let mut params = scaling_params(4, seconds, 64_000);
+    params.services = 16;
+    params.dispatch_cost = Duration::from_millis(12);
+    params.kill = Some((1, Duration::from_secs(seconds / 2)));
+    let out = run_fleet(&params);
+    let handoff = out.handoff.as_ref();
+    FailoverOutcome {
+        instances: 4,
+        killed: 1,
+        acked: out.acked,
+        delivered: out.delivered,
+        acked_lost: out.acked_lost,
+        duplicates: out.duplicates,
+        recovered: handoff.map_or(0, |h| h.recovered),
+        resent: out.resent,
+        rebalance_latency_us: handoff.map_or(0, |h| h.rebalance_latency_us),
+    }
+}
+
+/// Prints the scaling sweep the way the paper prints its tables.
+pub fn print(rows: &[FleetScaleRow]) {
+    println!("fleet scaling: {SCALING_CLIENTS} clients, 64 services, fixed offered load");
+    println!("{:>9} {:>10} {:>10} {:>10} {:>10} {:>12}", "instances", "generated", "acked", "shed", "delivered", "msgs/s");
+    let base = rows.first().map(|r| r.delivered_per_sec).unwrap_or(0.0);
+    for r in rows {
+        let speedup = if base > 0.0 { r.delivered_per_sec / base } else { 0.0 };
+        println!(
+            "{:>9} {:>10} {:>10} {:>10} {:>10} {:>12.1}  ({speedup:.2}x)",
+            r.instances, r.generated, r.acked, r.shed, r.delivered, r.delivered_per_sec
+        );
+    }
+}
+
+/// Prints the failover scenario outcome.
+pub fn print_failover(o: &FailoverOutcome) {
+    println!(
+        "fleet failover: killed i{} of {} — acked={} delivered={} acked_lost={} \
+         duplicates={} recovered={} resent={} rebalance={}ms",
+        o.killed,
+        o.instances,
+        o.acked,
+        o.delivered,
+        o.acked_lost,
+        o.duplicates,
+        o.recovered,
+        o.resent,
+        o.rebalance_latency_us / 1_000
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_sweep_scales_delivery() {
+        let rows = run_scaling(8, &[1, 4], SCALING_CLIENTS);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].delivered as f64 >= rows[0].delivered as f64 * 3.0,
+            "4 instances must deliver >=3x one: {} vs {}",
+            rows[1].delivered,
+            rows[0].delivered
+        );
+    }
+
+    #[test]
+    fn failover_loses_nothing() {
+        let o = run_failover(10);
+        assert_eq!(o.acked_lost, 0);
+        assert_eq!(o.duplicates, 0);
+        assert!(o.recovered > 0, "victim must strand acked mail");
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`fig6`] | Figure 6 — asynchronous messaging (+ the WS-MsgBox OOM bug) |
 //! | [`calibration`] | §4.3 link/host/message-size calibration table |
 //! | [`connwall`] | §4.3.2 connection wall, rerun on the threaded runtime's reactor |
+//! | [`fleet`] | scale-out extension — sharded fleet scaling + kill-one failover |
 //!
 //! Each module exposes a `run` function returning plain data (so the
 //! Criterion benches and integration tests reuse it) and a `print`
@@ -24,6 +25,7 @@ pub mod connwall;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fleet;
 pub mod table1;
 pub mod topology;
 

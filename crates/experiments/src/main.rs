@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom]
-//!             [--fig6-durable] [--connwall] [--calibration] [--all]
-//!             [--seconds N] [--quick] [--json PATH]
+//!             [--fig6-durable] [--connwall] [--fleet] [--calibration]
+//!             [--all] [--seconds N] [--quick] [--json PATH]
 //! ```
 //!
 //! `--connwall` reruns the §4.3.2 connection wall on the threaded
 //! runtime (real OS threads); `--fig6-durable` sweeps the stored-body
-//! memory wall against the WAL-backed durable mailbox backend. Neither
-//! is part of `--all`, which covers the paper's own figures only.
+//! memory wall against the WAL-backed durable mailbox backend;
+//! `--fleet` sweeps the sharded dispatcher fleet (1→8 instances at
+//! fixed load) and runs the kill-one failover scenario. None of the
+//! three is part of `--all`, which covers the paper's own figures
+//! only.
 //!
 //! `--quick` shortens the virtual run window and thins the sweeps (for
 //! smoke runs); the default regenerates the paper's one-minute windows.
@@ -18,7 +21,7 @@
 //! through `wsd-telemetry` scopes, which never feed back into the
 //! simulation: the series are identical with or without observation.
 
-use wsd_experiments::{calibration, connwall, fig4, fig5, fig6, table1};
+use wsd_experiments::{calibration, connwall, fig4, fig5, fig6, fleet, table1};
 use wsd_loadgen::{LatencySummary, RunTotals};
 use wsd_telemetry::Snapshot;
 
@@ -30,6 +33,7 @@ struct Options {
     fig6_oom: bool,
     fig6_durable: bool,
     connwall: bool,
+    fleet: bool,
     calibration: bool,
     seconds: u64,
     quick: bool,
@@ -45,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         fig6_oom: false,
         fig6_durable: false,
         connwall: false,
+        fleet: false,
         calibration: false,
         seconds: 60,
         quick: false,
@@ -80,6 +85,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--connwall" => {
                 opts.connwall = true;
+                any = true;
+            }
+            "--fleet" => {
+                opts.fleet = true;
                 any = true;
             }
             "--calibration" => {
@@ -278,6 +287,34 @@ fn json_connwall(o: &connwall::ConnWallOutcome) -> String {
     )
 }
 
+fn json_fleet(rows: &[fleet::FleetScaleRow], f: &fleet::FailoverOutcome) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"instances\":{},\"generated\":{},\"acked\":{},\"shed\":{},\
+                 \"delivered\":{},\"delivered_per_sec\":{:.1}}}",
+                r.instances, r.generated, r.acked, r.shed, r.delivered, r.delivered_per_sec
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scaling\":[{}],\"failover\":{{\"instances\":{},\"killed\":{},\"acked\":{},\
+         \"delivered\":{},\"acked_lost\":{},\"duplicates\":{},\"recovered\":{},\
+         \"resent\":{},\"rebalance_latency_us\":{}}}}}",
+        rows.join(","),
+        f.instances,
+        f.killed,
+        f.acked,
+        f.delivered,
+        f.acked_lost,
+        f.duplicates,
+        f.recovered,
+        f.resent,
+        f.rebalance_latency_us
+    )
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -285,8 +322,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments [--table1] [--fig4] [--fig5] [--fig6] [--fig6-oom] \
-                 [--fig6-durable] [--connwall] [--calibration] [--all] [--seconds N] \
-                 [--quick] [--json PATH]"
+                 [--fig6-durable] [--connwall] [--fleet] [--calibration] [--all] \
+                 [--seconds N] [--quick] [--json PATH]"
             );
             std::process::exit(2);
         }
@@ -358,6 +395,19 @@ fn main() {
         let outcome = connwall::run(tpm, reactor);
         connwall::print(&outcome);
         json_figures.push(("connwall", json_connwall(&outcome)));
+        println!();
+    }
+    if opts.fleet {
+        let counts: &[usize] = if opts.quick {
+            &[1, 2, 4]
+        } else {
+            fleet::INSTANCE_COUNTS
+        };
+        let rows = fleet::run_scaling(opts.seconds.min(30), counts, fleet::SCALING_CLIENTS);
+        fleet::print(&rows);
+        let failover = fleet::run_failover(opts.seconds.clamp(4, 30));
+        fleet::print_failover(&failover);
+        json_figures.push(("fleet", json_fleet(&rows, &failover)));
         println!();
     }
     if let Some(path) = &opts.json {

@@ -43,9 +43,14 @@ pub struct RequestParser {
     limits: Limits,
     buf: Vec<u8>,
     phase: Phase,
-    /// Resume offset for the head-terminator scan, so a byte-at-a-time
-    /// feed stays linear instead of rescanning the whole head each call.
+    /// Resume offset for the head-terminator scan (relative to `pos`),
+    /// so a byte-at-a-time feed stays linear instead of rescanning the
+    /// whole head each call.
     scan_from: usize,
+    /// Bytes before this offset are completed messages. A cursor instead
+    /// of `drain`-ing the front keeps a pipelined batch from being
+    /// memmoved once per message it contains (O(batch²) bytes shifted).
+    pos: usize,
 }
 
 impl RequestParser {
@@ -56,6 +61,7 @@ impl RequestParser {
             buf: Vec::with_capacity(1024),
             phase: Phase::Head,
             scan_from: 0,
+            pos: 0,
         }
     }
 
@@ -76,11 +82,19 @@ impl RequestParser {
             unreachable!("head completed above")
         };
         let total = head_end + body_len;
-        if self.buf.len() < total {
+        if self.buf.len() - self.pos < total {
             return Ok(None);
         }
-        let req = parse_request_bytes(&self.buf[..total])?;
-        self.buf.drain(..total);
+        let req = parse_request_bytes(&self.buf[self.pos..self.pos + total])?;
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos > self.buf.len() - self.pos {
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
         self.phase = Phase::Head;
         self.scan_from = 0;
         Ok(Some(req))
@@ -93,21 +107,22 @@ impl RequestParser {
     /// oversized declared body as soon as the head closes.
     fn try_finish_head(&mut self) -> Result<bool, HttpError> {
         let from = self.scan_from.saturating_sub(3);
-        let Some(pos) = wsd_xml::swar::find_seq(&self.buf[from..], b"\r\n\r\n") else {
-            if self.buf.len() > self.limits.max_head {
+        let live = self.buf.len() - self.pos;
+        let Some(at) = wsd_xml::swar::find_seq(&self.buf[self.pos + from..], b"\r\n\r\n") else {
+            if live > self.limits.max_head {
                 return Err(HttpError::TooLarge("head"));
             }
-            self.scan_from = self.buf.len();
+            self.scan_from = live;
             return Ok(false);
         };
-        let head_end = from + pos + 4;
+        let head_end = from + at + 4;
         // Same rule as the blocking reader: a completed head over the
         // limit is rejected even when it arrived in one large chunk, so
         // acceptance is independent of how the bytes were chunked.
         if head_end > self.limits.max_head {
             return Err(HttpError::TooLarge("head"));
         }
-        let head = std::str::from_utf8(&self.buf[..head_end - 4])
+        let head = std::str::from_utf8(&self.buf[self.pos..self.pos + head_end - 4])
             .map_err(|_| HttpError::BadSyntax("head not UTF-8"))?;
         let mut body_len = 0usize;
         for line in head.split("\r\n").skip(1) {
@@ -129,19 +144,19 @@ impl RequestParser {
 
     /// Whether a partially-received message is parked in the buffer.
     pub fn has_partial(&self) -> bool {
-        !self.buf.is_empty()
+        self.buf.len() > self.pos
     }
 
     /// Bytes currently buffered (partial message + pipelined surplus).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 }
 
 impl std::fmt::Debug for RequestParser {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RequestParser")
-            .field("buffered", &self.buf.len())
+            .field("buffered", &(self.buf.len() - self.pos))
             .field("phase", &self.phase)
             .finish()
     }

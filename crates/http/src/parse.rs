@@ -117,6 +117,11 @@ fn read_body(
 pub struct MessageReader<S: Stream> {
     stream: S,
     buf: Vec<u8>,
+    /// Bytes before this offset are consumed messages. Advancing a
+    /// cursor instead of `drain`-ing the front keeps a pipelined batch
+    /// from being memmoved once per message it contains (O(batch²)
+    /// bytes shifted — the drain-batch-16 cliff in BENCH_hotpath.json).
+    pos: usize,
 }
 
 impl<S: Stream> MessageReader<S> {
@@ -125,6 +130,7 @@ impl<S: Stream> MessageReader<S> {
         MessageReader {
             stream,
             buf: Vec::with_capacity(1024),
+            pos: 0,
         }
     }
 
@@ -159,7 +165,7 @@ impl<S: Stream> MessageReader<S> {
         // whole buffer.
         let mut scan_from = 0usize;
         let head_end = loop {
-            if let Some(end) = find_head_end_from(&self.buf, scan_from) {
+            if let Some(end) = find_head_end_from(&self.buf[self.pos..], scan_from) {
                 // The completed head must itself respect the limit: a
                 // large read chunk must not smuggle in an oversized head
                 // that a byte-at-a-time arrival would have rejected.
@@ -168,12 +174,12 @@ impl<S: Stream> MessageReader<S> {
                 }
                 break end + 4;
             }
-            if self.buf.len() > limits.max_head {
+            if self.buf.len() - self.pos > limits.max_head {
                 return Err(HttpError::TooLarge("head"));
             }
-            scan_from = self.buf.len().saturating_sub(3);
+            scan_from = (self.buf.len() - self.pos).saturating_sub(3);
             if self.fill()? == 0 {
-                return if self.buf.is_empty() {
+                return if self.buf.len() == self.pos {
                     Err(HttpError::Closed)
                 } else {
                     Err(HttpError::UnexpectedEof)
@@ -181,7 +187,7 @@ impl<S: Stream> MessageReader<S> {
             }
         };
         // 2. Find the declared body length (cheap scan of the head).
-        let head = std::str::from_utf8(&self.buf[..head_end - 4])
+        let head = std::str::from_utf8(&self.buf[self.pos..self.pos + head_end - 4])
             .map_err(|_| HttpError::BadSyntax("head not UTF-8"))?;
         let mut body_len = 0usize;
         for line in head.split("\r\n").skip(1) {
@@ -199,14 +205,25 @@ impl<S: Stream> MessageReader<S> {
         }
         // 3. Accumulate the body.
         let total = head_end + body_len;
-        while self.buf.len() < total {
+        while self.buf.len() - self.pos < total {
             if self.fill()? == 0 {
                 return Err(HttpError::UnexpectedEof);
             }
         }
-        // 4. Parse and retain any bytes of the next message.
-        let result = parse(&self.buf[..total]);
-        self.buf.drain(..total);
+        // 4. Parse and retain any bytes of the next message: advance the
+        // cursor past this one, reclaiming the buffer only when it is
+        // fully consumed (free) or the dead prefix outgrows the live
+        // tail (one bounded memmove per reclaim, amortized O(1)/byte).
+        let result = parse(&self.buf[self.pos..self.pos + total]);
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos > self.buf.len() - self.pos {
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(self.buf.len() - self.pos);
+            self.pos = 0;
+        }
         result
     }
 
@@ -219,10 +236,11 @@ impl<S: Stream> MessageReader<S> {
     /// buffer and only flush batched responses before a read that would
     /// actually block.
     pub fn has_buffered_message(&self) -> bool {
-        let Some(end) = find_head_end(&self.buf) else {
+        let buf = &self.buf[self.pos..];
+        let Some(end) = find_head_end(buf) else {
             return false;
         };
-        let Ok(head) = std::str::from_utf8(&self.buf[..end]) else {
+        let Ok(head) = std::str::from_utf8(&buf[..end]) else {
             return true; // read_* will reject it without blocking
         };
         let mut body_len = 0usize;
@@ -236,7 +254,7 @@ impl<S: Stream> MessageReader<S> {
                 }
             }
         }
-        self.buf.len() >= end + 4 + body_len
+        buf.len() >= end + 4 + body_len
     }
 
     /// Reads one request.

@@ -1,4 +1,4 @@
-//! The five call-graph–aware rules.
+//! The six call-graph–aware rules.
 //!
 //! * `blocking-under-lock` — no call path from inside a held
 //!   `OrderedMutex`/`OrderedRwLock` guard region may reach an unbounded
@@ -19,6 +19,12 @@
 //! * `limits-at-serve-site` — serve sites (`serve_connection`, `serve`,
 //!   `RequestParser::new`) in the runtime/sim dispatchers must thread
 //!   `Limits` from config, never `Limits::default()`.
+//! * `shard-route-before-enqueue` — every path that reaches a fleet
+//!   enqueue (`enqueue_fleet` in `crates/core`) must have passed the
+//!   consistent-hash routing step (`shard_route`) first: depositing at
+//!   an instance the ring does not name silently breaks the ownership
+//!   handoff ledger's "successor recovers everything" accounting.
+//!   Same obligation-propagation shape as `wsa-rewrite-before-forward`.
 //! * `alloc-in-drain` — the dispatch hot path is zero-alloc by
 //!   contract: no function call-graph-reachable from a WsThread `drain`
 //!   or a `route_raw*` entry point in `crates/core` may contain
@@ -30,7 +36,7 @@ use crate::callgraph::Graph;
 use crate::rules::Finding;
 use crate::summaries::{
     acquire_chain, block_chain, is_guard_own_wait, region_calls, sink_desc, FileEntry, Facts,
-    WSA_REWRITE_MARKERS,
+    SHARD_ROUTE_MARKERS, WSA_REWRITE_MARKERS,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -52,6 +58,7 @@ pub struct Edge {
 
 const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
 const FORWARD_SINKS: &[&str] = &["enqueue", "ack_enqueue"];
+const FLEET_SINKS: &[&str] = &["enqueue_fleet"];
 const SERVE_TRIGGERS: &[&str] = &["serve_connection", "serve"];
 
 /// Allocation spellings forbidden on the drain path. `format!` is a
@@ -60,7 +67,7 @@ const SERVE_TRIGGERS: &[&str] = &["serve_connection", "serve"];
 const DRAIN_ALLOC_MARKERS: &[&str] =
     &["String::from(", ".to_string()", "Vec::new()", "format!("];
 
-/// Runs all five interprocedural rules. Returns unfiltered findings
+/// Runs all six interprocedural rules. Returns unfiltered findings
 /// (suppressions are applied by the caller) plus the static lock-order
 /// edge set for the dynamic cross-check.
 pub fn run(
@@ -73,6 +80,7 @@ pub fn run(
     let edges = collect_lock_order_edges(graph, facts);
     static_lock_order(&edges, &mut findings);
     wsa_rewrite_before_forward(graph, facts, &mut findings);
+    shard_route_before_enqueue(graph, facts, &mut findings);
     limits_at_serve_site(files, graph, &mut findings);
     alloc_in_drain(files, graph, &mut findings);
     (findings, edges)
@@ -336,6 +344,89 @@ fn wsa_rewrite_before_forward(graph: &Graph, facts: &Facts, findings: &mut Vec<F
                 continue; // already propagating (also breaks cycles)
             }
             if rewrites_before(graph, facts, g, gline) {
+                continue;
+            }
+            let gf = &graph.fns[g];
+            let chain2 = format!(
+                "{} ({}:{}) -> {}",
+                gf.qualified, gf.file, gline, chain
+            );
+            demanded.insert(g, (chain2, ofile.clone(), oline));
+            work.push(g);
+        }
+    }
+}
+
+/// Does `g` make a shard-routing call at or before `line`?
+fn routes_before(graph: &Graph, facts: &Facts, g: usize, line: usize) -> bool {
+    graph.fns[g].calls.iter().any(|c| {
+        c.line <= line
+            && (SHARD_ROUTE_MARKERS.contains(&c.name.as_str())
+                || c.callee.is_some_and(|t| facts.fns[t].routes_shard))
+    })
+}
+
+/// `shard-route-before-enqueue`: same obligation propagation as the
+/// WSA rule, with `enqueue_fleet` as the sink and `shard_route` as the
+/// satisfier — a fleet deposit must be aimed by the ring, never at a
+/// hard-coded instance.
+fn shard_route_before_enqueue(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>) {
+    let mut demanded: BTreeMap<usize, (String, String, usize)> = BTreeMap::new();
+    let mut work: Vec<usize> = Vec::new();
+
+    for (fi, f) in graph.fns.iter().enumerate() {
+        if !f.file.starts_with("crates/core/") {
+            continue;
+        }
+        // The enqueue machinery itself deposits on behalf of callers:
+        // the obligation starts at its call sites.
+        if FLEET_SINKS.contains(&f.name.as_str()) {
+            continue;
+        }
+        for c in &f.calls {
+            if !FLEET_SINKS.contains(&c.name.as_str()) {
+                continue;
+            }
+            if !c.is_method && c.callee.is_none() {
+                continue;
+            }
+            if routes_before(graph, facts, fi, c.line) {
+                continue;
+            }
+            let chain = format!(
+                "fleet sink `{}` at {}:{} in {}",
+                c.name, f.file, c.line, f.qualified
+            );
+            demanded.entry(fi).or_insert((chain, f.file.clone(), c.line));
+            work.push(fi);
+        }
+    }
+
+    let mut emitted: BTreeSet<(String, usize)> = BTreeSet::new();
+    while let Some(fi) = work.pop() {
+        let (chain, ofile, oline) = demanded.get(&fi).cloned().unwrap();
+        let callers = graph.callers_of(fi);
+        if callers.is_empty() {
+            if emitted.insert((ofile.clone(), oline)) {
+                let f = &graph.fns[fi];
+                findings.push(Finding {
+                    rule: "shard-route-before-enqueue",
+                    file: ofile,
+                    line: oline,
+                    excerpt: format!(
+                        "path to fleet enqueue without a shard-route step                          (no `shard_route` on any route into `{}`)",
+                        f.qualified
+                    ),
+                    witness: Some(chain),
+                });
+            }
+            continue;
+        }
+        for (g, gline) in callers {
+            if demanded.contains_key(&g) {
+                continue; // already propagating (also breaks cycles)
+            }
+            if routes_before(graph, facts, g, gline) {
                 continue;
             }
             let gf = &graph.fns[g];
@@ -714,6 +805,70 @@ fn rewrite_for_forward(env: &[u8]) {}
         let src = "struct D;\nimpl D {\n    fn f(&self) { self.enqueue(0); }\n    fn enqueue(&self, x: u8) {}\n}\n";
         let (f, _) = run_on(&[("crates/netsim/src/d.rs", src)]);
         assert!(f.iter().all(|x| x.rule != "wsa-rewrite-before-forward"));
+    }
+
+    #[test]
+    fn shard_route_before_enqueue_satisfied_in_body() {
+        let src = r#"
+struct Hub;
+impl Hub {
+    fn send(&self, svc: &str, body: &str) {
+        let instance = self.shard_route(svc);
+        self.enqueue_fleet(instance, svc, body);
+    }
+    fn shard_route(&self, svc: &str) -> u32 { 0 }
+    fn enqueue_fleet(&self, i: u32, svc: &str, body: &str) {}
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/sim/fleet.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "shard-route-before-enqueue"), "{f:?}");
+    }
+
+    #[test]
+    fn shard_route_missing_reaches_entry_point() {
+        let src = r#"
+struct Hub;
+impl Hub {
+    fn resend(&self, svc: &str, body: &str) {
+        self.enqueue_fleet(0, svc, body);
+    }
+    fn enqueue_fleet(&self, i: u32, svc: &str, body: &str) {}
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/sim/fleet.rs", src)]);
+        let r: Vec<_> = f
+            .iter()
+            .filter(|x| x.rule == "shard-route-before-enqueue")
+            .collect();
+        assert_eq!(r.len(), 1, "{f:?}");
+        assert!(r[0].witness.as_ref().unwrap().contains("enqueue_fleet"));
+    }
+
+    #[test]
+    fn shard_route_in_caller_satisfies_callee_obligation() {
+        let src = r#"
+struct Hub;
+impl Hub {
+    fn reroute(&self, svc: &str, body: &str) {
+        self.enqueue_fleet(0, svc, body);
+    }
+    fn enqueue_fleet(&self, i: u32, svc: &str, body: &str) {}
+    fn tick(&self, svc: &str, body: &str) {
+        let instance = self.shard_route(svc);
+        self.reroute(svc, body);
+    }
+    fn shard_route(&self, svc: &str) -> u32 { 0 }
+}
+"#;
+        let (f, _) = run_on(&[("crates/core/src/sim/fleet.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "shard-route-before-enqueue"), "{f:?}");
+    }
+
+    #[test]
+    fn fleet_enqueue_outside_core_is_out_of_scope() {
+        let src = "struct H;\nimpl H {\n    fn f(&self) { self.enqueue_fleet(0); }\n    fn enqueue_fleet(&self, i: u32) {}\n}\n";
+        let (f, _) = run_on(&[("crates/netsim/src/h.rs", src)]);
+        assert!(f.iter().all(|x| x.rule != "shard-route-before-enqueue"));
     }
 
     #[test]

@@ -16,10 +16,10 @@ use crate::lexer::{strip, Comment};
 use crate::parser::{parse, ParsedFile};
 
 /// All enforced rule names, in report order. The first six are
-/// lexical (per-line); the next five are interprocedural (call-graph
+/// lexical (per-line); the next six are interprocedural (call-graph
 /// reachability, see [`crate::interproc`]); `bad-suppression` guards
 /// the suppression mechanism itself.
-pub const RULE_NAMES: [&str; 12] = [
+pub const RULE_NAMES: [&str; 13] = [
     "raw-thread-spawn",
     "raw-clock",
     "std-sync-primitive",
@@ -29,6 +29,7 @@ pub const RULE_NAMES: [&str; 12] = [
     "blocking-under-lock",
     "static-lock-order",
     "wsa-rewrite-before-forward",
+    "shard-route-before-enqueue",
     "limits-at-serve-site",
     "alloc-in-drain",
     "bad-suppression",
@@ -90,6 +91,12 @@ pub fn rule_hint(rule: &str) -> &'static str {
             "every path from envelope receipt to a forward enqueue must \
              pass a ReplyTo rewrite (splice_forward / \
              rewrite_for_forward) — the paper's MSG-Dispatcher contract"
+        }
+        "shard-route-before-enqueue" => {
+            "every path from a fleet client to a deposit enqueue must \
+             pass the consistent-hash routing step (shard_route) — a \
+             deposit aimed at a hard-coded instance breaks the ring's \
+             ownership accounting and the handoff ledger with it"
         }
         "limits-at-serve-site" => {
             "serve sites must thread Limits from config, not \

@@ -13,6 +13,8 @@
 //!   join, ...), with a witness chain,
 //! * **rewrites_wsa** — whether it (transitively) calls a WS-Addressing
 //!   forward rewrite (`rewrite_for_forward` / `splice_forward`),
+//! * **routes_shard** — whether it (transitively) calls the fleet's
+//!   consistent-hash routing step (`shard_route`),
 //! * **telemetry_stage** — whether it records a `TraceStage::` marker.
 //!
 //! Lock classes are tied to *fields*: `state: OrderedMutex::new("fifo_queue.state", ..)`
@@ -34,6 +36,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Calls that mark a WS-Addressing forward rewrite.
 pub const WSA_REWRITE_MARKERS: &[&str] = &["rewrite_for_forward", "splice_forward"];
+
+/// Calls that mark the fleet's ring-routing step: hashing the logical
+/// service name onto the shard ring to pick the owning instance.
+pub const SHARD_ROUTE_MARKERS: &[&str] = &["shard_route"];
 
 /// One file handed to [`compute`]: original text + parsed items.
 pub struct FileEntry {
@@ -91,6 +97,8 @@ pub struct FnFacts {
     pub blocks: Option<BlockWitness>,
     /// Transitively calls a WS-Addressing forward rewrite.
     pub rewrites_wsa: bool,
+    /// Transitively calls the fleet shard-routing step.
+    pub routes_shard: bool,
     /// Transitively records a `TraceStage::` telemetry marker.
     pub telemetry_stage: bool,
 }
@@ -664,6 +672,10 @@ pub fn compute(files: &BTreeMap<String, FileEntry>, graph: &mut Graph) -> Facts 
             if WSA_REWRITE_MARKERS.contains(&c.name.as_str()) {
                 ff.rewrites_wsa = true;
             }
+            // Direct shard-route markers.
+            if SHARD_ROUTE_MARKERS.contains(&c.name.as_str()) {
+                ff.routes_shard = true;
+            }
         }
         if span.1 > span.0 && code[span.0..span.1].contains("TraceStage::") {
             ff.telemetry_stage = true;
@@ -712,9 +724,13 @@ pub fn compute(files: &BTreeMap<String, FileEntry>, graph: &mut Graph) -> Facts 
                         changed = true;
                     }
                 }
-                // rewrites_wsa / telemetry_stage
+                // rewrites_wsa / routes_shard / telemetry_stage
                 if facts.fns[t].rewrites_wsa && !facts.fns[fi].rewrites_wsa {
                     facts.fns[fi].rewrites_wsa = true;
+                    changed = true;
+                }
+                if facts.fns[t].routes_shard && !facts.fns[fi].routes_shard {
+                    facts.fns[fi].routes_shard = true;
                     changed = true;
                 }
                 if facts.fns[t].telemetry_stage && !facts.fns[fi].telemetry_stage {

@@ -1,0 +1,27 @@
+//! Known-good twin of the seeded fleet hub: every deposit is aimed by
+//! the consistent-hash ring before it is enqueued.
+
+pub struct Hub {
+    view: Ring,
+}
+
+impl Hub {
+    /// Re-send path done right: the ring picks the owner, then the
+    /// deposit goes out.
+    pub fn resend(&self, svc: &str, body: &str) {
+        let instance = self.shard_route(svc);
+        self.retry(instance, svc, body);
+    }
+
+    fn retry(&self, instance: u32, svc: &str, body: &str) {
+        self.enqueue_fleet(instance, svc, body);
+    }
+
+    fn shard_route(&self, svc: &str) -> u32 {
+        self.view.owner_of(svc)
+    }
+
+    fn enqueue_fleet(&self, instance: u32, svc: &str, body: &str) {
+        self.view.post(instance, svc, body);
+    }
+}

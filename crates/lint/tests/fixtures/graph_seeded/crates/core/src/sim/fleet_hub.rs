@@ -1,0 +1,23 @@
+//! Seeded interprocedural violation: a fleet deposit is enqueued at a
+//! hard-coded instance — no consistent-hash routing step anywhere on
+//! the path from the entry point to the sink.
+
+pub struct Hub {
+    view: Ring,
+}
+
+impl Hub {
+    /// SEEDED(shard-route-before-enqueue): the re-send path aims the
+    /// deposit at instance 0 instead of asking the ring who owns it.
+    pub fn resend(&self, svc: &str, body: &str) {
+        self.retry(svc, body);
+    }
+
+    fn retry(&self, svc: &str, body: &str) {
+        self.enqueue_fleet(0, svc, body);
+    }
+
+    fn enqueue_fleet(&self, instance: u32, svc: &str, body: &str) {
+        self.view.post(instance, svc, body);
+    }
+}

@@ -57,6 +57,17 @@ fn seeded_graph_violations_are_all_caught_exactly() {
         "{wsa:#?}"
     );
 
+    let shard = by_rule(&wa.findings, "shard-route-before-enqueue");
+    assert_eq!(shard.len(), 1, "{:#?}", wa.findings);
+    assert_eq!(shard[0].file, "crates/core/src/sim/fleet_hub.rs");
+    assert!(
+        shard[0]
+            .witness
+            .as_deref()
+            .is_some_and(|w| w.contains("Hub::resend") && w.contains("Hub::retry")),
+        "{shard:#?}"
+    );
+
     let lim = by_rule(&wa.findings, "limits-at-serve-site");
     assert_eq!(lim.len(), 1, "{:#?}", wa.findings);
     assert_eq!(lim[0].file, "crates/core/src/rt/serve.rs");
@@ -73,8 +84,8 @@ fn seeded_graph_violations_are_all_caught_exactly() {
         "{aid:#?}"
     );
 
-    // Nothing else fires: the seeded total is exactly the five rules.
-    assert_eq!(wa.findings.len(), 6, "{:#?}", wa.findings);
+    // Nothing else fires: the seeded total is exactly the six rules.
+    assert_eq!(wa.findings.len(), 7, "{:#?}", wa.findings);
 }
 
 #[test]

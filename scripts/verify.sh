@@ -16,8 +16,14 @@
 #                                      connection_scaling sweep asserting the
 #                                      reactor's peak thread count stays within
 #                                      its handler pool size
+#   scripts/verify.sh fleet-smoke      the default, plus a shortened fleet
+#                                      scaling sweep asserting >=3x delivered
+#                                      throughput 1->4 instances and the
+#                                      kill-one failover invariants (zero
+#                                      acked loss, zero duplicate delivery)
 #   scripts/verify.sh bench-gate       the default, plus fresh dispatch_hotpath /
-#                                      connection_scaling / durability smoke runs
+#                                      connection_scaling / durability /
+#                                      fleet_scaling smoke runs
 #                                      compared against the checked-in
 #                                      BENCH_*.json — fails on a >20% p50 /
 #                                      ns-per-op regression
@@ -74,6 +80,13 @@ if [ "${1:-}" = "connscale-smoke" ]; then
     CONNSCALE_SMOKE=1 cargo bench -p wsd-bench --bench connection_scaling
 fi
 
+# The fleet smoke runs in the default mode too: it is a few seconds of
+# virtual time and guards the tier's two delivery invariants (no acked
+# loss, no duplicates across a kill) plus the scale-out floor.
+if [ -z "${1:-}" ] || [ "${1:-}" = "fleet-smoke" ]; then
+    FLEET_SMOKE=1 cargo bench -p wsd-bench --bench fleet_scaling
+fi
+
 if [ "${1:-}" = "bench-gate" ]; then
     : "${CRITERION_SAMPLES:=3}"
     export CRITERION_SAMPLES
@@ -85,10 +98,14 @@ if [ "${1:-}" = "bench-gate" ]; then
         cargo bench -p wsd-bench --bench connection_scaling
     BENCH_DURABILITY_JSON="$gate_dir/durability.json" \
         cargo bench -p wsd-bench --bench durability
+    FLEET_SMOKE=1 BENCH_FLEET_JSON="$gate_dir/fleet.json" \
+        cargo bench -p wsd-bench --bench fleet_scaling
     cargo run -q --release -p wsd-bench --bin bench_gate -- \
         BENCH_hotpath.json "$gate_dir/hotpath.json"
     cargo run -q --release -p wsd-bench --bin bench_gate -- \
         BENCH_connscale.json "$gate_dir/connscale.json"
     cargo run -q --release -p wsd-bench --bin bench_gate -- \
         BENCH_durability.json "$gate_dir/durability.json"
+    cargo run -q --release -p wsd-bench --bin bench_gate -- \
+        BENCH_fleet.json "$gate_dir/fleet.json"
 fi
