@@ -26,7 +26,7 @@
 //! [`OrderedMutexGuard`] exposes `wait`/`wait_timeout`/`wait_until`
 //! wrappers that pop and re-push the audit frame around the park.
 
-use std::time::{Duration, Instant}; // wsd-lint: allow(raw-clock): Instant here is only a pass-through type for wait_until deadlines owned by callers
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 

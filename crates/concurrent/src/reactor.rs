@@ -357,6 +357,7 @@ fn run<C: ReactorConn>(shared: &Arc<Shared<C>>) {
             Pump::Idle => {
                 let partial = conn.has_partial();
                 match (was_partial, partial) {
+                    // wsd-lint: allow(gauge-balance): parked_partials is cross-iteration connection state — the dec fires on a later pump or close of the same connection, not on this path
                     (false, true) => shared.tele.parked_partials.inc(),
                     (true, false) => shared.tele.parked_partials.dec(),
                     _ => {}

@@ -168,10 +168,9 @@ impl Registry {
         let entry = self
             .map
             .get(logical)
-            .ok_or_else(|| WsdError::UnknownService(logical.to_string()))?; // wsd-lint: allow(alloc-in-drain): error detail, not steady state
+            .ok_or_else(|| WsdError::UnknownService(logical.to_string()))?;
         entry
             .select(self.strategy)
-            // wsd-lint: allow(alloc-in-drain): error detail, not steady state
             .ok_or_else(|| WsdError::UnknownService(format!("{logical} (no live endpoint)")))
     }
 

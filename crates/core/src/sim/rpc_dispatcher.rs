@@ -234,6 +234,7 @@ impl Process for SimRpcDispatcher {
                     if ctx.send(conn, job.payload).is_ok() {
                         self.stats.inner.borrow_mut().forwarded += 1;
                         self.tele.forwarded.inc();
+                        // wsd-lint: allow(gauge-balance): inflight is cross-event state — the dec fires when the matching response, timeout, or close event arrives, not on this path
                         self.tele.inflight.inc();
                         self.awaiting.insert(conn, job.client_conn);
                         let token = self.token();

@@ -84,6 +84,7 @@ mod tests {
             line,
             excerpt: String::new(),
             witness: None,
+            flow: Vec::new(),
         }
     }
 

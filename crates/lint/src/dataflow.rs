@@ -1,0 +1,1419 @@
+//! The intraprocedural dataflow engine (v3).
+//!
+//! [`crate::summaries`] computes whole-function boolean facts; this
+//! module walks *inside* a function body, tracking an abstract state
+//! through the statement structure of the blanked code: sequencing,
+//! `if`/`else if`/`else` chains, `match` arms, `while`/`for`/`loop`
+//! bodies (iterated to a fixpoint), `let ... else` diverging arms, and
+//! the early exits (`return`, `?`, `break`/`continue`, panic macros).
+//! It is a structural walker, not a full CFG: branches are joined with
+//! a union lattice, loops run until the state stabilizes, and anything
+//! the walker cannot classify degrades to a linear over-approximation
+//! of the statement text (which can only *add* facts, never lose them).
+//!
+//! Two analyses run on the walker, both driven by the declarative
+//! [`crate::ruleset`]:
+//!
+//! * **taint** ([`TaintRule`]) — variables bound from a source call
+//!   (or passed to one by `&mut`) are tainted; a sanitizer call clears
+//!   the taint of its arguments; a sink call receiving a tainted
+//!   variable is a finding, with a source→sink code flow. Function
+//!   summaries make it interprocedural: a fn passing a *parameter* to
+//!   a sink is itself sink-like (fixpoint), and a fn transitively
+//!   calling a sanitizer clears its arguments (computed in
+//!   [`crate::summaries`]).
+//! * **gauge balance** ([`GaugeRule`]) — for every gauge class a
+//!   function both increments and decrements, each increment must be
+//!   matched by a decrement on every non-panic path out of the
+//!   function; the finding's flow names the increment and the exit.
+//!
+//! Known approximations (deliberate, all FP-safe for taint): `match`
+//! pattern bindings do not inherit the scrutinee's taint, closure
+//! bodies are analyzed inline with the enclosing fn, and a `return`
+//! nested in braces inside one statement records the exit without
+//! terminating the statement's fallthrough.
+
+use crate::callgraph::{line_at, line_index, CallSite, Graph};
+use crate::parser::ParsedFile;
+use crate::rules::{is_test_path, Finding, FlowStep};
+use crate::ruleset::{fill, CallPat, GaugeRule, Ruleset, TaintRule};
+use crate::summaries::{contains_word, Facts, FileEntry};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How control leaves a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// `return` (or the tail of the function body).
+    Return,
+    /// The `?` operator.
+    Try,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Panic,
+    /// `break` (consumed by the nearest loop).
+    Break,
+    /// `continue` (consumed by the nearest loop).
+    Continue,
+    /// Falling off the end of the function body.
+    End,
+}
+
+/// Union join for map-shaped states: keys accumulate, the first
+/// witness for a key wins. This is the single join both analyses use;
+/// the lattice-law tests below target it directly.
+pub fn join_union<K: Ord + Clone, V: Clone>(a: &mut BTreeMap<K, V>, b: &BTreeMap<K, V>) {
+    for (k, v) in b {
+        a.entry(k.clone()).or_insert_with(|| v.clone());
+    }
+}
+
+/// Statement context handed to [`Flow`] hooks.
+pub struct StmtCtx<'a> {
+    /// The statement's blanked text.
+    pub text: &'a str,
+    /// Byte offset of the statement start.
+    pub start: usize,
+    /// `let` binding introduced by this statement, if any.
+    pub binding: Option<String>,
+    /// 1-based line of the statement start.
+    pub line: usize,
+}
+
+/// One analysis over the walker.
+pub trait Flow {
+    /// The abstract state.
+    type State: Clone + PartialEq + Default;
+    /// Lattice join (must only grow `a`).
+    fn join(&self, a: &mut Self::State, b: &Self::State);
+    /// Transfer for one call site.
+    fn call(&mut self, st: &mut Self::State, c: &CallSite, ctx: &StmtCtx);
+    /// End-of-statement hook (binding assignment for taint).
+    fn stmt_done(&mut self, st: &mut Self::State, ctx: &StmtCtx);
+    /// A path leaves the function with state `st`.
+    fn exit(&mut self, st: &Self::State, kind: ExitKind, line: usize);
+}
+
+fn is_word(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// The ident starting at `i`, if any.
+fn word_at(code: &str, i: usize) -> &str {
+    let b = code.as_bytes();
+    if i >= b.len() || !is_word(b[i]) || (i > 0 && is_word(b[i - 1])) {
+        return "";
+    }
+    let mut j = i;
+    while j < b.len() && is_word(b[j]) {
+        j += 1;
+    }
+    &code[i..j]
+}
+
+/// Structural walker over one function body.
+pub struct Walker<'a> {
+    code: &'a str,
+    calls: &'a [CallSite],
+    /// Nested fn item spans — opaque to this fn's analysis.
+    skip: Vec<(usize, usize)>,
+    starts: Vec<usize>,
+}
+
+type Pending<S> = Vec<(ExitKind, usize, S)>;
+
+impl<'a> Walker<'a> {
+    /// Builds a walker for `graph_fn`'s body; returns `None` for
+    /// bodyless items.
+    pub fn new(
+        code: &'a str,
+        parsed: &ParsedFile,
+        local_idx: usize,
+        calls: &'a [CallSite],
+    ) -> Option<(Walker<'a>, (usize, usize))> {
+        let item = parsed.fns.get(local_idx)?;
+        let (bs, be) = item.body?;
+        let be = be.min(code.len());
+        Some((
+            Walker {
+                code,
+                calls,
+                skip: parsed.nested_spans(local_idx),
+                starts: line_index(code),
+            },
+            (bs, be),
+        ))
+    }
+
+    fn line(&self, off: usize) -> usize {
+        line_at(&self.starts, off)
+    }
+
+    fn in_skip(&self, off: usize) -> Option<usize> {
+        self.skip.iter().find(|(s, e)| *s <= off && off < *e).map(|(_, e)| *e)
+    }
+
+    /// Runs `f` over the body span: entry state flows through the
+    /// statement structure; every path out of the body reaches
+    /// [`Flow::exit`] (the fall-through end as [`ExitKind::End`]).
+    pub fn run<F: Flow>(&self, f: &mut F, span: (usize, usize), entry: F::State) {
+        let mut pending = Vec::new();
+        let (fall, _) = self.block(f, span.0, span.1, Some(entry), &mut pending);
+        if let Some(st) = fall {
+            f.exit(&st, ExitKind::End, self.line(span.1.saturating_sub(1).max(span.0)));
+        }
+        // Stray break/continue at fn level (closure bodies analyzed
+        // inline) — not fn exits; dropped.
+    }
+
+    /// `{` at paren-depth 0 after `from`, with its matching `}`.
+    fn find_block(&self, from: usize, limit: usize) -> Option<(usize, usize)> {
+        let b = self.code.as_bytes();
+        let mut pd = 0i32;
+        let mut i = from;
+        while i < limit {
+            match b[i] {
+                b'(' | b'[' => pd += 1,
+                b')' | b']' => pd -= 1,
+                b'{' if pd <= 0 => {
+                    let mut depth = 0i32;
+                    let mut j = i;
+                    while j < limit {
+                        match b[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    return Some((i, j));
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    return Some((i, limit));
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Next `;` at paren- and brace-depth 0 in `[from, limit)`, or
+    /// `limit`.
+    fn stmt_semi(&self, from: usize, limit: usize) -> usize {
+        let b = self.code.as_bytes();
+        let (mut pd, mut bd) = (0i32, 0i32);
+        let mut i = from;
+        while i < limit {
+            match b[i] {
+                b'(' | b'[' => pd += 1,
+                b')' | b']' => pd -= 1,
+                b'{' => bd += 1,
+                b'}' => {
+                    bd -= 1;
+                    if bd < 0 {
+                        return i;
+                    }
+                }
+                b';' if pd == 0 && bd == 0 => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        limit
+    }
+
+    /// Offset of the word `needle` at paren/brace depth 0 in
+    /// `[from, limit)`.
+    fn depth0_word(&self, needle: &str, from: usize, limit: usize) -> Option<usize> {
+        let b = self.code.as_bytes();
+        let (mut pd, mut bd) = (0i32, 0i32);
+        let mut i = from;
+        while i < limit {
+            match b[i] {
+                b'(' | b'[' => pd += 1,
+                b')' | b']' => pd -= 1,
+                b'{' => bd += 1,
+                b'}' => bd -= 1,
+                _ => {
+                    if pd == 0 && bd == 0 && word_at(self.code, i) == needle {
+                        return Some(i);
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn join_opt<F: Flow>(f: &F, acc: &mut Option<F::State>, other: Option<F::State>) {
+        match (acc.as_mut(), other) {
+            (_, None) => {}
+            (Some(a), Some(b)) => f.join(a, &b),
+            (None, Some(b)) => *acc = Some(b),
+        }
+    }
+
+    /// Walks one `{ ... }` span (exclusive braces). Returns the
+    /// fall-through state (None when all paths diverge) and the
+    /// break/continue states for the nearest enclosing loop.
+    fn block<F: Flow>(
+        &self,
+        f: &mut F,
+        s: usize,
+        e: usize,
+        entry: Option<F::State>,
+        pending: &mut Pending<F::State>,
+    ) -> (Option<F::State>, ()) {
+        let b = self.code.as_bytes();
+        let mut i = s;
+        let mut cur = entry;
+        while i < e {
+            if cur.is_none() {
+                break; // rest of the block is unreachable
+            }
+            if let Some(end) = self.in_skip(i) {
+                i = end.min(e);
+                continue;
+            }
+            let c = b[i];
+            if c.is_ascii_whitespace() || c == b';' {
+                i += 1;
+                continue;
+            }
+            // Loop labels: `'outer: loop { .. }`.
+            if c == b'\'' {
+                let mut j = i + 1;
+                while j < e && is_word(b[j]) {
+                    j += 1;
+                }
+                if j < e && b[j] == b':' && j > i + 1 {
+                    i = j + 1;
+                    continue;
+                }
+            }
+            let word = word_at(self.code, i);
+            match word {
+                "if" => i = self.handle_if(f, i, e, &mut cur, pending),
+                "while" | "for" | "loop" => i = self.handle_loop(f, word, i, e, &mut cur, pending),
+                "match" => i = self.handle_match(f, i, e, &mut cur, pending),
+                "let" => i = self.handle_let(f, i, e, &mut cur, pending),
+                "unsafe" | "" if c == b'{' || word == "unsafe" => {
+                    let from = if word == "unsafe" { i + 6 } else { i };
+                    let Some((bs, be)) = self.find_block(from, e) else {
+                        i += 1;
+                        continue;
+                    };
+                    let (fall, _) = self.block(f, bs + 1, be, cur.take(), pending);
+                    cur = fall;
+                    i = (be + 1).min(e);
+                }
+                "fn" => {
+                    // Nested fn item outside the recorded skip spans
+                    // (shouldn't happen) — jump past its body.
+                    match self.find_block(i, e) {
+                        Some((_, be)) => i = be + 1,
+                        None => i = e,
+                    }
+                }
+                _ => {
+                    // Plain statement (or tail expression).
+                    let end = self.stmt_semi(i, e);
+                    let diverged = self.segment(f, &mut cur, i, end, pending);
+                    if diverged {
+                        cur = None;
+                    }
+                    i = (end + 1).min(e);
+                }
+            }
+        }
+        (cur, ())
+    }
+
+    /// `if` / `else if` / `else` chain starting at `i` (on `if`).
+    fn handle_if<F: Flow>(
+        &self,
+        f: &mut F,
+        mut i: usize,
+        e: usize,
+        cur: &mut Option<F::State>,
+        pending: &mut Pending<F::State>,
+    ) -> usize {
+        let mut outs: Option<F::State> = None;
+        loop {
+            // Condition events run on the not-yet-taken state.
+            let Some((bs, be)) = self.find_block(i + 2, e) else {
+                return e;
+            };
+            self.segment(f, cur, i + 2, bs, pending);
+            let (fall, _) = self.block(f, bs + 1, be, cur.clone(), pending);
+            Self::join_opt(f, &mut outs, fall);
+            i = (be + 1).min(e);
+            // `else` / `else if`?
+            let mut j = i;
+            while j < e && self.code.as_bytes()[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if word_at(self.code, j) != "else" {
+                // No else: the skip path falls through.
+                Self::join_opt(f, &mut outs, cur.take());
+                *cur = outs;
+                return i;
+            }
+            let mut k = j + 4;
+            while k < e && self.code.as_bytes()[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if word_at(self.code, k) == "if" {
+                i = k;
+                continue;
+            }
+            // Trailing `else { .. }`.
+            let Some((bs2, be2)) = self.find_block(k, e) else {
+                return e;
+            };
+            let (fall, _) = self.block(f, bs2 + 1, be2, cur.take(), pending);
+            Self::join_opt(f, &mut outs, fall);
+            *cur = outs;
+            return (be2 + 1).min(e);
+        }
+    }
+
+    /// `while` / `for` / `loop` starting at `i`.
+    fn handle_loop<F: Flow>(
+        &self,
+        f: &mut F,
+        kw: &str,
+        i: usize,
+        e: usize,
+        cur: &mut Option<F::State>,
+        pending: &mut Pending<F::State>,
+    ) -> usize {
+        let Some((bs, be)) = self.find_block(i + kw.len(), e) else {
+            return e;
+        };
+        // Header (condition / iterator) events.
+        self.segment(f, cur, i + kw.len(), bs, pending);
+        let zero_iter = if kw == "loop" { None } else { cur.clone() };
+
+        // Iterate the body to a fixpoint on the entry state; break
+        // states collect into the loop's fall-through.
+        let mut entry = cur.clone();
+        let mut breaks: Option<F::State> = None;
+        for _ in 0..4 {
+            let mut body_pending: Pending<F::State> = Vec::new();
+            let (fall, _) = self.block(f, bs + 1, be, entry.clone(), &mut body_pending);
+            let mut next = entry.clone();
+            Self::join_opt(f, &mut next, fall);
+            breaks = None;
+            for (kind, _, st) in body_pending {
+                match kind {
+                    ExitKind::Break => Self::join_opt(f, &mut breaks, Some(st)),
+                    ExitKind::Continue => Self::join_opt(f, &mut next, Some(st)),
+                    _ => {}
+                }
+            }
+            if next == entry {
+                break;
+            }
+            entry = next;
+        }
+        let mut out = zero_iter;
+        Self::join_opt(f, &mut out, breaks);
+        *cur = out;
+        (be + 1).min(e)
+    }
+
+    /// `match` starting at `i`.
+    fn handle_match<F: Flow>(
+        &self,
+        f: &mut F,
+        i: usize,
+        e: usize,
+        cur: &mut Option<F::State>,
+        pending: &mut Pending<F::State>,
+    ) -> usize {
+        let Some((bs, be)) = self.find_block(i + 5, e) else {
+            return e;
+        };
+        self.segment(f, cur, i + 5, bs, pending);
+        let entry = cur.take();
+        let mut outs: Option<F::State> = None;
+        let mut j = bs + 1;
+        let b = self.code.as_bytes();
+        while j < be {
+            if b[j].is_ascii_whitespace() || b[j] == b',' {
+                j += 1;
+                continue;
+            }
+            // Pattern: up to `=>` at depth 0.
+            let (mut pd, mut bd) = (0i32, 0i32);
+            let mut arrow = None;
+            let mut k = j;
+            while k + 1 < be {
+                match b[k] {
+                    b'(' | b'[' => pd += 1,
+                    b')' | b']' => pd -= 1,
+                    b'{' => bd += 1,
+                    b'}' => bd -= 1,
+                    b'=' if b[k + 1] == b'>' && pd == 0 && bd == 0 => {
+                        arrow = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let mut body = arrow + 2;
+            while body < be && b[body].is_ascii_whitespace() {
+                body += 1;
+            }
+            let mut arm_state = entry.clone();
+            if body < be && b[body] == b'{' {
+                let Some((abs, abe)) = self.find_block(body, be) else {
+                    break;
+                };
+                let (fall, _) = self.block(f, abs + 1, abe, arm_state, pending);
+                Self::join_opt(f, &mut outs, fall);
+                j = abe + 1;
+            } else {
+                // Expression arm: up to `,` at depth 0.
+                let (mut pd, mut bd) = (0i32, 0i32);
+                let mut k = body;
+                while k < be {
+                    match b[k] {
+                        b'(' | b'[' => pd += 1,
+                        b')' | b']' => pd -= 1,
+                        b'{' => bd += 1,
+                        b'}' => bd -= 1,
+                        b',' if pd == 0 && bd == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let diverged = self.segment(f, &mut arm_state, body, k, pending);
+                if !diverged {
+                    Self::join_opt(f, &mut outs, arm_state);
+                }
+                j = k + 1;
+            }
+        }
+        *cur = outs;
+        (be + 1).min(e)
+    }
+
+    /// `let` statement starting at `i`, including `let ... else`.
+    fn handle_let<F: Flow>(
+        &self,
+        f: &mut F,
+        i: usize,
+        e: usize,
+        cur: &mut Option<F::State>,
+        pending: &mut Pending<F::State>,
+    ) -> usize {
+        let semi = self.stmt_semi(i, e);
+        // `let PAT = RHS else { DIVERGE };`
+        if let Some(else_at) = self.depth0_word("else", i, semi) {
+            if let Some((bs, be)) = self.find_block(else_at + 4, semi.max(else_at + 5)) {
+                self.segment(f, cur, i, else_at, pending);
+                // The else arm diverges; its fall-through (a non-
+                // diverging else block — invalid Rust) is dropped.
+                let _ = self.block(f, bs + 1, be, cur.clone(), pending);
+                // Binding applies on the continue path.
+                if let Some(st) = cur.as_mut() {
+                    let text = &self.code[i..else_at];
+                    let ctx = StmtCtx {
+                        text,
+                        start: i,
+                        binding: crate::summaries::let_binding(text),
+                        line: self.line(i),
+                    };
+                    f.stmt_done(st, &ctx);
+                }
+                return (semi + 1).min(e);
+            }
+        }
+        let diverged = self.segment(f, cur, i, semi, pending);
+        if diverged {
+            *cur = None;
+        }
+        (semi + 1).min(e)
+    }
+
+    /// Linear evaluation of a statement/segment: calls and exit tokens
+    /// in offset order, then the end-of-statement hook. Returns whether
+    /// the segment terminates its path (diverges).
+    fn segment<F: Flow>(
+        &self,
+        f: &mut F,
+        cur: &mut Option<F::State>,
+        s: usize,
+        e: usize,
+        pending: &mut Pending<F::State>,
+    ) -> bool {
+        let Some(st) = cur.as_mut() else {
+            return false;
+        };
+        let text = &self.code[s..e];
+        let ctx = StmtCtx {
+            text,
+            start: s,
+            binding: if word_at(self.code, s) == "let" {
+                crate::summaries::let_binding(text)
+            } else {
+                None
+            },
+            line: self.line(s),
+        };
+
+        enum Ev {
+            Call(usize),
+            Tok(ExitKind, usize, bool), // kind, offset, at-depth-0
+        }
+        let mut evs: Vec<(usize, Ev)> = Vec::new();
+        for (ci, c) in self.calls.iter().enumerate() {
+            if c.offset >= s && c.offset < e {
+                evs.push((c.offset, Ev::Call(ci)));
+            }
+        }
+        let b = self.code.as_bytes();
+        let mut bd = 0i32;
+        let mut k = s;
+        while k < e {
+            if self.in_skip(k).is_some() {
+                k += 1;
+                continue;
+            }
+            match b[k] {
+                b'{' => bd += 1,
+                b'}' => bd -= 1,
+                b'?' => evs.push((k, Ev::Tok(ExitKind::Try, k, bd == 0))),
+                _ => {
+                    let w = word_at(self.code, k);
+                    let kind = match w {
+                        "return" => Some(ExitKind::Return),
+                        "break" => Some(ExitKind::Break),
+                        "continue" => Some(ExitKind::Continue),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                            if b.get(k + w.len()) == Some(&b'!') =>
+                        {
+                            Some(ExitKind::Panic)
+                        }
+                        _ => None,
+                    };
+                    if let Some(kind) = kind {
+                        evs.push((k, Ev::Tok(kind, k, bd == 0)));
+                    }
+                    if !w.is_empty() {
+                        k += w.len();
+                        continue;
+                    }
+                }
+            }
+            k += 1;
+        }
+        evs.sort_by_key(|(off, _)| *off);
+
+        // Deferred fn-exit terminators: `return x?` processes the call
+        // and the `?` first, then emits the return with the final state.
+        let mut terminator: Option<(ExitKind, usize, bool)> = None;
+        for (_, ev) in evs {
+            match ev {
+                Ev::Call(ci) => f.call(st, &self.calls[ci], &ctx),
+                Ev::Tok(ExitKind::Try, off, _) => f.exit(st, ExitKind::Try, self.line(off)),
+                Ev::Tok(kind, off, d0) => {
+                    if terminator.is_none() {
+                        terminator = Some((kind, off, d0));
+                    } else if let Some((_, _, false)) = terminator {
+                        // Prefer a depth-0 terminator over a nested one.
+                        if d0 {
+                            terminator = Some((kind, off, d0));
+                        }
+                    }
+                }
+            }
+        }
+        f.stmt_done(st, &ctx);
+        match terminator {
+            Some((ExitKind::Break, off, d0)) => {
+                pending.push((ExitKind::Break, self.line(off), st.clone()));
+                d0
+            }
+            Some((ExitKind::Continue, off, d0)) => {
+                pending.push((ExitKind::Continue, self.line(off), st.clone()));
+                d0
+            }
+            Some((kind, off, d0)) => {
+                f.exit(st, kind, self.line(off));
+                d0
+            }
+            None => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gauge balance
+// ---------------------------------------------------------------------
+
+/// Argument text of a call (inside the parens, blanked).
+fn args_text<'a>(code: &'a str, c: &CallSite) -> &'a str {
+    let open = code[c.offset..c.args_end.min(code.len())]
+        .find('(')
+        .map(|p| c.offset + p + 1);
+    match open {
+        Some(o) if c.args_end >= 1 && o <= c.args_end - 1 => &code[o..c.args_end - 1],
+        _ => "",
+    }
+}
+
+struct GaugeFlow<'a> {
+    code: &'a str,
+    file: &'a str,
+    fn_qualified: &'a str,
+    tracked: BTreeSet<String>,
+    findings: Vec<Finding>,
+    seen: BTreeSet<(usize, String)>,
+}
+
+impl<'a> GaugeFlow<'a> {
+    /// Classifies a call as +1 / -1 / reset on a tracked gauge class.
+    fn classify(&self, c: &CallSite) -> Option<(String, i8)> {
+        if !c.is_method {
+            return None;
+        }
+        let seg = c.receiver.rsplit('.').next().unwrap_or("");
+        if !self.tracked.contains(seg) {
+            return None;
+        }
+        let delta = match c.name.as_str() {
+            "inc" => 1,
+            "dec" => -1,
+            "set" => 0,
+            "add" => {
+                if args_text(self.code, c).trim_start().starts_with('-') {
+                    -1
+                } else {
+                    1
+                }
+            }
+            _ => return None,
+        };
+        Some((seg.to_string(), delta))
+    }
+}
+
+impl<'a> Flow for GaugeFlow<'a> {
+    type State = BTreeMap<String, usize>; // class -> increment line
+
+    fn join(&self, a: &mut Self::State, b: &Self::State) {
+        join_union(a, b);
+    }
+
+    fn call(&mut self, st: &mut Self::State, c: &CallSite, _ctx: &StmtCtx) {
+        if let Some((class, delta)) = self.classify(c) {
+            if delta > 0 {
+                st.insert(class, c.line);
+            } else {
+                st.remove(&class);
+            }
+        }
+    }
+
+    fn stmt_done(&mut self, _st: &mut Self::State, _ctx: &StmtCtx) {}
+
+    fn exit(&mut self, st: &Self::State, kind: ExitKind, line: usize) {
+        if matches!(kind, ExitKind::Panic | ExitKind::Break | ExitKind::Continue) {
+            return; // panic paths tear the process down, not the gauge
+        }
+        for (class, inc_line) in st {
+            if !self.seen.insert((line, class.clone())) {
+                continue;
+            }
+            let how = match kind {
+                ExitKind::Return => "the `return` at",
+                ExitKind::Try => "the `?` early exit at",
+                _ => "the fall-through end at",
+            };
+            self.findings.push(Finding {
+                rule: "gauge-balance",
+                file: self.file.to_string(),
+                line: *inc_line,
+                excerpt: format!(
+                    "gauge `{class}` incremented here is not decremented on \
+                     {how} line {line} (in {})",
+                    self.fn_qualified
+                ),
+                witness: Some(format!(
+                    "{} increments `{class}` ({}:{inc_line}) -> exits at {}:{line} \
+                     with the gauge still raised",
+                    self.fn_qualified, self.file, self.file
+                )),
+                flow: vec![
+                    FlowStep {
+                        file: self.file.to_string(),
+                        line: *inc_line,
+                        message: format!("gauge `{class}` incremented"),
+                    },
+                    FlowStep {
+                        file: self.file.to_string(),
+                        line,
+                        message: "path leaves the function without a matching decrement"
+                            .to_string(),
+                    },
+                ],
+            });
+        }
+    }
+}
+
+fn gauge_rule(
+    rule: &GaugeRule,
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    facts: &Facts,
+    findings: &mut Vec<Finding>,
+) {
+    for f in &graph.fns {
+        if rule.exempt.iter().any(|p| f.file.starts_with(p.as_str())) || is_test_path(&f.file) {
+            continue;
+        }
+        let Some(fields) = facts.field_types.get(&f.file) else {
+            continue;
+        };
+        let gauge_fields: BTreeSet<&str> = fields
+            .iter()
+            .filter(|(_, ty)| rule.types.iter().any(|t| t == *ty))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        if gauge_fields.is_empty() {
+            continue;
+        }
+        let Some(entry) = files.get(&f.file) else { continue };
+        let code = &entry.parsed.stripped.code;
+        // Only classes this fn both raises and lowers are tracked:
+        // balance intent is local (push/pop counter pairs split across
+        // functions are legitimately unbalanced per-fn).
+        let probe = GaugeFlow {
+            code,
+            file: &f.file,
+            fn_qualified: &f.qualified,
+            tracked: gauge_fields.iter().map(|s| s.to_string()).collect(),
+            findings: Vec::new(),
+            seen: BTreeSet::new(),
+        };
+        let (mut ups, mut downs) = (BTreeSet::new(), BTreeSet::new());
+        for c in &f.calls {
+            if let Some((class, delta)) = probe.classify(c) {
+                if delta > 0 {
+                    ups.insert(class);
+                } else if delta < 0 {
+                    downs.insert(class);
+                }
+            }
+        }
+        let tracked: BTreeSet<String> = ups.intersection(&downs).cloned().collect();
+        if tracked.is_empty() {
+            continue;
+        }
+        let Some((walker, span)) = Walker::new(code, &entry.parsed, f.local_idx, &f.calls) else {
+            continue;
+        };
+        let mut flow = GaugeFlow { tracked, ..probe };
+        walker.run(&mut flow, span, BTreeMap::new());
+        findings.append(&mut flow.findings);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Taint
+// ---------------------------------------------------------------------
+
+/// Where a taint came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Origin {
+    /// A real source call: (source name, file line).
+    Source(String, usize),
+    /// A function parameter (used for sink-like summaries only).
+    Param,
+}
+
+type TaintState = BTreeMap<String, Origin>;
+
+struct TaintFlow<'a> {
+    code: &'a str,
+    file: &'a str,
+    rule: &'a TaintRule,
+    facts: &'a Facts,
+    graph: &'a Graph,
+    taint_idx: usize,
+    sink_like: &'a BTreeSet<usize>,
+    /// Per-statement scratch: RHS produced a fresh taint / was
+    /// sanitized.
+    rhs_taint: Option<Origin>,
+    rhs_clean: bool,
+    /// Summary output: some parameter reached a sink.
+    param_to_sink: bool,
+    record: bool,
+    findings: Vec<Finding>,
+    seen: &'a mut BTreeSet<(String, usize, String)>,
+}
+
+/// `&mut ident` occurrences in an argument list.
+fn mut_ref_args(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = args[from..].find("&mut ") {
+        let s = from + p + 5;
+        let b = args.as_bytes();
+        let mut j = s;
+        while j < b.len() && is_word(b[j]) {
+            j += 1;
+        }
+        if j > s {
+            out.push(&args[s..j]);
+        }
+        from = j.max(s + 1);
+    }
+    out
+}
+
+impl<'a> TaintFlow<'a> {
+    fn is_sanitizer(&self, c: &CallSite) -> bool {
+        CallPat::any(&self.rule.sanitizers, c)
+            || c.callee
+                .is_some_and(|t| self.facts.fns[t].sanitizes.contains(&self.taint_idx))
+    }
+
+    fn is_source(&self, c: &CallSite) -> bool {
+        CallPat::any(&self.rule.sources, c)
+    }
+
+    fn is_sink(&self, c: &CallSite) -> bool {
+        CallPat::any(&self.rule.sinks, c) || c.callee.is_some_and(|t| self.sink_like.contains(&t))
+    }
+}
+
+impl<'a> Flow for TaintFlow<'a> {
+    type State = TaintState;
+
+    fn join(&self, a: &mut Self::State, b: &Self::State) {
+        join_union(a, b);
+    }
+
+    fn call(&mut self, st: &mut Self::State, c: &CallSite, _ctx: &StmtCtx) {
+        let args = args_text(self.code, c);
+        if self.is_sanitizer(c) {
+            let cleared: Vec<String> = st
+                .keys()
+                .filter(|v| contains_word(args, v))
+                .cloned()
+                .collect();
+            for v in cleared {
+                st.remove(&v);
+            }
+            self.rhs_clean = true;
+            return;
+        }
+        if self.is_sink(c) {
+            for (v, origin) in st.iter() {
+                if !contains_word(args, v) && !contains_word(&c.receiver, v) {
+                    continue;
+                }
+                match origin {
+                    Origin::Param => self.param_to_sink = true,
+                    Origin::Source(src, src_line) => {
+                        if !self.record
+                            || !self.seen.insert((self.file.to_string(), c.line, v.clone()))
+                        {
+                            continue;
+                        }
+                        let excerpt = fill(
+                            &self.rule.contract,
+                            &[
+                                ("call", &c.name),
+                                ("var", v),
+                                ("src", src),
+                                ("file", self.file),
+                                ("line", &src_line.to_string()),
+                            ],
+                        );
+                        let fn_q = self
+                            .graph
+                            .by_file
+                            .get(self.file)
+                            .and_then(|idxs| {
+                                idxs.iter()
+                                    .map(|i| &self.graph.fns[*i])
+                                    .find(|f| f.calls.iter().any(|cc| cc.offset == c.offset))
+                            })
+                            .map(|f| f.qualified.as_str())
+                            .unwrap_or("?");
+                        self.findings.push(Finding {
+                            rule: self.rule.name,
+                            file: self.file.to_string(),
+                            line: c.line,
+                            excerpt,
+                            witness: Some(format!(
+                                "`{v}` tainted by `{src}` ({}:{src_line}) reaches sink \
+                                 `{}` ({}:{}) in {fn_q} with no sanitizer on the path",
+                                self.file, c.name, self.file, c.line
+                            )),
+                            flow: vec![
+                                FlowStep {
+                                    file: self.file.to_string(),
+                                    line: *src_line,
+                                    message: format!("`{v}` tainted by source `{src}`"),
+                                },
+                                FlowStep {
+                                    file: self.file.to_string(),
+                                    line: c.line,
+                                    message: format!(
+                                        "sink `{}` receives `{v}` unsanitized",
+                                        c.name
+                                    ),
+                                },
+                            ],
+                        });
+                    }
+                }
+            }
+            return;
+        }
+        if self.is_source(c) {
+            self.rhs_taint = Some(Origin::Source(c.name.clone(), c.line));
+            for v in mut_ref_args(args) {
+                st.insert(v.to_string(), Origin::Source(c.name.clone(), c.line));
+            }
+        }
+    }
+
+    fn stmt_done(&mut self, st: &mut Self::State, ctx: &StmtCtx) {
+        if let Some(binding) = &ctx.binding {
+            if self.rhs_clean {
+                st.remove(binding);
+            } else if let Some(origin) = self.rhs_taint.take() {
+                st.insert(binding.clone(), origin);
+            } else {
+                // Propagation: `let slice = &buf[..n];` inherits buf's
+                // taint; a clean RHS rebinds the name clean.
+                let rhs = ctx.text.split_once('=').map(|(_, r)| r).unwrap_or("");
+                let inherited = st
+                    .iter()
+                    .find(|(v, _)| v.as_str() != binding && contains_word(rhs, v))
+                    .map(|(_, o)| o.clone());
+                match inherited {
+                    Some(o) => {
+                        st.insert(binding.clone(), o);
+                    }
+                    None => {
+                        st.remove(binding);
+                    }
+                }
+            }
+        }
+        self.rhs_taint = None;
+        self.rhs_clean = false;
+    }
+
+    fn exit(&mut self, _st: &Self::State, _kind: ExitKind, _line: usize) {}
+}
+
+fn taint_rule(
+    rule: &TaintRule,
+    taint_idx: usize,
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    facts: &Facts,
+    findings: &mut Vec<Finding>,
+) {
+    // Fixpoint on the sink-like summary: a fn whose parameter reaches a
+    // sink is itself a sink at its call sites. Summary rounds run until
+    // the set stops growing, then one recording round emits findings.
+    let mut sink_like: BTreeSet<usize> = BTreeSet::new();
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    let mut record = false;
+    for _round in 0..8 {
+        let mut grown = false;
+        for (fi, f) in graph.fns.iter().enumerate() {
+            let Some(entry) = files.get(&f.file) else { continue };
+            // Cheap relevance gate before the expensive path walk: a fn
+            // with no source-, sanitizer- or sink-shaped call (including
+            // calls into currently sink-like fns) can neither record a
+            // finding nor grow the summary this round.
+            let relevant = f.calls.iter().any(|c| {
+                CallPat::any(&rule.sources, c)
+                    || CallPat::any(&rule.sinks, c)
+                    || CallPat::any(&rule.sanitizers, c)
+                    || c.callee.is_some_and(|t| {
+                        sink_like.contains(&t) || facts.fns[t].sanitizes.contains(&taint_idx)
+                    })
+            });
+            if !relevant {
+                continue;
+            }
+            let code = &entry.parsed.stripped.code;
+            let Some((walker, span)) = Walker::new(code, &entry.parsed, f.local_idx, &f.calls)
+            else {
+                continue;
+            };
+            let exempt = rule.exempt.iter().any(|p| f.file.starts_with(p.as_str()))
+                || is_test_path(&f.file);
+            // A fn *named* like a sink is the sink machinery itself.
+            let is_sink_impl = rule.sinks.iter().any(|p| p.name == f.name);
+            let mut flow = TaintFlow {
+                code,
+                file: &f.file,
+                rule,
+                facts,
+                graph,
+                taint_idx,
+                sink_like: &sink_like,
+                rhs_taint: None,
+                rhs_clean: false,
+                param_to_sink: false,
+                record: record && !exempt,
+                findings: Vec::new(),
+                seen: &mut seen,
+            };
+            let mut entry_state = TaintState::new();
+            for p in crate::summaries::fn_params(code, &entry.parsed, f.local_idx) {
+                entry_state.insert(p, Origin::Param);
+            }
+            walker.run(&mut flow, span, entry_state);
+            let param_to_sink = flow.param_to_sink;
+            let mut found = std::mem::take(&mut flow.findings);
+            drop(flow);
+            if param_to_sink && !is_sink_impl && sink_like.insert(fi) {
+                grown = true;
+            }
+            findings.append(&mut found);
+        }
+        if record {
+            break;
+        }
+        if !grown {
+            record = true; // summaries stable — final recording round
+        }
+    }
+}
+
+/// Runs all declarative dataflow rules (taint + gauge balance).
+/// Findings are unfiltered; suppressions apply in the caller.
+pub fn run(
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    facts: &Facts,
+    ruleset: &Ruleset,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, rule) in ruleset.taint_rules.iter().enumerate() {
+        taint_rule(rule, i, files, graph, facts, &mut findings);
+    }
+    for rule in &ruleset.gauge_rules {
+        gauge_rule(rule, files, graph, facts, &mut findings);
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::parser::{parse, ParsedFile};
+    use crate::ruleset::builtin;
+    use crate::summaries::compute;
+
+    // ---- harness -------------------------------------------------------
+
+    /// Deterministic xorshift64 PRNG — the property tests below need
+    /// randomized states without a dependency (and without
+    /// `Math.random`-style ambient entropy).
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    const KEYS: &[&str] = &["a", "b", "c", "d", "e", "f", "g", "h"];
+
+    fn rand_state(rng: &mut XorShift) -> BTreeMap<String, usize> {
+        let mask = rng.next();
+        KEYS.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(i, k)| (k.to_string(), (mask >> (8 + i)) as usize & 0xff))
+            .collect()
+    }
+
+    fn joined(a: &BTreeMap<String, usize>, b: &BTreeMap<String, usize>) -> BTreeMap<String, usize> {
+        let mut out = a.clone();
+        join_union(&mut out, b);
+        out
+    }
+
+    // ---- lattice laws for join_union -----------------------------------
+
+    #[test]
+    fn join_is_idempotent() {
+        let mut rng = XorShift(0x9e3779b97f4a7c15);
+        for _ in 0..500 {
+            let a = rand_state(&mut rng);
+            assert_eq!(joined(&a, &a), a);
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_on_domains_with_first_witness_bias() {
+        let mut rng = XorShift(0x2545f4914f6cdd1d);
+        for _ in 0..500 {
+            let (a, b) = (rand_state(&mut rng), rand_state(&mut rng));
+            let ab = joined(&a, &b);
+            let ba = joined(&b, &a);
+            // Domains agree; witnesses are left-biased by design.
+            let ka: Vec<&String> = ab.keys().collect();
+            let kb: Vec<&String> = ba.keys().collect();
+            assert_eq!(ka, kb);
+            for (k, v) in &ab {
+                assert_eq!(v, a.get(k).unwrap_or_else(|| &b[k]), "first witness wins");
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_monotone_and_preserves_existing_witnesses() {
+        let mut rng = XorShift(0xdeadbeefcafef00d);
+        for _ in 0..500 {
+            let (a, b) = (rand_state(&mut rng), rand_state(&mut rng));
+            let ab = joined(&a, &b);
+            for (k, v) in &a {
+                assert_eq!(ab.get(k), Some(v), "join must only grow, never rewrite");
+            }
+            for k in b.keys() {
+                assert!(ab.contains_key(k), "join must absorb the other branch");
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let mut rng = XorShift(0x0123456789abcdef);
+        for _ in 0..300 {
+            let (a, b, c) = (rand_state(&mut rng), rand_state(&mut rng), rand_state(&mut rng));
+            assert_eq!(joined(&joined(&a, &b), &c), joined(&a, &joined(&b, &c)));
+        }
+    }
+
+    // ---- transfer never loses taint ------------------------------------
+
+    #[test]
+    fn taint_transfer_never_drops_vars_on_non_sanitizer_calls() {
+        // A fn whose calls cover the interesting shapes: a source, a
+        // neutral helper, and a method sink.
+        let src = r#"
+struct S;
+impl S {
+    fn h(&self, sock: &mut Sock, out: &mut Out, buf: &mut [u8]) {
+        let n = sock.try_read(buf);
+        frob(n);
+        consume(buf);
+        out.append(n);
+    }
+}
+"#;
+        let parsed: BTreeMap<String, ParsedFile> =
+            [("crates/store/src/x.rs".to_string(), parse(src))].into_iter().collect();
+        let files: BTreeMap<String, FileEntry> = [(
+            "crates/store/src/x.rs".to_string(),
+            FileEntry { source: src.to_string(), parsed: parse(src) },
+        )]
+        .into_iter()
+        .collect();
+        let mut graph = build(&parsed, &|_| false);
+        let rs = builtin();
+        let facts = compute(&files, &mut graph, &rs);
+        let rule = &rs.taint_rules[0];
+        let fi = graph.fns.iter().position(|f| f.name == "h").unwrap();
+        let f = &graph.fns[fi];
+        let code = &files[&f.file].parsed.stripped.code;
+
+        let sink_like = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        let mut rng = XorShift(0x5DEECE66D);
+        for _ in 0..200 {
+            let mut st: TaintState = rand_state(&mut rng)
+                .into_keys()
+                .map(|k| (k, Origin::Param))
+                .collect();
+            st.insert("n".to_string(), Origin::Source("try_read".to_string(), 5));
+            for c in &f.calls {
+                if CallPat::any(&rule.sanitizers, c) {
+                    continue;
+                }
+                let before: Vec<String> = st.keys().cloned().collect();
+                let ctx = StmtCtx {
+                    text: &code[c.offset..c.args_end.min(code.len())],
+                    start: c.offset,
+                    binding: None,
+                    line: c.line,
+                };
+                let mut flow = TaintFlow {
+                    code,
+                    file: &f.file,
+                    rule,
+                    facts: &facts,
+                    graph: &graph,
+                    taint_idx: 0,
+                    sink_like: &sink_like,
+                    rhs_taint: None,
+                    rhs_clean: false,
+                    param_to_sink: false,
+                    record: false,
+                    findings: Vec::new(),
+                    seen: &mut seen,
+                };
+                flow.call(&mut st, c, &ctx);
+                for k in &before {
+                    assert!(
+                        st.contains_key(k),
+                        "non-sanitizer call `{}` dropped `{k}` from the taint state",
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- walker exit structure -----------------------------------------
+
+    struct Rec {
+        exits: Vec<(ExitKind, bool)>,
+    }
+    impl Flow for Rec {
+        type State = BTreeMap<String, usize>;
+        fn join(&self, a: &mut Self::State, b: &Self::State) {
+            join_union(a, b);
+        }
+        fn call(&mut self, st: &mut Self::State, c: &CallSite, _ctx: &StmtCtx) {
+            if c.name == "set" {
+                st.insert("x".to_string(), c.line);
+            }
+        }
+        fn stmt_done(&mut self, _st: &mut Self::State, _ctx: &StmtCtx) {}
+        fn exit(&mut self, st: &Self::State, kind: ExitKind, _line: usize) {
+            self.exits.push((kind, st.contains_key("x")));
+        }
+    }
+
+    fn exits_of(src: &str, fname: &str) -> Vec<(ExitKind, bool)> {
+        let parsed: BTreeMap<String, ParsedFile> =
+            [("crates/x/src/a.rs".to_string(), parse(src))].into_iter().collect();
+        let graph = build(&parsed, &|_| false);
+        let fi = graph.fns.iter().position(|f| f.name == fname).unwrap();
+        let f = &graph.fns[fi];
+        let pf = &parsed[&f.file];
+        let (walker, span) =
+            Walker::new(&pf.stripped.code, pf, f.local_idx, &f.calls).expect("body");
+        let mut rec = Rec { exits: Vec::new() };
+        walker.run(&mut rec, span, BTreeMap::new());
+        rec.exits
+    }
+
+    fn kinds(v: &[(ExitKind, bool)]) -> Vec<ExitKind> {
+        v.iter().map(|(k, _)| *k).collect()
+    }
+
+    #[test]
+    fn straight_line_fn_falls_through_once() {
+        let e = exits_of("fn f() { g(); }\n", "f");
+        assert_eq!(kinds(&e), vec![ExitKind::End]);
+    }
+
+    #[test]
+    fn early_return_and_fallthrough_both_exit() {
+        let e = exits_of("fn f(x: bool) {\n    if x {\n        return;\n    }\n    g();\n}\n", "f");
+        assert_eq!(kinds(&e), vec![ExitKind::Return, ExitKind::End]);
+    }
+
+    #[test]
+    fn question_mark_exits_inline() {
+        let e = exits_of("fn f() -> R {\n    g()?;\n    h();\n    done()\n}\n", "f");
+        assert!(kinds(&e).contains(&ExitKind::Try), "{e:?}");
+        assert!(kinds(&e).contains(&ExitKind::End), "{e:?}");
+    }
+
+    #[test]
+    fn panic_branch_exits_as_panic() {
+        let e = exits_of("fn f(x: bool) {\n    if x {\n        panic!(\"no\");\n    }\n    g();\n}\n", "f");
+        assert_eq!(kinds(&e), vec![ExitKind::Panic, ExitKind::End]);
+    }
+
+    #[test]
+    fn break_is_consumed_by_the_loop() {
+        let e = exits_of(
+            "fn f() {\n    loop {\n        if c() {\n            break;\n        }\n        g();\n    }\n    h();\n}\n",
+            "f",
+        );
+        assert_eq!(kinds(&e), vec![ExitKind::End], "{e:?}");
+    }
+
+    #[test]
+    fn if_else_state_joins_as_union() {
+        // `set()` on one branch only: the fall-through end must still
+        // see it (may-analysis union join).
+        let one = exits_of(
+            "fn f(x: bool) {\n    if x {\n        set();\n    } else {\n        g();\n    }\n    h();\n}\n",
+            "f",
+        );
+        assert_eq!(one, vec![(ExitKind::End, true)]);
+        let neither = exits_of(
+            "fn f(x: bool) {\n    if x {\n        g();\n    } else {\n        g();\n    }\n    h();\n}\n",
+            "f",
+        );
+        assert_eq!(neither, vec![(ExitKind::End, false)]);
+    }
+
+    #[test]
+    fn match_arm_state_joins_as_union() {
+        let e = exits_of(
+            "fn f(v: u8) {\n    match v {\n        0 => set(),\n        _ => {}\n    }\n    h();\n}\n",
+            "f",
+        );
+        assert_eq!(e, vec![(ExitKind::End, true)]);
+    }
+
+    #[test]
+    fn let_else_diverging_arm_exits_and_fallthrough_continues() {
+        let e = exits_of(
+            "fn f(v: Option<u8>) {\n    let Some(x) = v else {\n        return;\n    };\n    g();\n}\n",
+            "f",
+        );
+        assert_eq!(kinds(&e), vec![ExitKind::Return, ExitKind::End], "{e:?}");
+    }
+
+    #[test]
+    fn set_before_return_reaches_that_exit_only() {
+        let e = exits_of(
+            "fn f(x: bool) {\n    if x {\n        set();\n        return;\n    }\n    h();\n}\n",
+            "f",
+        );
+        assert_eq!(e, vec![(ExitKind::Return, true), (ExitKind::End, false)]);
+    }
+
+    #[test]
+    fn loop_body_state_reaches_the_loop_exit() {
+        // set() inside the loop: after the loop the union must carry it.
+        let e = exits_of(
+            "fn f() {\n    loop {\n        set();\n        if c() {\n            break;\n        }\n    }\n    h();\n}\n",
+            "f",
+        );
+        assert_eq!(e, vec![(ExitKind::End, true)], "{e:?}");
+    }
+}

@@ -1,4 +1,6 @@
-//! The six call-graph–aware rules.
+//! The call-graph–aware rules.
+//!
+//! Two rules are structural and stay hand-written:
 //!
 //! * `blocking-under-lock` — no call path from inside a held
 //!   `OrderedMutex`/`OrderedRwLock` guard region may reach an unbounded
@@ -8,35 +10,34 @@
 //! * `static-lock-order` — acquisitions nested inside a guard region
 //!   define edges `held -> acquired` in a static lock-order graph; any
 //!   cycle is reported with the witness call chain of each edge. The
-//!   edge set is exported ([`lock_order_edges`] via [`run`]) so the
-//!   dynamic auditor (`wsd_concurrent::ordered::audit`) can be
-//!   cross-checked against it.
-//! * `wsa-rewrite-before-forward` — every path that reaches a forward
-//!   enqueue (`enqueue` / `ack_enqueue` in `crates/core`) must have
-//!   passed a ReplyTo rewrite (`splice_forward` / `rewrite_for_forward`)
-//!   first. Unsatisfied sinks propagate the obligation to callers; an
-//!   entry point reached with the obligation still open is a finding.
-//! * `limits-at-serve-site` — serve sites (`serve_connection`, `serve`,
-//!   `RequestParser::new`) in the runtime/sim dispatchers must thread
-//!   `Limits` from config, never `Limits::default()`.
-//! * `shard-route-before-enqueue` — every path that reaches a fleet
-//!   enqueue (`enqueue_fleet` in `crates/core`) must have passed the
-//!   consistent-hash routing step (`shard_route`) first: depositing at
-//!   an instance the ring does not name silently breaks the ownership
-//!   handoff ledger's "successor recovers everything" accounting.
-//!   Same obligation-propagation shape as `wsa-rewrite-before-forward`.
-//! * `alloc-in-drain` — the dispatch hot path is zero-alloc by
-//!   contract: no function call-graph-reachable from a WsThread `drain`
-//!   or a `route_raw*` entry point in `crates/core` may contain
-//!   `String::from(..)`, `.to_string()`, `Vec::new()`, or `format!` —
-//!   allocation belongs to setup and to the (suppressed, reasoned)
-//!   tree-fallback path, never to the steady state.
+//!   edge set is exported ([`Edge`] via [`run`]) so the dynamic auditor
+//!   (`wsd_concurrent::ordered::audit`) can be cross-checked against
+//!   it.
+//!
+//! The remaining rules are *declarative* — rows in
+//! [`crate::ruleset::Ruleset`] evaluated by three generic engines:
+//!
+//! * [`obligation_rule`] — "every path into a sink must have passed a
+//!   satisfier first". Unsatisfied sinks propagate the obligation to
+//!   callers; an entry point reached with the obligation still open is
+//!   a finding. `wsa-rewrite-before-forward` and
+//!   `shard-route-before-enqueue` are the built-in rows.
+//! * [`arg_rule`] — "a trigger call's argument text must not contain a
+//!   forbidden spelling". `limits-at-serve-site` is the built-in row.
+//! * [`reach_rule`] — "no fn reachable from an entry point may contain
+//!   a forbidden spelling", with edge-aware suppressions: an allow on a
+//!   call-site line prunes propagation through that edge.
+//!   `alloc-in-drain` is the built-in row.
+//!
+//! Adding another "X before Y" invariant (ROADMAP item 5's
+//! `auth-before-enqueue`) is a new row in `lint-rules.toml` plus a
+//! name in [`crate::rules::RULE_NAMES`] — no new analysis code.
 
 use crate::callgraph::Graph;
-use crate::rules::Finding;
+use crate::rules::{Finding, FlowStep};
+use crate::ruleset::{fill, ArgRule, CallPat, ObligationRule, ReachRule, Ruleset};
 use crate::summaries::{
     acquire_chain, block_chain, is_guard_own_wait, region_calls, sink_desc, FileEntry, Facts,
-    SHARD_ROUTE_MARKERS, WSA_REWRITE_MARKERS,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -57,33 +58,37 @@ pub struct Edge {
 }
 
 const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
-const FORWARD_SINKS: &[&str] = &["enqueue", "ack_enqueue"];
-const FLEET_SINKS: &[&str] = &["enqueue_fleet"];
-const SERVE_TRIGGERS: &[&str] = &["serve_connection", "serve"];
 
-/// Allocation spellings forbidden on the drain path. `format!` is a
-/// macro, never a [`crate::callgraph::CallSite`], so all four are
-/// matched lexically against the blanked code of each reachable fn.
-const DRAIN_ALLOC_MARKERS: &[&str] =
-    &["String::from(", ".to_string()", "Vec::new()", "format!("];
+/// Suppressions the reachability engines consumed as edge prunes, as
+/// `(file, directive line, rule)` — feeds the `unused-suppression`
+/// check.
+pub type UsedAllows = BTreeSet<(String, usize, String)>;
 
-/// Runs all six interprocedural rules. Returns unfiltered findings
-/// (suppressions are applied by the caller) plus the static lock-order
-/// edge set for the dynamic cross-check.
+/// Runs the interprocedural rules. Returns unfiltered findings
+/// (suppressions are applied by the caller), the static lock-order edge
+/// set for the dynamic cross-check, and the edge-allows that actually
+/// pruned an edge.
 pub fn run(
     files: &BTreeMap<String, FileEntry>,
     graph: &Graph,
     facts: &Facts,
-) -> (Vec<Finding>, Vec<Edge>) {
+    ruleset: &Ruleset,
+) -> (Vec<Finding>, Vec<Edge>, UsedAllows) {
     let mut findings = Vec::new();
+    let mut used = UsedAllows::new();
     blocking_under_lock(graph, facts, &mut findings);
     let edges = collect_lock_order_edges(graph, facts);
     static_lock_order(&edges, &mut findings);
-    wsa_rewrite_before_forward(graph, facts, &mut findings);
-    shard_route_before_enqueue(graph, facts, &mut findings);
-    limits_at_serve_site(files, graph, &mut findings);
-    alloc_in_drain(files, graph, &mut findings);
-    (findings, edges)
+    for (oi, rule) in ruleset.obligations.iter().enumerate() {
+        obligation_rule(rule, oi, graph, facts, &mut findings);
+    }
+    for rule in &ruleset.arg_rules {
+        arg_rule(rule, files, graph, &mut findings);
+    }
+    for rule in &ruleset.reach_rules {
+        reach_rule(rule, files, graph, &mut findings, &mut used);
+    }
+    (findings, edges, used)
 }
 
 fn blocking_under_lock(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>) {
@@ -124,6 +129,18 @@ fn blocking_under_lock(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>
                             region.class, f.file, region.line
                         ),
                         witness: Some(witness),
+                        flow: vec![
+                            FlowStep {
+                                file: f.file.clone(),
+                                line: region.line,
+                                message: format!("guard of `{}` acquired", region.class),
+                            },
+                            FlowStep {
+                                file: f.file.clone(),
+                                line: c.line,
+                                message: format!("{desc} reached while the guard is held"),
+                            },
+                        ],
                     });
                 }
             }
@@ -244,6 +261,14 @@ fn static_lock_order(edges: &[Edge], findings: &mut Vec<Finding>) {
                             .map(|c| c.witness.as_str())
                             .collect::<Vec<_>>()
                             .join("; ");
+                        let flow = cycle
+                            .iter()
+                            .map(|c| FlowStep {
+                                file: c.file.clone(),
+                                line: c.line,
+                                message: format!("`{}` acquired under `{}`", c.to, c.from),
+                            })
+                            .collect();
                         findings.push(Finding {
                             rule: "static-lock-order",
                             file: cycle[0].file.clone(),
@@ -253,6 +278,7 @@ fn static_lock_order(edges: &[Edge], findings: &mut Vec<Finding>) {
                                 path.join(" -> ")
                             ),
                             witness: Some(witness),
+                            flow,
                         });
                     }
                 }
@@ -271,70 +297,96 @@ fn static_lock_order(edges: &[Edge], findings: &mut Vec<Finding>) {
     }
 }
 
-/// Does `g` make a rewrite-reaching call at or before `line`?
-fn rewrites_before(graph: &Graph, facts: &Facts, g: usize, line: usize) -> bool {
+/// Does `g` make a satisfier-reaching call for obligation rule `oi` at
+/// or before `line`?
+fn satisfies_before(
+    rule: &ObligationRule,
+    oi: usize,
+    graph: &Graph,
+    facts: &Facts,
+    g: usize,
+    line: usize,
+) -> bool {
     graph.fns[g].calls.iter().any(|c| {
         c.line <= line
-            && (WSA_REWRITE_MARKERS.contains(&c.name.as_str())
-                || c.callee.is_some_and(|t| facts.fns[t].rewrites_wsa))
+            && (CallPat::any(&rule.satisfiers, c)
+                || c.callee.is_some_and(|t| facts.fns[t].satisfies.contains(&oi)))
     })
 }
 
-fn wsa_rewrite_before_forward(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>) {
-    // Obligations: fn index -> (witness chain so far, origin file, line).
-    let mut demanded: BTreeMap<usize, (String, String, usize)> = BTreeMap::new();
+/// The obligation-propagation engine: a sink call with no satisfier
+/// earlier in the same fn demands the obligation from its callers; an
+/// entry point reached with the obligation still open is a finding at
+/// the original sink site.
+fn obligation_rule(
+    rule: &ObligationRule,
+    oi: usize,
+    graph: &Graph,
+    facts: &Facts,
+    findings: &mut Vec<Finding>,
+) {
+    // Obligations: fn index -> (witness chain, flow steps, origin file,
+    // origin line).
+    let mut demanded: BTreeMap<usize, (String, Vec<FlowStep>, String, usize)> = BTreeMap::new();
     let mut work: Vec<usize> = Vec::new();
 
     for (fi, f) in graph.fns.iter().enumerate() {
-        if !f.file.starts_with("crates/core/") {
+        if !f.file.starts_with(rule.scope.as_str()) {
             continue;
         }
-        // A fn that is itself forward machinery (named like a sink)
-        // forwards on behalf of its caller — the obligation starts at
+        // A fn that is itself sink machinery (named like a sink)
+        // operates on behalf of its caller — the obligation starts at
         // its call sites, not inside it.
-        if FORWARD_SINKS.contains(&f.name.as_str()) {
+        if rule.sinks.iter().any(|p| p.name == f.name) {
             continue;
         }
         for c in &f.calls {
-            if !FORWARD_SINKS.contains(&c.name.as_str()) {
+            if !CallPat::any(&rule.sinks, c) {
                 continue;
             }
-            // The callee must be in-workspace forward machinery or
+            // The callee must be in-workspace sink machinery or
             // unresolved-but-method (self.enqueue(..)); free calls to
-            // unrelated `enqueue` helpers outside core don't count.
+            // unrelated same-named helpers outside scope don't count.
             if !c.is_method && c.callee.is_none() {
                 continue;
             }
-            if rewrites_before(graph, facts, fi, c.line) {
+            if satisfies_before(rule, oi, graph, facts, fi, c.line) {
                 continue;
             }
             let chain = format!(
-                "forward sink `{}` at {}:{} in {}",
-                c.name, f.file, c.line, f.qualified
+                "{} `{}` at {}:{} in {}",
+                rule.sink_noun, c.name, f.file, c.line, f.qualified
             );
-            demanded.entry(fi).or_insert((chain, f.file.clone(), c.line));
+            let steps = vec![FlowStep {
+                file: f.file.clone(),
+                line: c.line,
+                message: format!(
+                    "{} `{}` reached in {} with the obligation open",
+                    rule.sink_noun, c.name, f.qualified
+                ),
+            }];
+            demanded
+                .entry(fi)
+                .or_insert((chain, steps, f.file.clone(), c.line));
             work.push(fi);
         }
     }
 
     let mut emitted: BTreeSet<(String, usize)> = BTreeSet::new();
     while let Some(fi) = work.pop() {
-        let (chain, ofile, oline) = demanded.get(&fi).cloned().unwrap();
+        let (chain, steps, ofile, oline) = demanded.get(&fi).cloned().unwrap();
         let callers = graph.callers_of(fi);
         if callers.is_empty() {
             // Entry point reached with the obligation open.
             if emitted.insert((ofile.clone(), oline)) {
                 let f = &graph.fns[fi];
                 findings.push(Finding {
-                    rule: "wsa-rewrite-before-forward",
+                    rule: rule.name,
                     file: ofile,
                     line: oline,
-                    excerpt: format!(
-                        "path to forward enqueue without a ReplyTo rewrite \
-                         (no rewrite on any route into `{}`)",
-                        f.qualified
-                    ),
+                    excerpt: fill(&rule.contract, &[("fn", &f.qualified)]),
                     witness: Some(chain),
+                    flow: steps,
                 });
             }
             continue;
@@ -343,7 +395,7 @@ fn wsa_rewrite_before_forward(graph: &Graph, facts: &Facts, findings: &mut Vec<F
             if demanded.contains_key(&g) {
                 continue; // already propagating (also breaks cycles)
             }
-            if rewrites_before(graph, facts, g, gline) {
+            if satisfies_before(rule, oi, graph, facts, g, gline) {
                 continue;
             }
             let gf = &graph.fns[g];
@@ -351,103 +403,28 @@ fn wsa_rewrite_before_forward(graph: &Graph, facts: &Facts, findings: &mut Vec<F
                 "{} ({}:{}) -> {}",
                 gf.qualified, gf.file, gline, chain
             );
-            demanded.insert(g, (chain2, ofile.clone(), oline));
+            let mut steps2 = vec![FlowStep {
+                file: gf.file.clone(),
+                line: gline,
+                message: format!("{} calls into the unsatisfied sink path", gf.qualified),
+            }];
+            steps2.extend(steps.iter().cloned());
+            demanded.insert(g, (chain2, steps2, ofile.clone(), oline));
             work.push(g);
         }
     }
 }
 
-/// Does `g` make a shard-routing call at or before `line`?
-fn routes_before(graph: &Graph, facts: &Facts, g: usize, line: usize) -> bool {
-    graph.fns[g].calls.iter().any(|c| {
-        c.line <= line
-            && (SHARD_ROUTE_MARKERS.contains(&c.name.as_str())
-                || c.callee.is_some_and(|t| facts.fns[t].routes_shard))
-    })
-}
-
-/// `shard-route-before-enqueue`: same obligation propagation as the
-/// WSA rule, with `enqueue_fleet` as the sink and `shard_route` as the
-/// satisfier — a fleet deposit must be aimed by the ring, never at a
-/// hard-coded instance.
-fn shard_route_before_enqueue(graph: &Graph, facts: &Facts, findings: &mut Vec<Finding>) {
-    let mut demanded: BTreeMap<usize, (String, String, usize)> = BTreeMap::new();
-    let mut work: Vec<usize> = Vec::new();
-
-    for (fi, f) in graph.fns.iter().enumerate() {
-        if !f.file.starts_with("crates/core/") {
-            continue;
-        }
-        // The enqueue machinery itself deposits on behalf of callers:
-        // the obligation starts at its call sites.
-        if FLEET_SINKS.contains(&f.name.as_str()) {
-            continue;
-        }
-        for c in &f.calls {
-            if !FLEET_SINKS.contains(&c.name.as_str()) {
-                continue;
-            }
-            if !c.is_method && c.callee.is_none() {
-                continue;
-            }
-            if routes_before(graph, facts, fi, c.line) {
-                continue;
-            }
-            let chain = format!(
-                "fleet sink `{}` at {}:{} in {}",
-                c.name, f.file, c.line, f.qualified
-            );
-            demanded.entry(fi).or_insert((chain, f.file.clone(), c.line));
-            work.push(fi);
-        }
-    }
-
-    let mut emitted: BTreeSet<(String, usize)> = BTreeSet::new();
-    while let Some(fi) = work.pop() {
-        let (chain, ofile, oline) = demanded.get(&fi).cloned().unwrap();
-        let callers = graph.callers_of(fi);
-        if callers.is_empty() {
-            if emitted.insert((ofile.clone(), oline)) {
-                let f = &graph.fns[fi];
-                findings.push(Finding {
-                    rule: "shard-route-before-enqueue",
-                    file: ofile,
-                    line: oline,
-                    excerpt: format!(
-                        "path to fleet enqueue without a shard-route step                          (no `shard_route` on any route into `{}`)",
-                        f.qualified
-                    ),
-                    witness: Some(chain),
-                });
-            }
-            continue;
-        }
-        for (g, gline) in callers {
-            if demanded.contains_key(&g) {
-                continue; // already propagating (also breaks cycles)
-            }
-            if routes_before(graph, facts, g, gline) {
-                continue;
-            }
-            let gf = &graph.fns[g];
-            let chain2 = format!(
-                "{} ({}:{}) -> {}",
-                gf.qualified, gf.file, gline, chain
-            );
-            demanded.insert(g, (chain2, ofile.clone(), oline));
-            work.push(g);
-        }
-    }
-}
-
-fn limits_at_serve_site(
+/// The argument-inspection engine: a trigger call whose (blanked)
+/// argument text contains the forbidden spelling is a finding.
+fn arg_rule(
+    rule: &ArgRule,
     files: &BTreeMap<String, FileEntry>,
     graph: &Graph,
     findings: &mut Vec<Finding>,
 ) {
     for f in &graph.fns {
-        if !(f.file.starts_with("crates/core/src/rt/") || f.file.starts_with("crates/core/src/sim/"))
-        {
+        if !rule.scopes.iter().any(|s| f.file.starts_with(s.as_str())) {
             continue;
         }
         let Some(entry) = files.get(&f.file) else {
@@ -456,15 +433,13 @@ fn limits_at_serve_site(
         let code = &entry.parsed.stripped.code;
         let src_lines: Vec<&str> = entry.source.lines().collect();
         for c in &f.calls {
-            let is_serve = SERVE_TRIGGERS.contains(&c.name.as_str())
-                || (c.name == "new" && c.qualifier.as_deref() == Some("RequestParser"));
-            if !is_serve {
+            if !CallPat::any(&rule.triggers, c) {
                 continue;
             }
             let args = &code[c.offset..c.args_end.min(code.len())];
-            if args.contains("Limits::default") {
+            if args.contains(rule.forbidden.as_str()) {
                 findings.push(Finding {
-                    rule: "limits-at-serve-site",
+                    rule: rule.name,
                     file: f.file.clone(),
                     line: c.line,
                     excerpt: src_lines
@@ -472,91 +447,112 @@ fn limits_at_serve_site(
                         .unwrap_or(&"")
                         .trim()
                         .to_string(),
-                    witness: Some(format!(
-                        "serve site `{}` in {} ({}:{}) constructs Limits::default() \
-                         instead of threading config limits",
-                        c.name, f.qualified, f.file, c.line
+                    witness: Some(fill(
+                        &rule.witness,
+                        &[
+                            ("call", &c.name),
+                            ("fn", &f.qualified),
+                            ("file", &f.file),
+                            ("line", &c.line.to_string()),
+                        ],
                     )),
+                    flow: Vec::new(),
                 });
             }
         }
     }
 }
 
-/// `alloc-in-drain`: no per-message allocation on the dispatch hot
-/// path. Entry points are the WsThread queue pump (`drain`) and the raw
-/// routing family (`route_raw*`) in `crates/core`; every fn reachable
-/// from them through resolved call edges is scanned for the forbidden
-/// allocation spellings.
+/// The forward-reachability engine: every fn call-graph-reachable from
+/// an entry point is scanned for the forbidden spellings.
 ///
-/// Suppressions are *edge-aware*: a `wsd-lint: allow(alloc-in-drain)`
-/// on the line of a call site stops propagation through that edge — the
-/// callee's whole subtree is declared outside the zero-alloc domain for
-/// the stated reason (the tree-fallback route, per-connection setup,
-/// reply translation). An allow on an allocation line itself silences
-/// just that line (the budgeted `Url::parse` pair on the reply path).
-fn alloc_in_drain(
+/// Suppressions are *edge-aware*: an allow of this rule on the line of
+/// a call site stops propagation through that edge — the callee's whole
+/// subtree is declared outside the rule's domain for the stated reason
+/// (the tree-fallback route, per-connection setup, reply translation).
+/// An allow on a marker line itself silences just that line (filtered
+/// by the caller, like every other interprocedural finding). Allows
+/// that actually prune a reached edge are reported in `used` so the
+/// `unused-suppression` check can tell armor from dead weight.
+fn reach_rule(
+    rule: &ReachRule,
     files: &BTreeMap<String, FileEntry>,
     graph: &Graph,
     findings: &mut Vec<Finding>,
+    used: &mut UsedAllows,
 ) {
-    // Per-file alloc-in-drain suppressions, as (line, is_line_comment);
-    // used here to prune call edges (finding-line filtering happens in
-    // the caller, like every other interprocedural rule).
+    // Per-file allows of this rule, as (line, is_line_comment).
     let mut allows: BTreeMap<&str, Vec<(usize, bool)>> = BTreeMap::new();
     for (path, entry) in files {
         let sups = crate::rules::active_suppressions(&entry.parsed.stripped.comments);
         let v: Vec<(usize, bool)> = sups
             .into_iter()
-            .filter(|(_, _, rule)| rule == "alloc-in-drain")
+            .filter(|(_, _, r)| r == rule.name)
             .map(|(line, is_line, _)| (line, is_line))
             .collect();
         if !v.is_empty() {
             allows.insert(path.as_str(), v);
         }
     }
-    let edge_allowed = |file: &str, call_line: usize| -> bool {
-        allows.get(file).is_some_and(|v| {
-            v.iter().any(|(line, is_line)| {
-                *line == call_line || (*is_line && line + 1 == call_line)
-            })
+    let edge_allowed = |file: &str, call_line: usize| -> Option<usize> {
+        allows.get(file).and_then(|v| {
+            v.iter()
+                .find(|(line, is_line)| {
+                    *line == call_line || (*is_line && line + 1 == call_line)
+                })
+                .map(|(line, _)| *line)
         })
     };
 
     // Forward reachability, keeping the first-discovered witness chain
     // per fn (entry chains start at the entry's signature line).
-    let mut chain: BTreeMap<usize, String> = BTreeMap::new();
+    let mut chain: BTreeMap<usize, (String, Vec<FlowStep>)> = BTreeMap::new();
     let mut work: Vec<usize> = Vec::new();
     for (fi, f) in graph.fns.iter().enumerate() {
-        if !f.file.starts_with("crates/core/") {
+        if !f.file.starts_with(rule.scope.as_str()) {
             continue;
         }
-        if f.name == "drain" || f.name.starts_with("route_raw") {
-            chain.insert(fi, format!("{} ({}:{})", f.qualified, f.file, f.sig_line));
+        if rule.entries.iter().any(|e| *e == f.name)
+            || rule.entry_prefixes.iter().any(|p| f.name.starts_with(p.as_str()))
+        {
+            let steps = vec![FlowStep {
+                file: f.file.clone(),
+                line: f.sig_line,
+                message: format!("entry point {} of the {} domain", f.qualified, rule.name),
+            }];
+            chain.insert(fi, (format!("{} ({}:{})", f.qualified, f.file, f.sig_line), steps));
             work.push(fi);
         }
     }
     while let Some(fi) = work.pop() {
-        let prefix = chain.get(&fi).cloned().unwrap();
+        let (prefix, steps) = chain.get(&fi).cloned().unwrap();
         for c in &graph.fns[fi].calls {
             let Some(t) = c.callee else { continue };
             if chain.contains_key(&t) {
                 continue;
             }
-            if edge_allowed(&graph.fns[fi].file, c.line) {
-                continue; // reasoned exit from the zero-alloc domain
+            if let Some(sup_line) = edge_allowed(&graph.fns[fi].file, c.line) {
+                // Reasoned exit from the rule's domain.
+                used.insert((graph.fns[fi].file.clone(), sup_line, rule.name.to_string()));
+                continue;
             }
             let tf = &graph.fns[t];
+            let mut steps2 = steps.clone();
+            steps2.push(FlowStep {
+                file: tf.file.clone(),
+                line: c.line,
+                message: format!("reached {} via this call", tf.qualified),
+            });
             chain.insert(
                 t,
-                format!("{prefix} -> {} ({}:{})", tf.qualified, tf.file, c.line),
+                (format!("{prefix} -> {} ({}:{})", tf.qualified, tf.file, c.line), steps2),
             );
             work.push(t);
         }
     }
 
     let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
-    for (fi, prefix) in &chain {
+    for (fi, (prefix, steps)) in &chain {
         let f = &graph.fns[*fi];
         let Some(entry) = files.get(&f.file) else { continue };
         let pf = &entry.parsed;
@@ -567,9 +563,9 @@ fn alloc_in_drain(
         let nested = pf.nested_spans(f.local_idx);
         let starts = crate::callgraph::line_index(code);
         let src_lines: Vec<&str> = entry.source.lines().collect();
-        for marker in DRAIN_ALLOC_MARKERS {
+        for marker in &rule.markers {
             let mut at = bs;
-            while let Some(rel) = code[at..be].find(marker) {
+            while let Some(rel) = code[at..be].find(marker.as_str()) {
                 let off = at + rel;
                 at = off + marker.len();
                 if nested.iter().any(|(s, e)| *s <= off && off < *e) {
@@ -579,8 +575,14 @@ fn alloc_in_drain(
                 if !seen.insert((f.file.clone(), line)) {
                     continue;
                 }
+                let mut flow = steps.clone();
+                flow.push(FlowStep {
+                    file: f.file.clone(),
+                    line,
+                    message: format!("forbidden `{}` here", marker.trim_end_matches('(')),
+                });
                 findings.push(Finding {
-                    rule: "alloc-in-drain",
+                    rule: rule.name,
                     file: f.file.clone(),
                     line,
                     excerpt: src_lines
@@ -588,11 +590,15 @@ fn alloc_in_drain(
                         .unwrap_or(&"")
                         .trim()
                         .to_string(),
-                    witness: Some(format!(
-                        "allocation `{}` in {} on drain path: {prefix}",
-                        marker.trim_end_matches('('),
-                        f.qualified
+                    witness: Some(fill(
+                        &rule.witness,
+                        &[
+                            ("marker", marker.trim_end_matches('(')),
+                            ("fn", &f.qualified),
+                            ("chain", prefix),
+                        ],
                     )),
+                    flow,
                 });
             }
         }
@@ -604,6 +610,7 @@ mod tests {
     use super::*;
     use crate::callgraph::build;
     use crate::parser::{parse, ParsedFile};
+    use crate::ruleset::builtin;
     use crate::summaries::compute;
 
     fn run_on(files: &[(&str, &str)]) -> (Vec<Finding>, Vec<Edge>) {
@@ -624,8 +631,10 @@ mod tests {
             .map(|(p, s)| (p.to_string(), parse(s)))
             .collect();
         let mut graph = build(&parsed, &|_| false);
-        let facts = compute(&map, &mut graph);
-        run(&map, &graph, &facts)
+        let rs = builtin();
+        let facts = compute(&map, &mut graph, &rs);
+        let (f, e, _) = run(&map, &graph, &facts, &rs);
+        (f, e)
     }
 
     fn rules_of(findings: &[Finding]) -> Vec<&str> {
@@ -778,6 +787,7 @@ impl D {
             .collect();
         assert_eq!(w.len(), 1, "{f:?}");
         assert!(w[0].witness.as_ref().unwrap().contains("enqueue"));
+        assert!(!w[0].flow.is_empty());
     }
 
     #[test]
@@ -923,6 +933,7 @@ impl C {
         assert_eq!(a[0].line, 5);
         let w = a[0].witness.as_ref().unwrap();
         assert!(w.contains("C::route_raw") && w.contains("C::helper"), "{w}");
+        assert!(a[0].flow.len() >= 2, "{:?}", a[0].flow);
     }
 
     #[test]
@@ -937,7 +948,7 @@ impl C {
     }
 
     #[test]
-    fn allowed_call_edge_prunes_the_callee_subtree() {
+    fn allowed_call_edge_prunes_the_callee_subtree_and_counts_as_used() {
         let src = r#"
 struct C;
 impl C {
@@ -948,8 +959,26 @@ impl C {
     fn fallback(&self, xml: &str) { let s = xml.to_string(); }
 }
 "#;
-        let (f, _) = run_on(&[("crates/core/src/msg.rs", src)]);
+        let map: BTreeMap<String, FileEntry> = [(
+            "crates/core/src/msg.rs".to_string(),
+            FileEntry {
+                source: src.to_string(),
+                parsed: parse(src),
+            },
+        )]
+        .into_iter()
+        .collect();
+        let parsed: BTreeMap<String, ParsedFile> =
+            [("crates/core/src/msg.rs".to_string(), parse(src))].into_iter().collect();
+        let mut graph = build(&parsed, &|_| false);
+        let rs = builtin();
+        let facts = compute(&map, &mut graph, &rs);
+        let (f, _, used) = run(&map, &graph, &facts, &rs);
         assert!(f.iter().all(|x| x.rule != "alloc-in-drain"), "{f:?}");
+        assert!(
+            used.contains(&("crates/core/src/msg.rs".to_string(), 5, "alloc-in-drain".to_string())),
+            "{used:?}"
+        );
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! comments so rules match only real code, an item parser ([`parser`])
 //! recovers `fn`/`impl`/`mod` structure, a call graph ([`callgraph`])
 //! resolves intra-workspace calls, per-function summaries
-//! ([`summaries`]) compute acquires-lock / may-block / rewrites-wsa /
-//! records-telemetry-stage facts, and two rule layers evaluate the
-//! named invariants — lexical ([`rules`]) and interprocedural
-//! ([`interproc`]) — with `#[cfg(test)]` exemption, reasoned
-//! suppressions, a ratchet baseline ([`baseline`]) that fails the build
-//! only on *new* findings, and a SARIF emitter ([`sarif`]) for CI.
+//! ([`summaries`]) compute acquires-lock / may-block / satisfies /
+//! sanitizes facts, and three rule layers evaluate the named
+//! invariants — lexical ([`rules`]), interprocedural ([`interproc`])
+//! and path-sensitive dataflow ([`dataflow`]) — with the obligation,
+//! taint and gauge rules expressed as *data* in a checked-in ruleset
+//! ([`ruleset`], `lint-rules.toml`), `#[cfg(test)]` exemption, reasoned
+//! suppressions audited for liveness (`unused-suppression`), a ratchet
+//! baseline ([`baseline`]) that fails the build only on *new* findings,
+//! and a SARIF emitter ([`sarif`]) with `codeFlows` for CI.
 //!
 //! No dependencies, by design: the build is offline and the linter must
 //! never be the thing that breaks the build for environmental reasons.
@@ -22,24 +25,26 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
 pub mod interproc;
 pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod ruleset;
 pub mod sarif;
 pub mod summaries;
 pub mod walk;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 pub use rules::{lint_source, suppressions_in, Finding, RULE_NAMES};
 
 /// Everything one analysis pass produces: findings (lexical +
-/// interprocedural, suppression-filtered, sorted), the suppression
-/// count, and the structures the findings were derived from — exposed
-/// so tests (e.g. the dynamic lock-order cross-check in
+/// interprocedural + dataflow, suppression-filtered, sorted), the
+/// suppression count, and the structures the findings were derived
+/// from — exposed so tests (e.g. the dynamic lock-order cross-check in
 /// `wsd-concurrent`) can interrogate the graph and edge set directly.
 pub struct WorkspaceAnalysis {
     /// All unsuppressed findings, sorted by (file, line, rule).
@@ -61,6 +66,8 @@ pub struct WorkspaceAnalysis {
 /// dropped (paths are then relative to `crates/lint`, matching no
 /// scope) so the linter holds itself to the complete rule set.
 pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<WorkspaceAnalysis> {
+    let ruleset = ruleset::load(root)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let mut files: BTreeMap<String, summaries::FileEntry> = BTreeMap::new();
     for (rel, abs) in walk::rust_files(root)? {
         // wsd-lint: allow(raw-file-io): the linter reads the sources it lints
@@ -71,15 +78,20 @@ pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<Worksp
         files.insert(rel, summaries::FileEntry { source, parsed });
     }
 
+    // Suppressions that silenced at least one finding (or pruned a
+    // reachability edge), as (file, directive line, rule). Whatever is
+    // left over at the end is dead weight — an `unused-suppression`.
+    let mut used: BTreeSet<(String, usize, String)> = BTreeSet::new();
+
     let mut findings = Vec::new();
     let mut suppressions = 0usize;
     for (rel, entry) in &files {
-        findings.extend(rules::lint_source_parsed(
-            rel,
-            &entry.source,
-            &entry.parsed,
-            self_mode,
-        ));
+        let (fs, consumed) =
+            rules::lint_source_uses(rel, &entry.source, &entry.parsed, self_mode);
+        findings.extend(fs);
+        for (line, rule) in consumed {
+            used.insert((rel.clone(), line, rule));
+        }
         suppressions += rules::suppressions_in(&entry.source).len();
     }
 
@@ -92,20 +104,59 @@ pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<Worksp
         .map(|(rel, e)| (rel.clone(), parser::parse(&e.source)))
         .collect();
     let mut graph = callgraph::build(&parsed_for_graph, &|_| false);
-    let facts = summaries::compute(&files, &mut graph);
-    let (interproc_findings, lock_edges) = interproc::run(&files, &graph, &facts);
+    let facts = summaries::compute(&files, &mut graph, &ruleset);
+    let (interproc_findings, lock_edges, edge_allows) =
+        interproc::run(&files, &graph, &facts, &ruleset);
+    used.extend(edge_allows);
+    let dataflow_findings = dataflow::run(&files, &graph, &facts, &ruleset);
 
-    // Interprocedural findings honour the same suppression comments.
-    for f in interproc_findings {
+    // Interprocedural and dataflow findings honour the same
+    // suppression comments.
+    for f in interproc_findings.into_iter().chain(dataflow_findings) {
         let sups = files
             .get(&f.file)
             .map(|e| rules::active_suppressions(&e.parsed.stripped.comments))
             .unwrap_or_default();
-        let silenced = sups.iter().any(|(line, is_line, rule)| {
+        let hit = sups.iter().find(|(line, is_line, rule)| {
             rule == f.rule && (*line == f.line || (*is_line && line + 1 == f.line))
         });
-        if !silenced {
+        if let Some((line, _, rule)) = hit {
+            used.insert((f.file.clone(), *line, rule.clone()));
+        } else {
             findings.push(f);
+        }
+    }
+
+    // `unused-suppression`: every well-formed allow must still be
+    // earning its keep. Test collateral is exempt (fixtures carry
+    // deliberately stale allows), and outside `--self` so is the
+    // analyzer's own source (audited by the self-run, like every other
+    // rule).
+    for (rel, entry) in &files {
+        if rules::is_test_path(rel) {
+            continue;
+        }
+        if !self_mode && !rules::rule_applies("unused-suppression", rel) {
+            continue;
+        }
+        for (line, _, rule) in rules::active_suppressions(&entry.parsed.stripped.comments) {
+            if entry.parsed.is_test_line(line) {
+                continue;
+            }
+            if used.contains(&(rel.clone(), line, rule.clone())) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "unused-suppression",
+                file: rel.clone(),
+                line,
+                excerpt: format!("allow({rule}) here silences nothing"),
+                witness: Some(format!(
+                    "suppression of `{rule}` at {rel}:{line} matched no finding and \
+                     pruned no edge — delete it or re-justify it"
+                )),
+                flow: Vec::new(),
+            });
         }
     }
 

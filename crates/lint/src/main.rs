@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! wsd-lint [--root PATH] [--check] [--json PATH] [--sarif PATH]
-//!          [--update-baseline] [--self]
+//!          [--update-baseline] [--self] [--budget-ms N]
 //! ```
 //!
 //! * default: report all findings against the ratchet baseline
@@ -19,6 +19,10 @@
 //!   annotation (`-` for stdout).
 //! * `--self`: lint `crates/lint` itself with the full rule set (no
 //!   path scoping, no baseline tolerance — any finding fails).
+//! * `--budget-ms N`: fail (exit 1) when the analysis wall time exceeds
+//!   `N` milliseconds — the linter's own performance is part of the
+//!   contract (it runs on every `verify.sh lint`). The measured time is
+//!   reported as `check_ms` in the `--json` summary either way.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -33,6 +37,7 @@ struct Opts {
     json_path: Option<String>,
     sarif_path: Option<String>,
     self_mode: bool,
+    budget_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Opts, String> {
         json_path: None,
         sarif_path: None,
         self_mode: false,
+        budget_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,10 +65,15 @@ fn parse_args() -> Result<Opts, String> {
                 opts.sarif_path = Some(args.next().ok_or("--sarif needs a path (or -)")?);
             }
             "--self" => opts.self_mode = true,
+            "--budget-ms" => {
+                let n = args.next().ok_or("--budget-ms needs a number")?;
+                opts.budget_ms =
+                    Some(n.parse().map_err(|_| format!("bad --budget-ms value {n:?}"))?);
+            }
             "--help" | "-h" => {
                 println!(
                     "wsd-lint [--root PATH] [--check] [--json PATH] [--sarif PATH] \
-                     [--update-baseline] [--self]"
+                     [--update-baseline] [--self] [--budget-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -80,6 +91,7 @@ fn report_json(
     new_keys: &BTreeMap<String, ()>,
     report: &baseline::RatchetReport,
     suppressions: usize,
+    check_ms: u128,
 ) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
     for (idx, f) in findings.iter().enumerate() {
@@ -114,11 +126,12 @@ fn report_json(
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"summary\": {{\"new\": {}, \"tolerated\": {}, \"burned_down\": {}, \"suppressions\": {}}}\n}}\n",
+        "  ],\n  \"summary\": {{\"new\": {}, \"tolerated\": {}, \"burned_down\": {}, \"suppressions\": {}, \"check_ms\": {}}}\n}}\n",
         report.new_findings.len(),
         report.tolerated,
         report.burned_down.len(),
-        suppressions
+        suppressions,
+        check_ms
     ));
     out
 }
@@ -152,6 +165,8 @@ fn main() -> ExitCode {
         (opts.root.clone(), false)
     };
 
+    // wsd-lint: allow(raw-clock): measuring the linter's own wall time, not event time
+    let t0 = std::time::Instant::now();
     let analysis = match analyze_workspace(&root, self_mode) {
         Ok(r) => r,
         Err(e) => {
@@ -159,6 +174,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let check_ms = t0.elapsed().as_millis();
     let (findings, suppression_count) = (analysis.findings, analysis.suppressions);
 
     if self_mode {
@@ -245,7 +261,7 @@ fn main() -> ExitCode {
         );
     }
     println!(
-        "wsd-lint: {} new, {} tolerated (baseline), {} burned-down pair(s), {} suppression(s) with reasons",
+        "wsd-lint: {} new, {} tolerated (baseline), {} burned-down pair(s), {} suppression(s) with reasons, analysis {check_ms}ms",
         report.new_findings.len(),
         report.tolerated,
         report.burned_down.len(),
@@ -253,7 +269,7 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &opts.json_path {
-        let text = report_json(&findings, &new_keys, &report, suppression_count);
+        let text = report_json(&findings, &new_keys, &report, suppression_count, check_ms);
         if let Err(code) = write_out(path, &text) {
             return code;
         }
@@ -272,6 +288,14 @@ fn main() -> ExitCode {
             report.new_findings.len()
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(budget) = opts.budget_ms {
+        if check_ms > u128::from(budget) {
+            eprintln!(
+                "wsd-lint: FAIL — analysis took {check_ms}ms, over the {budget}ms budget"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -17,9 +17,12 @@ use crate::parser::{parse, ParsedFile};
 
 /// All enforced rule names, in report order. The first six are
 /// lexical (per-line); the next six are interprocedural (call-graph
-/// reachability, see [`crate::interproc`]); `bad-suppression` guards
-/// the suppression mechanism itself.
-pub const RULE_NAMES: [&str; 13] = [
+/// reachability, see [`crate::interproc`] — driven by the declarative
+/// [`crate::ruleset`]); `unvalidated-envelope-to-sink` and
+/// `gauge-balance` are dataflow rules (see [`crate::dataflow`]);
+/// `bad-suppression` and `unused-suppression` guard the suppression
+/// mechanism itself.
+pub const RULE_NAMES: [&str; 16] = [
     "raw-thread-spawn",
     "raw-clock",
     "std-sync-primitive",
@@ -32,8 +35,23 @@ pub const RULE_NAMES: [&str; 13] = [
     "shard-route-before-enqueue",
     "limits-at-serve-site",
     "alloc-in-drain",
+    "unvalidated-envelope-to-sink",
+    "gauge-balance",
     "bad-suppression",
+    "unused-suppression",
 ];
+
+/// One step of a finding's witness path (rendered as a SARIF
+/// `codeFlow` thread-flow location).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStep {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What happens at this step (`source taints x`, `sink reached`).
+    pub message: String,
+}
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +68,9 @@ pub struct Finding {
     /// Call-chain witness for interprocedural findings (`f (file:line)
     /// -> g (file:line) -> sink`); `None` for lexical rules.
     pub witness: Option<String>,
+    /// Step-by-step witness path for dataflow/interprocedural findings
+    /// (empty for lexical rules); drives SARIF `codeFlows`.
+    pub flow: Vec<FlowStep>,
 }
 
 /// What each rule protects, shown next to findings.
@@ -109,7 +130,23 @@ pub fn rule_hint(rule: &str) -> &'static str {
              allocation belongs to setup or the reasoned tree-fallback \
              suppressions, not the drain loop"
         }
+        "unvalidated-envelope-to-sink" => {
+            "bytes read from the firewall-facing socket (try_read / \
+             RequestParser::feed) must pass verify_element or a tree \
+             parse before reaching a forward splice, WAL append, or \
+             enqueue — the dispatcher is the trust boundary"
+        }
+        "gauge-balance" => {
+            "a telemetry gauge incremented in a region must be \
+             decremented on every non-panic path out of it (early \
+             returns, `?`, let-else arms) — the chaos campaign's \
+             gauges-return-to-0 teardown invariant, checked statically"
+        }
         "bad-suppression" => "suppressions need a known rule and a written reason",
+        "unused-suppression" => {
+            "an allow whose rule no longer fires on that line is dead \
+             armor — remove it so real regressions cannot hide behind it"
+        }
         _ => "",
     }
 }
@@ -164,7 +201,7 @@ const IO_MARKERS: [&str; 20] = [
     "flush", "connect", "call", "call_pipelined", "send", "as_mut",
 ];
 
-fn rule_applies(rule: &str, file: &str) -> bool {
+pub(crate) fn rule_applies(rule: &str, file: &str) -> bool {
     match rule {
         // wsd-concurrent *is* the thread abstraction.
         "raw-thread-spawn" => !path_in(file, "crates/concurrent/"),
@@ -181,6 +218,10 @@ fn rule_applies(rule: &str, file: &str) -> bool {
         }
         // wsd-store *is* the file-IO abstraction.
         "raw-file-io" => !path_in(file, "crates/store/"),
+        // The analyzer's own suppressions are audited by `--self`,
+        // where every rule is in scope; in a workspace run half its
+        // rules are path-scoped away, which would mislabel them stale.
+        "unused-suppression" => !path_in(file, "crates/lint/"),
         _ => true,
     }
 }
@@ -260,6 +301,7 @@ fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<Finding>) 
                              `wsd-lint: allow({rule}): <why this site is exempt>`"
                         ),
                         witness: None,
+                        flow: Vec::new(),
                     });
                 } else {
                     sups.push(Suppression {
@@ -281,6 +323,7 @@ fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<Finding>) 
                         c.text
                     ),
                     witness: None,
+                    flow: Vec::new(),
                 });
             }
         }
@@ -322,6 +365,18 @@ pub fn lint_source_parsed(
     parsed: &ParsedFile,
     force_all: bool,
 ) -> Vec<Finding> {
+    lint_source_uses(file, source, parsed, force_all).0
+}
+
+/// [`lint_source_parsed`] plus the suppressions the lexical pass
+/// consumed, as `(directive line, rule)` — the raw material for the
+/// `unused-suppression` check (see [`crate::lib`]'s used-set assembly).
+pub fn lint_source_uses(
+    file: &str,
+    source: &str,
+    parsed: &ParsedFile,
+    force_all: bool,
+) -> (Vec<Finding>, Vec<(usize, String)>) {
     let (sups, mut bad) = parse_suppressions(&parsed.stripped.comments);
     for b in &mut bad {
         b.file = file.to_string();
@@ -331,17 +386,24 @@ pub fn lint_source_parsed(
         // Test collateral is fully exempt — fixtures deliberately seed
         // violations (including malformed suppressions) for the
         // analyzer's own tests.
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
 
     let code_lines: Vec<&str> = parsed.stripped.code.lines().collect();
     let src_lines: Vec<&str> = source.lines().collect();
+    let mut used: Vec<(usize, String)> = Vec::new();
 
-    let suppressed = |rule: &str, line: usize| -> bool {
-        sups.iter().any(|s| {
+    let mut suppressed = |rule: &str, line: usize| -> bool {
+        let hit = sups.iter().find(|s| {
             s.rule == rule
                 && (s.line == line || (s.is_line_comment && s.line + 1 == line))
-        })
+        });
+        if let Some(s) = hit {
+            used.push((s.line, s.rule.clone()));
+            true
+        } else {
+            false
+        }
     };
 
     let mut findings = bad;
@@ -361,12 +423,13 @@ pub fn lint_source_parsed(
                     line,
                     excerpt: src_lines.get(idx).unwrap_or(&"").trim().to_string(),
                     witness: None,
+                    flow: Vec::new(),
                 });
             }
         }
     }
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
-    findings
+    (findings, used)
 }
 
 /// Every suppression in `source`, as `(line, rule, reason)` — used by

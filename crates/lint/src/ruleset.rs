@@ -1,0 +1,598 @@
+//! The declarative ruleset: obligation / taint / gauge rules as data.
+//!
+//! v3 re-expresses the hand-written interprocedural rules as rows in a
+//! [`Ruleset`] — `{sources, sanitizers, sinks}` triples plus message
+//! templates — compiled by [`crate::summaries`] into per-function facts
+//! and evaluated by the generic engines in [`crate::interproc`] and
+//! [`crate::dataflow`]. A new "X must happen before Y" invariant (e.g.
+//! ROADMAP item 5's `auth-before-enqueue`) is a one-row addition here
+//! plus a name in [`crate::rules::RULE_NAMES`], not a new analysis.
+//!
+//! The checked-in `lint-rules.toml` at the workspace root is the
+//! canonical copy; [`load`] parses it with a hand-rolled TOML-subset
+//! reader (sections, string keys, single-line string arrays — no
+//! dependency, like the rest of the crate) and falls back to
+//! [`builtin`] when the file is absent (fixture roots, `--self`).
+//! `builtin()` and the checked-in file must stay identical; a unit test
+//! enforces it.
+
+use crate::callgraph::CallSite;
+use crate::rules::RULE_NAMES;
+use std::path::Path;
+
+/// A call-site pattern: `name` or `Qualifier::name`. A bare name
+/// matches any call of that name (method, free, or path-qualified); a
+/// qualified pattern additionally requires the call's last path
+/// segment (`RequestParser::new`, `xml::parse`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallPat {
+    /// Required qualifier (last path segment), if any.
+    pub qualifier: Option<String>,
+    /// The called name.
+    pub name: String,
+}
+
+impl CallPat {
+    /// Parses `"name"` or `"Qualifier::name"`.
+    pub fn parse(s: &str) -> CallPat {
+        match s.rsplit_once("::") {
+            Some((q, n)) => CallPat {
+                qualifier: Some(q.rsplit("::").next().unwrap_or(q).to_string()),
+                name: n.to_string(),
+            },
+            None => CallPat {
+                qualifier: None,
+                name: s.to_string(),
+            },
+        }
+    }
+
+    /// Whether this pattern matches a call site.
+    pub fn matches(&self, c: &CallSite) -> bool {
+        self.name == c.name
+            && match &self.qualifier {
+                None => true,
+                Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
+            }
+    }
+
+    /// Whether any pattern in `pats` matches `c`.
+    pub fn any(pats: &[CallPat], c: &CallSite) -> bool {
+        pats.iter().any(|p| p.matches(c))
+    }
+}
+
+/// "Every path into a sink must have passed a satisfier first" —
+/// unsatisfied sinks propagate the obligation to callers; an entry
+/// point reached with the obligation still open is a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObligationRule {
+    /// Rule id (must be in [`RULE_NAMES`]).
+    pub name: &'static str,
+    /// Path prefix the rule is scoped to.
+    pub scope: String,
+    /// Sink calls that demand the obligation.
+    pub sinks: Vec<CallPat>,
+    /// Calls that satisfy it (directly or transitively).
+    pub satisfiers: Vec<CallPat>,
+    /// Noun used in witness chains (`"forward sink"`).
+    pub sink_noun: String,
+    /// Excerpt template; `{fn}` is the entry-point function.
+    pub contract: String,
+}
+
+/// "A trigger call's argument text must not contain a forbidden
+/// spelling" (serve sites taking `Limits::default()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgRule {
+    /// Rule id.
+    pub name: &'static str,
+    /// Path prefixes the rule is scoped to (any match applies).
+    pub scopes: Vec<String>,
+    /// Calls whose argument lists are inspected.
+    pub triggers: Vec<CallPat>,
+    /// Forbidden substring of the (blanked) argument text.
+    pub forbidden: String,
+    /// Witness template; `{call}`, `{fn}`, `{file}`, `{line}`.
+    pub witness: String,
+}
+
+/// "No function reachable from an entry point may contain a forbidden
+/// spelling" (zero-alloc drain path). Suppressions on call-site lines
+/// are edge-aware: they prune propagation through that edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachRule {
+    /// Rule id.
+    pub name: &'static str,
+    /// Path prefix entry points must live under.
+    pub scope: String,
+    /// Exact entry-point function names.
+    pub entries: Vec<String>,
+    /// Entry-point name prefixes (`route_raw` matches `route_raw_ack`).
+    pub entry_prefixes: Vec<String>,
+    /// Forbidden spellings, matched lexically in reachable bodies.
+    pub markers: Vec<String>,
+    /// Witness template; `{marker}`, `{fn}`, `{chain}`.
+    pub witness: String,
+}
+
+/// "Bytes from a source must pass a sanitizer before reaching a sink"
+/// — a variable-level taint lattice evaluated by [`crate::dataflow`],
+/// with interprocedural source/sanitizer/sink summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintRule {
+    /// Rule id.
+    pub name: &'static str,
+    /// Path prefixes exempt from the rule (the crates that implement
+    /// the primitives themselves).
+    pub exempt: Vec<String>,
+    /// Calls whose results (and `&mut` arguments) become tainted.
+    pub sources: Vec<CallPat>,
+    /// Calls that clear taint from their arguments.
+    pub sanitizers: Vec<CallPat>,
+    /// Calls that must never receive a tainted argument.
+    pub sinks: Vec<CallPat>,
+    /// Excerpt template; `{call}`, `{var}`, `{src}`, `{file}`, `{line}`.
+    pub contract: String,
+}
+
+/// "Every gauge increment is matched by a decrement on all paths out
+/// of the enclosing function" — checked per function, only for gauge
+/// classes the function both increments and decrements (balance intent
+/// is local; cross-function pairs like push/pop counters are exempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeRule {
+    /// Rule id.
+    pub name: &'static str,
+    /// Field base types treated as gauges.
+    pub types: Vec<String>,
+    /// Path prefixes exempt (the telemetry crate implements gauges).
+    pub exempt: Vec<String>,
+}
+
+/// The full declarative ruleset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ruleset {
+    /// Obligation-propagation rules.
+    pub obligations: Vec<ObligationRule>,
+    /// Argument-inspection rules.
+    pub arg_rules: Vec<ArgRule>,
+    /// Reachability rules.
+    pub reach_rules: Vec<ReachRule>,
+    /// Taint-dataflow rules.
+    pub taint_rules: Vec<TaintRule>,
+    /// Gauge-balance rules.
+    pub gauge_rules: Vec<GaugeRule>,
+}
+
+fn pats(names: &[&str]) -> Vec<CallPat> {
+    names.iter().map(|n| CallPat::parse(n)).collect()
+}
+
+fn strs(names: &[&str]) -> Vec<String> {
+    names.iter().map(|n| n.to_string()).collect()
+}
+
+/// The built-in ruleset — must stay identical to the checked-in
+/// `lint-rules.toml` (used directly for roots without the file:
+/// fixture trees, `--self`).
+pub fn builtin() -> Ruleset {
+    Ruleset {
+        obligations: vec![
+            ObligationRule {
+                name: "wsa-rewrite-before-forward",
+                scope: "crates/core/".into(),
+                sinks: pats(&["enqueue", "ack_enqueue"]),
+                satisfiers: pats(&["rewrite_for_forward", "splice_forward"]),
+                sink_noun: "forward sink".into(),
+                contract: "path to forward enqueue without a ReplyTo rewrite \
+                           (no rewrite on any route into `{fn}`)"
+                    .into(),
+            },
+            ObligationRule {
+                name: "shard-route-before-enqueue",
+                scope: "crates/core/".into(),
+                sinks: pats(&["enqueue_fleet"]),
+                satisfiers: pats(&["shard_route"]),
+                sink_noun: "fleet sink".into(),
+                contract: "path to fleet enqueue without a shard-route step                          (no `shard_route` on any route into `{fn}`)".into(),
+            },
+        ],
+        arg_rules: vec![ArgRule {
+            name: "limits-at-serve-site",
+            scopes: strs(&["crates/core/src/rt/", "crates/core/src/sim/"]),
+            triggers: pats(&["serve_connection", "serve", "RequestParser::new"]),
+            forbidden: "Limits::default".into(),
+            witness: "serve site `{call}` in {fn} ({file}:{line}) constructs \
+                      Limits::default() instead of threading config limits"
+                .into(),
+        }],
+        reach_rules: vec![ReachRule {
+            name: "alloc-in-drain",
+            scope: "crates/core/".into(),
+            entries: strs(&["drain"]),
+            entry_prefixes: strs(&["route_raw"]),
+            markers: strs(&["String::from(", ".to_string()", "Vec::new()", "format!("]),
+            witness: "allocation `{marker}` in {fn} on drain path: {chain}".into(),
+        }],
+        taint_rules: vec![TaintRule {
+            name: "unvalidated-envelope-to-sink",
+            exempt: strs(&["crates/http/", "crates/xml/", "crates/soap/"]),
+            sources: pats(&["try_read", "feed"]),
+            sanitizers: pats(&[
+                "verify_element",
+                "verify_element_with_prefixes",
+                "Envelope::parse",
+                "xml::parse",
+                "Document::parse",
+            ]),
+            sinks: pats(&[
+                "splice_forward",
+                "splice_forward_into",
+                "append",
+                "append_durable",
+                "enqueue",
+                "ack_enqueue",
+                "enqueue_fleet",
+            ]),
+            contract: "unvalidated bytes reach `{call}`: `{var}` tainted by \
+                       `{src}` at {file}:{line} was never sanitized"
+                .into(),
+        }],
+        gauge_rules: vec![GaugeRule {
+            name: "gauge-balance",
+            types: strs(&["Gauge"]),
+            exempt: strs(&["crates/telemetry/"]),
+        }],
+    }
+}
+
+/// Loads `<root>/lint-rules.toml`, falling back to [`builtin`] when the
+/// file is absent. A present-but-malformed file is an error: a typo'd
+/// ruleset silently reverting to defaults would un-enforce rules.
+pub fn load(root: &Path) -> Result<Ruleset, String> {
+    let path = root.join("lint-rules.toml");
+    // wsd-lint: allow(raw-file-io): the ruleset is checked-in lint config, not durable state
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(builtin());
+    };
+    parse_toml(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Interns a rule name against [`RULE_NAMES`] (findings carry
+/// `&'static str` rule ids; an unknown name in the TOML is an error —
+/// every declarative rule must also be registered for suppressions and
+/// SARIF rule metadata).
+fn intern_rule(name: &str) -> Result<&'static str, String> {
+    RULE_NAMES
+        .iter()
+        .find(|r| **r == name)
+        .copied()
+        .ok_or_else(|| format!("unknown rule name `{name}` (not in RULE_NAMES)"))
+}
+
+/// One parsed `key = value` where value is a string or string array.
+enum Val {
+    Str(String),
+    List(Vec<String>),
+}
+
+fn parse_value(raw: &str) -> Result<Val, String> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(end) = rest.rfind('"') else {
+            return Err("unterminated string".into());
+        };
+        return Ok(Val::Str(rest[..end].to_string()));
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(body) = rest.strip_suffix(']') else {
+            return Err("unterminated array (arrays must be single-line)".into());
+        };
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let inner = part
+                .strip_prefix('"')
+                .and_then(|p| p.strip_suffix('"'))
+                .ok_or_else(|| format!("array item `{part}` is not a quoted string"))?;
+            items.push(inner.to_string());
+        }
+        return Ok(Val::List(items));
+    }
+    Err(format!("unsupported value `{raw}` (expected \"str\" or [\"a\", ...])"))
+}
+
+/// Hand-rolled parser for the TOML subset the ruleset uses:
+/// `[[section]]` table arrays, `key = "string"`, and single-line
+/// `key = ["a", "b"]` arrays. Comments (`#`) and blank lines ignored.
+pub fn parse_toml(text: &str) -> Result<Ruleset, String> {
+    let mut rs = Ruleset::default();
+    // Current section kind and the index of the row being filled.
+    let mut section: Option<(String, usize)> = None;
+
+    for (lno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |e: String| format!("line {}: {e}", lno + 1);
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let idx = match name {
+                "obligation" => {
+                    rs.obligations.push(ObligationRule {
+                        name: "",
+                        scope: String::new(),
+                        sinks: vec![],
+                        satisfiers: vec![],
+                        sink_noun: String::new(),
+                        contract: String::new(),
+                    });
+                    rs.obligations.len() - 1
+                }
+                "arg-rule" => {
+                    rs.arg_rules.push(ArgRule {
+                        name: "",
+                        scopes: vec![],
+                        triggers: vec![],
+                        forbidden: String::new(),
+                        witness: String::new(),
+                    });
+                    rs.arg_rules.len() - 1
+                }
+                "reach-rule" => {
+                    rs.reach_rules.push(ReachRule {
+                        name: "",
+                        scope: String::new(),
+                        entries: vec![],
+                        entry_prefixes: vec![],
+                        markers: vec![],
+                        witness: String::new(),
+                    });
+                    rs.reach_rules.len() - 1
+                }
+                "taint" => {
+                    rs.taint_rules.push(TaintRule {
+                        name: "",
+                        exempt: vec![],
+                        sources: vec![],
+                        sanitizers: vec![],
+                        sinks: vec![],
+                        contract: String::new(),
+                    });
+                    rs.taint_rules.len() - 1
+                }
+                "gauge" => {
+                    rs.gauge_rules.push(GaugeRule {
+                        name: "",
+                        types: vec![],
+                        exempt: vec![],
+                    });
+                    rs.gauge_rules.len() - 1
+                }
+                other => return Err(at(format!("unknown section `[[{other}]]`"))),
+            };
+            section = Some((name.to_string(), idx));
+            continue;
+        }
+        let Some((key, raw_val)) = line.split_once('=') else {
+            return Err(at(format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let val = parse_value(raw_val).map_err(&at)?;
+        let Some((kind, idx)) = &section else {
+            return Err(at(format!("`{key}` outside any [[section]]")));
+        };
+        let idx = *idx;
+        let want_str = |v: &Val| -> Result<String, String> {
+            match v {
+                Val::Str(s) => Ok(s.clone()),
+                _ => Err(at(format!("`{key}` expects a string"))),
+            }
+        };
+        let want_list = |v: &Val| -> Result<Vec<String>, String> {
+            match v {
+                Val::List(l) => Ok(l.clone()),
+                _ => Err(at(format!("`{key}` expects an array"))),
+            }
+        };
+        let to_pats = |v: &Val| -> Result<Vec<CallPat>, String> {
+            Ok(want_list(v)?.iter().map(|s| CallPat::parse(s)).collect())
+        };
+        match (kind.as_str(), key) {
+            ("obligation", "name") => rs.obligations[idx].name = intern_rule(&want_str(&val)?)?,
+            ("obligation", "scope") => rs.obligations[idx].scope = want_str(&val)?,
+            ("obligation", "sinks") => rs.obligations[idx].sinks = to_pats(&val)?,
+            ("obligation", "satisfiers") => rs.obligations[idx].satisfiers = to_pats(&val)?,
+            ("obligation", "sink-noun") => rs.obligations[idx].sink_noun = want_str(&val)?,
+            ("obligation", "contract") => rs.obligations[idx].contract = want_str(&val)?,
+            ("arg-rule", "name") => rs.arg_rules[idx].name = intern_rule(&want_str(&val)?)?,
+            ("arg-rule", "scopes") => rs.arg_rules[idx].scopes = want_list(&val)?,
+            ("arg-rule", "triggers") => rs.arg_rules[idx].triggers = to_pats(&val)?,
+            ("arg-rule", "forbidden") => rs.arg_rules[idx].forbidden = want_str(&val)?,
+            ("arg-rule", "witness") => rs.arg_rules[idx].witness = want_str(&val)?,
+            ("reach-rule", "name") => rs.reach_rules[idx].name = intern_rule(&want_str(&val)?)?,
+            ("reach-rule", "scope") => rs.reach_rules[idx].scope = want_str(&val)?,
+            ("reach-rule", "entries") => rs.reach_rules[idx].entries = want_list(&val)?,
+            ("reach-rule", "entry-prefixes") => {
+                rs.reach_rules[idx].entry_prefixes = want_list(&val)?
+            }
+            ("reach-rule", "markers") => rs.reach_rules[idx].markers = want_list(&val)?,
+            ("reach-rule", "witness") => rs.reach_rules[idx].witness = want_str(&val)?,
+            ("taint", "name") => rs.taint_rules[idx].name = intern_rule(&want_str(&val)?)?,
+            ("taint", "exempt") => rs.taint_rules[idx].exempt = want_list(&val)?,
+            ("taint", "sources") => rs.taint_rules[idx].sources = to_pats(&val)?,
+            ("taint", "sanitizers") => rs.taint_rules[idx].sanitizers = to_pats(&val)?,
+            ("taint", "sinks") => rs.taint_rules[idx].sinks = to_pats(&val)?,
+            ("taint", "contract") => rs.taint_rules[idx].contract = want_str(&val)?,
+            ("gauge", "name") => rs.gauge_rules[idx].name = intern_rule(&want_str(&val)?)?,
+            ("gauge", "types") => rs.gauge_rules[idx].types = want_list(&val)?,
+            ("gauge", "exempt") => rs.gauge_rules[idx].exempt = want_list(&val)?,
+            (k, key) => return Err(at(format!("unknown key `{key}` in [[{k}]]"))),
+        }
+    }
+    for name in rs
+        .obligations
+        .iter()
+        .map(|r| r.name)
+        .chain(rs.arg_rules.iter().map(|r| r.name))
+        .chain(rs.reach_rules.iter().map(|r| r.name))
+        .chain(rs.taint_rules.iter().map(|r| r.name))
+        .chain(rs.gauge_rules.iter().map(|r| r.name))
+    {
+        if name.is_empty() {
+            return Err("a rule section is missing its `name`".into());
+        }
+    }
+    Ok(rs)
+}
+
+/// Renders the ruleset back to the TOML subset (used to generate the
+/// checked-in file and by the round-trip test).
+pub fn render_toml(rs: &Ruleset) -> String {
+    fn s(out: &mut String, key: &str, v: &str) {
+        out.push_str(&format!("{key} = \"{v}\"\n"));
+    }
+    fn l(out: &mut String, key: &str, v: &[String]) {
+        let items: Vec<String> = v.iter().map(|i| format!("\"{i}\"")).collect();
+        out.push_str(&format!("{key} = [{}]\n", items.join(", ")));
+    }
+    fn lp(out: &mut String, key: &str, v: &[CallPat]) {
+        let items: Vec<String> = v
+            .iter()
+            .map(|p| match &p.qualifier {
+                Some(q) => format!("\"{q}::{}\"", p.name),
+                None => format!("\"{}\"", p.name),
+            })
+            .collect();
+        out.push_str(&format!("{key} = [{}]\n", items.join(", ")));
+    }
+    let mut out = String::from(
+        "# wsd-lint declarative ruleset (DESIGN.md §9.2). Each section is one\n\
+         # interprocedural/dataflow rule; names must exist in RULE_NAMES. This\n\
+         # file must stay identical to `ruleset::builtin()` (unit-tested).\n",
+    );
+    for r in &rs.obligations {
+        out.push_str("\n[[obligation]]\n");
+        s(&mut out, "name", r.name);
+        s(&mut out, "scope", &r.scope);
+        lp(&mut out, "sinks", &r.sinks);
+        lp(&mut out, "satisfiers", &r.satisfiers);
+        s(&mut out, "sink-noun", &r.sink_noun);
+        s(&mut out, "contract", &r.contract);
+    }
+    for r in &rs.arg_rules {
+        out.push_str("\n[[arg-rule]]\n");
+        s(&mut out, "name", r.name);
+        l(&mut out, "scopes", &r.scopes);
+        lp(&mut out, "triggers", &r.triggers);
+        s(&mut out, "forbidden", &r.forbidden);
+        s(&mut out, "witness", &r.witness);
+    }
+    for r in &rs.reach_rules {
+        out.push_str("\n[[reach-rule]]\n");
+        s(&mut out, "name", r.name);
+        s(&mut out, "scope", &r.scope);
+        l(&mut out, "entries", &r.entries);
+        l(&mut out, "entry-prefixes", &r.entry_prefixes);
+        l(&mut out, "markers", &r.markers);
+        s(&mut out, "witness", &r.witness);
+    }
+    for r in &rs.taint_rules {
+        out.push_str("\n[[taint]]\n");
+        s(&mut out, "name", r.name);
+        l(&mut out, "exempt", &r.exempt);
+        lp(&mut out, "sources", &r.sources);
+        lp(&mut out, "sanitizers", &r.sanitizers);
+        lp(&mut out, "sinks", &r.sinks);
+        s(&mut out, "contract", &r.contract);
+    }
+    for r in &rs.gauge_rules {
+        out.push_str("\n[[gauge]]\n");
+        s(&mut out, "name", r.name);
+        l(&mut out, "types", &r.types);
+        l(&mut out, "exempt", &r.exempt);
+    }
+    out
+}
+
+/// Fills a message template: `{fn}`, `{call}`, `{file}`, `{line}`, ...
+pub fn fill(template: &str, pairs: &[(&str, &str)]) -> String {
+    let mut out = template.to_string();
+    for (k, v) in pairs {
+        out = out.replace(&format!("{{{k}}}"), v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callpat_parses_and_matches() {
+        let bare = CallPat::parse("enqueue");
+        assert_eq!(bare.qualifier, None);
+        let q = CallPat::parse("RequestParser::new");
+        assert_eq!(q.qualifier.as_deref(), Some("RequestParser"));
+        assert_eq!(q.name, "new");
+        let deep = CallPat::parse("a::b::c");
+        assert_eq!(deep.qualifier.as_deref(), Some("b"));
+        assert_eq!(deep.name, "c");
+    }
+
+    #[test]
+    fn toml_round_trips_the_builtin() {
+        let rs = builtin();
+        let text = render_toml(&rs);
+        let parsed = parse_toml(&text).expect("round trip");
+        assert_eq!(parsed, rs);
+    }
+
+    #[test]
+    fn checked_in_ruleset_matches_builtin() {
+        let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let loaded = load(&root).expect("load workspace ruleset");
+        assert_eq!(
+            loaded,
+            builtin(),
+            "lint-rules.toml has drifted from ruleset::builtin() — regenerate \
+             it with ruleset::render_toml(&builtin())"
+        );
+    }
+
+    #[test]
+    fn absent_file_falls_back_to_builtin() {
+        let rs = load(Path::new("/nonexistent-fixture-root")).unwrap();
+        assert_eq!(rs, builtin());
+    }
+
+    #[test]
+    fn unknown_rule_name_is_rejected() {
+        let err = parse_toml("[[gauge]]\nname = \"no-such-rule\"\n").unwrap_err();
+        assert!(err.contains("no-such-rule"), "{err}");
+    }
+
+    #[test]
+    fn malformed_value_is_rejected() {
+        assert!(parse_toml("[[gauge]]\nname = 42\n").is_err());
+        assert!(parse_toml("[[nope]]\n").is_err());
+        assert!(parse_toml("name = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn fill_replaces_placeholders() {
+        assert_eq!(
+            fill("sink `{call}` in {fn}", &[("call", "enqueue"), ("fn", "D::f")]),
+            "sink `enqueue` in D::f"
+        );
+    }
+}

@@ -3,12 +3,41 @@
 //! Emits one run with the `wsd-lint` driver, a rule entry per
 //! [`crate::rules::RULE_NAMES`] member, and one result per finding.
 //! Interprocedural witnesses ride along in the message text so CI
-//! surfaces the call chain, not just the sink line. Only the subset of
-//! the schema that GitHub/GitLab code-scanning ingestion reads is
-//! produced — hand-rolled like the rest of the crate (no serde).
+//! surfaces the call chain, not just the sink line, and findings that
+//! carry a step-by-step path (obligation chains, taint
+//! source→sanitizer-miss→sink traces, gauge witness paths) emit it as
+//! a `codeFlows` thread flow so code-scanning UIs render the whole
+//! route. Only the subset of the schema that GitHub/GitLab
+//! code-scanning ingestion reads is produced — hand-rolled like the
+//! rest of the crate (no serde).
 
 use crate::json::escape;
 use crate::rules::{rule_hint, Finding, RULE_NAMES};
+
+/// Renders one finding's `flow` as a SARIF `codeFlows` property
+/// (single thread flow, one location per step). Empty string when the
+/// finding has no recorded path.
+fn code_flows(f: &Finding) -> String {
+    if f.flow.is_empty() {
+        return String::new();
+    }
+    let steps: Vec<String> = f
+        .flow
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"location\": {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}, \"message\": {{\"text\": \"{}\"}}}}}}",
+                escape(&s.file),
+                s.line.max(1),
+                escape(&s.message)
+            )
+        })
+        .collect();
+    format!(
+        ", \"codeFlows\": [{{\"threadFlows\": [{{\"locations\": [{}]}}]}}]",
+        steps.join(", ")
+    )
+}
 
 /// Renders findings as a SARIF 2.1.0 document.
 pub fn render(findings: &[Finding]) -> String {
@@ -41,11 +70,12 @@ pub fn render(findings: &[Finding]) -> String {
             message.push(']');
         }
         out.push_str(&format!(
-            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]{}}}{}\n",
             escape(f.rule),
             escape(&message),
             escape(&f.file),
             f.line.max(1),
+            code_flows(f),
             if i + 1 < findings.len() { "," } else { "" }
         ));
     }
@@ -56,6 +86,7 @@ pub fn render(findings: &[Finding]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::FlowStep;
 
     #[test]
     fn sarif_shape_and_escaping() {
@@ -65,6 +96,7 @@ mod tests {
             line: 7,
             excerpt: "join while \"held\"".to_string(),
             witness: Some("A::f (crates/x/src/a.rs:7) -> thread join".to_string()),
+            flow: Vec::new(),
         }];
         let doc = render(&findings);
         assert!(doc.contains("\"version\": \"2.1.0\""));
@@ -72,10 +104,41 @@ mod tests {
         assert!(doc.contains("\"startLine\": 7"));
         assert!(doc.contains("\\\"held\\\""));
         assert!(doc.contains("witness: A::f"));
+        // No flow steps -> no codeFlows property.
+        assert!(!doc.contains("codeFlows"));
         // Every rule is declared.
         for rule in RULE_NAMES {
             assert!(doc.contains(&format!("\"id\": \"{rule}\"")));
         }
+    }
+
+    #[test]
+    fn code_flows_render_each_step_in_order() {
+        let findings = vec![Finding {
+            rule: "unvalidated-envelope-to-sink",
+            file: "crates/store/src/wal.rs".to_string(),
+            line: 9,
+            excerpt: "unvalidated bytes reach `append`".to_string(),
+            witness: Some("tainted at wal.rs:3".to_string()),
+            flow: vec![
+                FlowStep {
+                    file: "crates/store/src/wal.rs".to_string(),
+                    line: 3,
+                    message: "tainted by `try_read`".to_string(),
+                },
+                FlowStep {
+                    file: "crates/store/src/wal.rs".to_string(),
+                    line: 9,
+                    message: "reaches sink `append` unsanitized".to_string(),
+                },
+            ],
+        }];
+        let doc = render(&findings);
+        assert!(doc.contains("\"codeFlows\""));
+        assert!(doc.contains("\"threadFlows\""));
+        let a = doc.find("tainted by `try_read`").unwrap();
+        let b = doc.find("reaches sink `append` unsanitized").unwrap();
+        assert!(a < b, "flow steps must render in path order");
     }
 
     #[test]

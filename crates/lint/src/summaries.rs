@@ -11,10 +11,16 @@
 //! * **blocks** — whether the function can reach an unbounded blocking
 //!   sink (condvar wait, blocking queue pop/push, socket IO, thread
 //!   join, ...), with a witness chain,
-//! * **rewrites_wsa** — whether it (transitively) calls a WS-Addressing
-//!   forward rewrite (`rewrite_for_forward` / `splice_forward`),
-//! * **routes_shard** — whether it (transitively) calls the fleet's
-//!   consistent-hash routing step (`shard_route`),
+//! * **satisfies** — which declarative obligation rules
+//!   ([`crate::ruleset::ObligationRule`], by index) the function
+//!   (transitively) satisfies by calling one of the rule's satisfier
+//!   markers — e.g. a WS-Addressing forward rewrite
+//!   (`rewrite_for_forward` / `splice_forward`) for
+//!   `wsa-rewrite-before-forward`,
+//! * **sanitizes** — which declarative taint rules
+//!   ([`crate::ruleset::TaintRule`], by index) the function
+//!   (transitively) sanitizes for, by calling one of the rule's
+//!   sanitizers,
 //! * **telemetry_stage** — whether it records a `TraceStage::` marker.
 //!
 //! Lock classes are tied to *fields*: `state: OrderedMutex::new("fifo_queue.state", ..)`
@@ -32,14 +38,8 @@
 
 use crate::callgraph::{line_at, line_index, CallSite, Graph};
 use crate::parser::ParsedFile;
+use crate::ruleset::{CallPat, Ruleset};
 use std::collections::{BTreeMap, BTreeSet};
-
-/// Calls that mark a WS-Addressing forward rewrite.
-pub const WSA_REWRITE_MARKERS: &[&str] = &["rewrite_for_forward", "splice_forward"];
-
-/// Calls that mark the fleet's ring-routing step: hashing the logical
-/// service name onto the shard ring to pick the owning instance.
-pub const SHARD_ROUTE_MARKERS: &[&str] = &["shard_route"];
 
 /// One file handed to [`compute`]: original text + parsed items.
 pub struct FileEntry {
@@ -95,10 +95,12 @@ pub struct FnFacts {
     pub acquires: BTreeMap<String, AcqWitness>,
     /// Reachable unbounded blocking sink, if any.
     pub blocks: Option<BlockWitness>,
-    /// Transitively calls a WS-Addressing forward rewrite.
-    pub rewrites_wsa: bool,
-    /// Transitively calls the fleet shard-routing step.
-    pub routes_shard: bool,
+    /// Obligation rules (by index into `Ruleset::obligations`) this fn
+    /// transitively satisfies by calling a satisfier marker.
+    pub satisfies: BTreeSet<usize>,
+    /// Taint rules (by index into `Ruleset::taint_rules`) this fn
+    /// transitively sanitizes for by calling a sanitizer.
+    pub sanitizes: BTreeSet<usize>,
     /// Transitively records a `TraceStage::` telemetry marker.
     pub telemetry_stage: bool,
 }
@@ -112,6 +114,9 @@ pub struct Facts {
     pub field_classes: BTreeMap<String, BTreeMap<String, String>>,
     /// Every lock class seen in the workspace.
     pub classes: BTreeSet<String>,
+    /// file -> field -> declared base type (wrappers like `Arc<..>`
+    /// unwrapped) — drives gauge-class detection in [`crate::dataflow`].
+    pub field_types: BTreeMap<String, BTreeMap<String, String>>,
 }
 
 /// Unbounded blocking sinks, by call-site shape. Bounded waits
@@ -148,7 +153,7 @@ fn is_word_char(c: u8) -> bool {
 }
 
 /// Word-boundary `contains`.
-fn contains_word(hay: &str, word: &str) -> bool {
+pub fn contains_word(hay: &str, word: &str) -> bool {
     let h = hay.as_bytes();
     let mut from = 0;
     while let Some(pos) = hay[from..].find(word) {
@@ -292,7 +297,7 @@ fn stmt_end(code: &str, from: usize, limit: usize) -> usize {
 
 /// Binding ident after `let` in a statement slice (`let mut g = ...` →
 /// `g`).
-fn let_binding(slice: &str) -> Option<String> {
+pub fn let_binding(slice: &str) -> Option<String> {
     let b = slice.as_bytes();
     let mut pos = None;
     let mut from = 0;
@@ -322,6 +327,106 @@ fn let_binding(slice: &str) -> Option<String> {
         }
         return Some(word.to_string());
     }
+}
+
+/// Parameter names of a fn item, read from its signature text in the
+/// blanked code (the item parser does not model parameters). `self`
+/// and destructuring patterns are skipped — the taint engine treats
+/// only plain-ident parameters as taintable entry values.
+pub fn fn_params(code: &str, parsed: &ParsedFile, local_idx: usize) -> Vec<String> {
+    let Some(item) = parsed.fns.get(local_idx) else {
+        return Vec::new();
+    };
+    let starts = line_index(code);
+    let sig_start = starts.get(item.sig_line.saturating_sub(1)).copied().unwrap_or(0);
+    let sig_end = item.body.map(|(s, _)| s).unwrap_or(code.len()).min(code.len());
+    let sig = &code[sig_start.min(sig_end)..sig_end];
+    let b = sig.as_bytes();
+
+    // The param list opens at the first `(` after `fn` that is outside
+    // the generic parameter list (`fn f<F: Fn(u8)>(x: F)`).
+    let mut fn_at = None;
+    let mut from = 0;
+    while let Some(p) = sig[from..].find("fn") {
+        let s = from + p;
+        let e = s + 2;
+        if (s == 0 || !is_word_char(b[s - 1])) && (e >= b.len() || !is_word_char(b[e])) {
+            fn_at = Some(e);
+            break;
+        }
+        from = e;
+    }
+    let Some(mut i) = fn_at else { return Vec::new() };
+    let mut ang = 0i32;
+    let mut open = None;
+    while i < b.len() {
+        match b[i] {
+            b'<' => ang += 1,
+            b'>' => ang -= 1,
+            b'(' if ang <= 0 => {
+                open = Some(i);
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(open) = open else { return Vec::new() };
+    let mut depth = 0i32;
+    let mut close = sig.len();
+    for (j, ch) in b.iter().enumerate().skip(open) {
+        match ch {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let list = &sig[open + 1..close.min(sig.len())];
+
+    let mut out = Vec::new();
+    let (mut pd, mut ad) = (0i32, 0i32);
+    let mut seg_start = 0;
+    let lb = list.as_bytes();
+    for j in 0..=lb.len() {
+        let split = j == lb.len()
+            || (lb[j] == b',' && pd == 0 && ad == 0);
+        if j < lb.len() {
+            match lb[j] {
+                b'(' | b'[' => pd += 1,
+                b')' | b']' => pd -= 1,
+                b'<' => ad += 1,
+                b'>' => ad -= 1,
+                _ => {}
+            }
+        }
+        if !split {
+            continue;
+        }
+        let param = list[seg_start..j].trim();
+        seg_start = j + 1;
+        let name_part = param.split(':').next().unwrap_or("").trim();
+        let name = name_part
+            .trim_start_matches('&')
+            .trim()
+            .trim_start_matches("mut ")
+            .trim();
+        if name.is_empty()
+            || name == "self"
+            || name == "_"
+            || !name.bytes().all(is_word_char)
+            || name.bytes().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            continue;
+        }
+        out.push(name.to_string());
+    }
+    out
 }
 
 /// Strips container wrappers and returns the base type name of a field
@@ -446,8 +551,14 @@ fn class_string(files: &BTreeMap<String, FileEntry>, file: &str, c: &CallSite) -
 const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
 
 /// Computes workspace facts; also runs the field-type-driven second
-/// resolution pass over `graph` (mutating unresolved call sites).
-pub fn compute(files: &BTreeMap<String, FileEntry>, graph: &mut Graph) -> Facts {
+/// resolution pass over `graph` (mutating unresolved call sites). The
+/// `ruleset` supplies the satisfier/sanitizer markers whose transitive
+/// reachability becomes the `satisfies`/`sanitizes` fact sets.
+pub fn compute(
+    files: &BTreeMap<String, FileEntry>,
+    graph: &mut Graph,
+    ruleset: &Ruleset,
+) -> Facts {
     let mut facts = Facts::default();
 
     // ---- lock classes & field types, per file -----------------------
@@ -537,6 +648,8 @@ pub fn compute(files: &BTreeMap<String, FileEntry>, graph: &mut Graph) -> Facts 
         }
         field_types_by_file.insert(path.clone(), decls);
     }
+
+    facts.field_types = field_types_by_file.clone();
 
     // Globally-unique field -> type map for cross-file receivers.
     let mut global_field_types: BTreeMap<String, Option<String>> = BTreeMap::new();
@@ -668,13 +781,17 @@ pub fn compute(files: &BTreeMap<String, FileEntry>, graph: &mut Graph) -> Facts 
                     });
                 }
             }
-            // Direct WSA rewrite markers.
-            if WSA_REWRITE_MARKERS.contains(&c.name.as_str()) {
-                ff.rewrites_wsa = true;
+            // Direct obligation satisfiers (WSA rewrite, shard route,
+            // ...) and taint sanitizers, straight from the ruleset.
+            for (oi, rule) in ruleset.obligations.iter().enumerate() {
+                if CallPat::any(&rule.satisfiers, c) {
+                    ff.satisfies.insert(oi);
+                }
             }
-            // Direct shard-route markers.
-            if SHARD_ROUTE_MARKERS.contains(&c.name.as_str()) {
-                ff.routes_shard = true;
+            for (ti, rule) in ruleset.taint_rules.iter().enumerate() {
+                if CallPat::any(&rule.sanitizers, c) {
+                    ff.sanitizes.insert(ti);
+                }
             }
         }
         if span.1 > span.0 && code[span.0..span.1].contains("TraceStage::") {
@@ -724,13 +841,23 @@ pub fn compute(files: &BTreeMap<String, FileEntry>, graph: &mut Graph) -> Facts 
                         changed = true;
                     }
                 }
-                // rewrites_wsa / routes_shard / telemetry_stage
-                if facts.fns[t].rewrites_wsa && !facts.fns[fi].rewrites_wsa {
-                    facts.fns[fi].rewrites_wsa = true;
+                // satisfies / sanitizes / telemetry_stage
+                let add: Vec<usize> = facts.fns[t]
+                    .satisfies
+                    .difference(&facts.fns[fi].satisfies)
+                    .copied()
+                    .collect();
+                for oi in add {
+                    facts.fns[fi].satisfies.insert(oi);
                     changed = true;
                 }
-                if facts.fns[t].routes_shard && !facts.fns[fi].routes_shard {
-                    facts.fns[fi].routes_shard = true;
+                let add: Vec<usize> = facts.fns[t]
+                    .sanitizes
+                    .difference(&facts.fns[fi].sanitizes)
+                    .copied()
+                    .collect();
+                for ti in add {
+                    facts.fns[fi].sanitizes.insert(ti);
                     changed = true;
                 }
                 if facts.fns[t].telemetry_stage && !facts.fns[fi].telemetry_stage {
@@ -836,7 +963,7 @@ mod tests {
             .map(|(p, s)| (p.to_string(), parse(s)))
             .collect();
         let mut graph = build(&parsed, &|_| false);
-        let facts = compute(&map, &mut graph);
+        let facts = compute(&map, &mut graph, &crate::ruleset::builtin());
         (map, graph, facts)
     }
 
@@ -1021,11 +1148,16 @@ fn outer(env: &[u8]) { splice_path(env); record(env); }
 fn record(env: &[u8]) { let s = TraceStage::Rewritten; }
 "#;
         let (_m, graph, facts) = setup(&[("crates/x/src/msg.rs", src)]);
+        let wsa = crate::ruleset::builtin()
+            .obligations
+            .iter()
+            .position(|r| r.name == "wsa-rewrite-before-forward")
+            .unwrap();
         let outer = fidx(&graph, "outer");
-        assert!(facts.fns[outer].rewrites_wsa);
+        assert!(facts.fns[outer].satisfies.contains(&wsa));
         assert!(facts.fns[outer].telemetry_stage);
         let rec = fidx(&graph, "record");
-        assert!(!facts.fns[rec].rewrites_wsa);
+        assert!(!facts.fns[rec].satisfies.contains(&wsa));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! The gauge shapes done right: every increment is matched on every
+//! non-panic path out (panic paths are exempt by design).
+
+pub struct Worker {
+    active: Gauge,
+}
+
+impl Worker {
+    /// The early return lowers the gauge before leaving.
+    pub fn step(&self, job: Option<Job>) {
+        self.active.inc();
+        let Some(job) = job else {
+            self.active.dec();
+            return;
+        };
+        run(job);
+        self.active.dec();
+    }
+
+    /// Both branches lower it.
+    pub fn tick(&self, ok: bool) {
+        self.active.inc();
+        if ok {
+            self.active.dec();
+        } else {
+            self.active.dec();
+        }
+    }
+
+    /// Panic paths are not leaks: the process is tearing down.
+    pub fn strict(&self) {
+        self.active.inc();
+        if poisoned() {
+            panic!("worker invariant violated");
+        }
+        self.active.dec();
+    }
+}

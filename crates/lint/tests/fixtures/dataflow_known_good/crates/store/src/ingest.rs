@@ -1,0 +1,33 @@
+//! The taint shapes done right: every source-tainted buffer passes a
+//! sanitizer (directly or through a helper) before any sink.
+
+pub struct Ingest {
+    log: Wal,
+}
+
+impl Ingest {
+    /// Direct sanitize: `verify_element` clears the taint.
+    pub fn pump(&mut self, sock: &mut Sock) {
+        let frame = sock.try_read();
+        verify_element(&frame);
+        self.log.append(frame);
+    }
+
+    /// Interprocedural sanitize: `check` transitively calls a
+    /// sanitizer, so its summary clears the argument.
+    pub fn pump_via_helper(&mut self, sock: &mut Sock) {
+        let raw = sock.try_read();
+        self.check(&raw);
+        self.log.append(raw);
+    }
+
+    fn check(&self, bytes: &Frame) {
+        verify_element(bytes);
+    }
+
+    /// Untainted data can hit the sink freely.
+    pub fn flush_static(&mut self) {
+        let banner = heartbeat_frame();
+        self.log.append(banner);
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded gauge-balance violations: an `active` gauge raised and not
+//! lowered on every non-panic path out.
+
+pub struct Worker {
+    active: Gauge,
+}
+
+impl Worker {
+    /// The `let ... else` early return leaks the increment.
+    pub fn step(&self, job: Option<Job>) {
+        self.active.inc();
+        let Some(job) = job else {
+            return;
+        };
+        run(job);
+        self.active.dec();
+    }
+
+    /// The `!ok` branch falls through to the end still raised.
+    pub fn tick(&self, ok: bool) {
+        self.active.inc();
+        if ok {
+            self.active.dec();
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded taint violations: raw socket bytes reach durable sinks
+//! without passing an envelope sanitizer.
+
+pub struct Ingest {
+    log: Wal,
+}
+
+impl Ingest {
+    /// Direct flow: `frame` is tainted by `try_read` and reaches the
+    /// WAL append unsanitized.
+    pub fn pump(&mut self, sock: &mut Sock) {
+        let frame = sock.try_read();
+        self.log.append(frame);
+    }
+
+    /// Interprocedural flow: `store` forwards its parameter to a sink,
+    /// so it is sink-like and the tainted argument here is a finding.
+    pub fn pump_via_helper(&mut self, sock: &mut Sock) {
+        let raw = sock.try_read();
+        self.store(raw);
+    }
+
+    fn store(&mut self, bytes: Frame) {
+        self.log.append(bytes);
+    }
+}

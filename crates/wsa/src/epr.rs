@@ -22,8 +22,10 @@ impl EndpointReference {
     pub fn new(address: impl Into<String>) -> Self {
         EndpointReference {
             address: address.into(),
-            reference_properties: Vec::new(), // wsd-lint: allow(alloc-in-drain): empty Vec::new never touches the allocator
-            reference_parameters: Vec::new(), // wsd-lint: allow(alloc-in-drain): empty Vec::new never touches the allocator
+            // wsd-lint: allow(alloc-in-drain): empty Vec::new never touches the allocator
+            reference_properties: Vec::new(),
+            // wsd-lint: allow(alloc-in-drain): empty Vec::new never touches the allocator
+            reference_parameters: Vec::new(),
         }
     }
 

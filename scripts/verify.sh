@@ -5,10 +5,18 @@
 # Modes:
 #   scripts/verify.sh                  invariant lint + build + test + clippy
 #   scripts/verify.sh lint             just the invariant checks: wsd-lint
-#                                      against lint-baseline.json, wsd-lint
-#                                      linting itself (--self, full rule set,
-#                                      zero tolerance), plus a
+#                                      against lint-baseline.json (with a
+#                                      500ms analysis-time budget — the
+#                                      linter's own performance is part of
+#                                      the contract), wsd-lint linting
+#                                      itself (--self, full rule set, zero
+#                                      tolerance), plus a
 #                                      warnings-as-errors build
+#   scripts/verify.sh sanitize         the invariant checks, then the
+#                                      wsd-concurrent and wsd-store test
+#                                      suites under Miri (UB/aliasing
+#                                      sanitizer); skips with a warning
+#                                      when the toolchain has no Miri
 #   scripts/verify.sh bench-smoke      the default, plus a quick dispatch_hotpath
 #                                      run emitting BENCH_hotpath.json at the
 #                                      repo root (override with BENCH_HOTPATH_JSON)
@@ -42,11 +50,28 @@ cd "$(dirname "$0")/.."
 # Invariant checks run first in every mode: they are the cheapest gate
 # and the one most likely to catch a discipline regression. The linter
 # also lints itself — full rule set, no baseline tolerance.
-cargo run -q -p wsd-lint -- --check
-cargo run -q -p wsd-lint -- --self
+# The budget keeps the linter honest about its own cost: a release
+# build must finish the whole-workspace analysis in under 500ms.
+cargo build -q --release -p wsd-lint
+./target/release/wsd-lint --check --budget-ms 500
+./target/release/wsd-lint --self
 RUSTFLAGS="-D warnings" cargo build --workspace
 
 if [ "${1:-}" = "lint" ]; then
+    exit 0
+fi
+
+# Miri catches UB and aliasing violations the normal test run cannot;
+# the concurrency and storage crates are where that risk lives. The
+# component is optional in offline toolchains, so absence is a warning,
+# not a failure.
+if [ "${1:-}" = "sanitize" ]; then
+    if cargo miri --version >/dev/null 2>&1; then
+        MIRIFLAGS="${MIRIFLAGS:--Zmiri-disable-isolation}" \
+            cargo miri test -p wsd-concurrent -p wsd-store
+    else
+        echo "verify.sh: WARNING: cargo miri not available in this toolchain; skipping sanitize run" >&2
+    fi
     exit 0
 fi
 
