@@ -162,8 +162,7 @@ impl<C: ReactorConn> Shared<C> {
     /// fired into a `Busy` slot.
     fn reinsert(&self, id: u64, conn: C, keep: bool) {
         let mut st = self.state.lock();
-        let existed = st.conns.remove(&id).is_some();
-        if !existed {
+        if st.conns.remove(&id).is_none() {
             // Deregistered while busy (shutdown drained us): just drop.
             return;
         }

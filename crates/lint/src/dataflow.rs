@@ -76,6 +76,11 @@ pub struct StmtCtx<'a> {
     pub binding: Option<String>,
     /// 1-based line of the statement start.
     pub line: usize,
+    /// True when this segment is a branch condition (`if` condition,
+    /// `match` scrutinee, loop header, `let .. else` RHS): provisional
+    /// facts survive the statement so [`Flow::branch`] can consume
+    /// them on the branch-entry states.
+    pub cond: bool,
 }
 
 /// One analysis over the walker.
@@ -86,6 +91,14 @@ pub trait Flow {
     fn join(&self, a: &mut Self::State, b: &Self::State);
     /// Transfer for one call site.
     fn call(&mut self, st: &mut Self::State, c: &CallSite, ctx: &StmtCtx);
+    /// Branch refinement: `st` is entering a branch guarded by the
+    /// condition text `cond`, on the side where the condition held
+    /// (`positive`) or failed (`!positive`). The walker only calls
+    /// this when it can determine the polarity (`if let`, `is_some`/
+    /// `is_none`/`is_ok`/`is_err` conditions, `let .. else`, `match`
+    /// arms); unclassifiable conditions refine neither side. Default:
+    /// no refinement.
+    fn branch(&mut self, _st: &mut Self::State, _cond: &str, _positive: bool) {}
     /// End-of-statement hook (binding assignment for taint).
     fn stmt_done(&mut self, st: &mut Self::State, ctx: &StmtCtx);
     /// A path leaves the function with state `st`.
@@ -94,6 +107,26 @@ pub trait Flow {
 
 fn is_word(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Then-branch polarity of a condition text, when determinable:
+/// `Some(true)` means the then/body side is the condition-held side,
+/// `Some(false)` means the then side is the condition-*failed* side
+/// (`is_none`/`is_err` tests), `None` means the walker cannot tell and
+/// must refine neither branch. Negated forms (`!x.is_none()`) are
+/// deliberately left unclassified rather than guessed.
+fn cond_polarity(cond: &str) -> Option<bool> {
+    if cond.contains('!') {
+        None
+    } else if cond.contains("let ") {
+        Some(true)
+    } else if cond.contains(".is_none()") || cond.contains(".is_err()") {
+        Some(false)
+    } else if cond.contains(".is_some()") || cond.contains(".is_ok()") {
+        Some(true)
+    } else {
+        None
+    }
 }
 
 /// The ident starting at `i`, if any.
@@ -319,7 +352,7 @@ impl<'a> Walker<'a> {
                 _ => {
                     // Plain statement (or tail expression).
                     let end = self.stmt_semi(i, e);
-                    let diverged = self.segment(f, &mut cur, i, end, pending);
+                    let diverged = self.segment(f, &mut cur, i, end, pending, false);
                     if diverged {
                         cur = None;
                     }
@@ -345,8 +378,18 @@ impl<'a> Walker<'a> {
             let Some((bs, be)) = self.find_block(i + 2, e) else {
                 return e;
             };
-            self.segment(f, cur, i + 2, bs, pending);
-            let (fall, _) = self.block(f, bs + 1, be, cur.clone(), pending);
+            self.segment(f, cur, i + 2, bs, pending, true);
+            let cond_text = &self.code[i + 2..bs];
+            let mut then_entry = cur.clone();
+            if let Some(pos) = cond_polarity(cond_text) {
+                if let Some(st) = then_entry.as_mut() {
+                    f.branch(st, cond_text, pos);
+                }
+                if let Some(st) = cur.as_mut() {
+                    f.branch(st, cond_text, !pos);
+                }
+            }
+            let (fall, _) = self.block(f, bs + 1, be, then_entry, pending);
             Self::join_opt(f, &mut outs, fall);
             i = (be + 1).min(e);
             // `else` / `else if`?
@@ -393,12 +436,23 @@ impl<'a> Walker<'a> {
             return e;
         };
         // Header (condition / iterator) events.
-        self.segment(f, cur, i + kw.len(), bs, pending);
-        let zero_iter = if kw == "loop" { None } else { cur.clone() };
+        self.segment(f, cur, i + kw.len(), bs, pending, true);
+        let header = &self.code[i + kw.len()..bs];
+        let mut zero_iter = if kw == "loop" { None } else { cur.clone() };
 
         // Iterate the body to a fixpoint on the entry state; break
         // states collect into the loop's fall-through.
         let mut entry = cur.clone();
+        if kw == "while" {
+            if let Some(pos) = cond_polarity(header) {
+                if let Some(st) = entry.as_mut() {
+                    f.branch(st, header, pos);
+                }
+                if let Some(st) = zero_iter.as_mut() {
+                    f.branch(st, header, !pos);
+                }
+            }
+        }
         let mut breaks: Option<F::State> = None;
         for _ in 0..4 {
             let mut body_pending: Pending<F::State> = Vec::new();
@@ -436,7 +490,8 @@ impl<'a> Walker<'a> {
         let Some((bs, be)) = self.find_block(i + 5, e) else {
             return e;
         };
-        self.segment(f, cur, i + 5, bs, pending);
+        self.segment(f, cur, i + 5, bs, pending, true);
+        let scrutinee = &self.code[i + 5..bs];
         let entry = cur.take();
         let mut outs: Option<F::State> = None;
         let mut j = bs + 1;
@@ -470,6 +525,13 @@ impl<'a> Walker<'a> {
                 body += 1;
             }
             let mut arm_state = entry.clone();
+            // An arm whose pattern names the failure constructors sits
+            // on the condition-failed side of the scrutinee.
+            let pat_text = &self.code[j..arrow];
+            let positive = !(pat_text.contains("None") || pat_text.contains("Err"));
+            if let Some(st) = arm_state.as_mut() {
+                f.branch(st, scrutinee, positive);
+            }
             if body < be && b[body] == b'{' {
                 let Some((abs, abe)) = self.find_block(body, be) else {
                     break;
@@ -492,7 +554,7 @@ impl<'a> Walker<'a> {
                     }
                     k += 1;
                 }
-                let diverged = self.segment(f, &mut arm_state, body, k, pending);
+                let diverged = self.segment(f, &mut arm_state, body, k, pending, false);
                 if !diverged {
                     Self::join_opt(f, &mut outs, arm_state);
                 }
@@ -516,29 +578,99 @@ impl<'a> Walker<'a> {
         // `let PAT = RHS else { DIVERGE };`
         if let Some(else_at) = self.depth0_word("else", i, semi) {
             if let Some((bs, be)) = self.find_block(else_at + 4, semi.max(else_at + 5)) {
-                self.segment(f, cur, i, else_at, pending);
+                self.segment(f, cur, i, else_at, pending, true);
+                let cond_text = &self.code[i..else_at];
                 // The else arm diverges; its fall-through (a non-
-                // diverging else block — invalid Rust) is dropped.
-                let _ = self.block(f, bs + 1, be, cur.clone(), pending);
-                // Binding applies on the continue path.
+                // diverging else block — invalid Rust) is dropped. It
+                // is the pattern-match-failed side of the binding.
+                let mut else_entry = cur.clone();
+                if let Some(st) = else_entry.as_mut() {
+                    f.branch(st, cond_text, false);
+                }
+                let _ = self.block(f, bs + 1, be, else_entry, pending);
+                // Binding applies on the continue (match-held) path.
                 if let Some(st) = cur.as_mut() {
-                    let text = &self.code[i..else_at];
+                    f.branch(st, cond_text, true);
                     let ctx = StmtCtx {
-                        text,
+                        text: cond_text,
                         start: i,
-                        binding: crate::summaries::let_binding(text),
+                        binding: crate::summaries::let_binding(cond_text),
                         line: self.line(i),
+                        cond: false,
                     };
                     f.stmt_done(st, &ctx);
                 }
                 return (semi + 1).min(e);
             }
         }
-        let diverged = self.segment(f, cur, i, semi, pending);
+        // `let x = { ... };` — a block-expression RHS (the lock-scope
+        // idiom). Walked structurally: early `return`s inside the
+        // block exit with the state *at that point*, not with events
+        // sequenced later in the block.
+        if let Some((bs, be)) = self.rhs_block(i, semi) {
+            self.segment(f, cur, i, bs, pending, false);
+            let (fall, _) = self.block(f, bs + 1, be, cur.take(), pending);
+            *cur = fall;
+            if cur.is_some() && be + 1 < semi {
+                self.segment(f, cur, be + 1, semi, pending, false);
+            }
+            if let Some(st) = cur.as_mut() {
+                let text = &self.code[i..semi];
+                let ctx = StmtCtx {
+                    text,
+                    start: i,
+                    binding: crate::summaries::let_binding(text),
+                    line: self.line(i),
+                    cond: false,
+                };
+                f.stmt_done(st, &ctx);
+            }
+            return (semi + 1).min(e);
+        }
+        let diverged = self.segment(f, cur, i, semi, pending, false);
         if diverged {
             *cur = None;
         }
         (semi + 1).min(e)
+    }
+
+    /// The `{ ... }` span of a `let x = { ... };` statement whose RHS
+    /// is exactly a block expression (`= {` with only whitespace
+    /// between) — struct literals, closures, `if`/`match` RHS all stay
+    /// on the linear path.
+    fn rhs_block(&self, i: usize, semi: usize) -> Option<(usize, usize)> {
+        let b = self.code.as_bytes();
+        let (mut pd, mut bd) = (0i32, 0i32);
+        let mut k = i;
+        while k < semi {
+            match b[k] {
+                b'(' | b'[' => pd += 1,
+                b')' | b']' => pd -= 1,
+                b'{' => bd += 1,
+                b'}' => bd -= 1,
+                b'=' if pd == 0 && bd == 0 => {
+                    // A bare binding `=`: not `==`, `=>`, `<=` etc.
+                    if b.get(k + 1) == Some(&b'=')
+                        || b.get(k + 1) == Some(&b'>')
+                        || (k > 0 && b"=<>!+-*/%&|^".contains(&b[k - 1]))
+                    {
+                        k += 1;
+                        continue;
+                    }
+                    let mut j = k + 1;
+                    while j < semi && b[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < semi && b[j] == b'{' {
+                        return self.find_block(j, semi);
+                    }
+                    return None;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        None
     }
 
     /// Linear evaluation of a statement/segment: calls and exit tokens
@@ -551,6 +683,7 @@ impl<'a> Walker<'a> {
         s: usize,
         e: usize,
         pending: &mut Pending<F::State>,
+        cond: bool,
     ) -> bool {
         let Some(st) = cur.as_mut() else {
             return false;
@@ -565,6 +698,7 @@ impl<'a> Walker<'a> {
                 None
             },
             line: self.line(s),
+            cond,
         };
 
         enum Ev {
@@ -663,7 +797,7 @@ fn args_text<'a>(code: &'a str, c: &CallSite) -> &'a str {
         .find('(')
         .map(|p| c.offset + p + 1);
     match open {
-        Some(o) if c.args_end >= 1 && o <= c.args_end - 1 => &code[o..c.args_end - 1],
+        Some(o) if c.args_end >= 1 && o < c.args_end => &code[o..c.args_end - 1],
         _ => "",
     }
 }
@@ -1263,6 +1397,7 @@ impl S {
                     start: c.offset,
                     binding: None,
                     line: c.line,
+                    cond: false,
                 };
                 let mut flow = TaintFlow {
                     code,

@@ -512,7 +512,7 @@ fn reach_rule(
         if !f.file.starts_with(rule.scope.as_str()) {
             continue;
         }
-        if rule.entries.iter().any(|e| *e == f.name)
+        if rule.entries.contains(&f.name)
             || rule.entry_prefixes.iter().any(|p| f.name.starts_with(p.as_str()))
         {
             let steps = vec![FlowStep {

@@ -34,6 +34,8 @@ pub mod rules;
 pub mod ruleset;
 pub mod sarif;
 pub mod summaries;
+pub mod typestate;
+pub mod waitgraph;
 pub mod walk;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -58,6 +60,10 @@ pub struct WorkspaceAnalysis {
     /// The static lock-order edge set (`held -> acquired`), for the
     /// cross-check against `wsd_concurrent::ordered::audit::edges()`.
     pub lock_edges: Vec<interproc::Edge>,
+    /// Wall-clock milliseconds per engine stage, in run order — the
+    /// `--json` `check_ms` breakdown that makes budget regressions
+    /// attributable to a stage.
+    pub timings: Vec<(&'static str, u128)>,
 }
 
 /// Full analysis of every workspace `.rs` file under `root`.
@@ -83,6 +89,15 @@ pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<Worksp
     // left over at the end is dead weight — an `unused-suppression`.
     let mut used: BTreeSet<(String, usize, String)> = BTreeSet::new();
 
+    // wsd-lint: allow(raw-clock): measuring the linter's own stage wall time, not event time
+    let mut stage_start = std::time::Instant::now();
+    let mut timings: Vec<(&'static str, u128)> = Vec::new();
+    let lap = |name: &'static str, start: &mut std::time::Instant, out: &mut Vec<(&'static str, u128)>| {
+        out.push((name, start.elapsed().as_millis()));
+        // wsd-lint: allow(raw-clock): stage timer restart for the next engine lap
+        *start = std::time::Instant::now();
+    };
+
     let mut findings = Vec::new();
     let mut suppressions = 0usize;
     for (rel, entry) in &files {
@@ -94,6 +109,7 @@ pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<Worksp
         }
         suppressions += rules::suppressions_in(&entry.source).len();
     }
+    lap("lexical", &mut stage_start, &mut timings);
 
     // Interprocedural layer: test-path files are excluded from the
     // graph wholesale (fixtures deliberately seed violations, and test
@@ -105,14 +121,26 @@ pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<Worksp
         .collect();
     let mut graph = callgraph::build(&parsed_for_graph, &|_| false);
     let facts = summaries::compute(&files, &mut graph, &ruleset);
+    lap("graph", &mut stage_start, &mut timings);
     let (interproc_findings, lock_edges, edge_allows) =
         interproc::run(&files, &graph, &facts, &ruleset);
     used.extend(edge_allows);
+    lap("interproc", &mut stage_start, &mut timings);
     let dataflow_findings = dataflow::run(&files, &graph, &facts, &ruleset);
+    lap("dataflow", &mut stage_start, &mut timings);
+    let typestate_findings = typestate::run(&files, &graph, &ruleset);
+    lap("typestate", &mut stage_start, &mut timings);
+    let waitgraph_findings = waitgraph::run(&files, &graph, &facts, &ruleset);
+    lap("waitgraph", &mut stage_start, &mut timings);
 
-    // Interprocedural and dataflow findings honour the same
-    // suppression comments.
-    for f in interproc_findings.into_iter().chain(dataflow_findings) {
+    // Interprocedural, dataflow, typestate and waitgraph findings
+    // honour the same suppression comments.
+    for f in interproc_findings
+        .into_iter()
+        .chain(dataflow_findings)
+        .chain(typestate_findings)
+        .chain(waitgraph_findings)
+    {
         let sups = files
             .get(&f.file)
             .map(|e| rules::active_suppressions(&e.parsed.stripped.comments))
@@ -172,6 +200,7 @@ pub fn analyze_workspace(root: &Path, self_mode: bool) -> std::io::Result<Worksp
         graph,
         facts,
         lock_edges,
+        timings,
     })
 }
 

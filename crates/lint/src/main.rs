@@ -3,6 +3,7 @@
 //! ```text
 //! wsd-lint [--root PATH] [--check] [--json PATH] [--sarif PATH]
 //!          [--update-baseline] [--self] [--budget-ms N]
+//!          [--explain RULE]
 //! ```
 //!
 //! * default: report all findings against the ratchet baseline
@@ -22,13 +23,19 @@
 //! * `--budget-ms N`: fail (exit 1) when the analysis wall time exceeds
 //!   `N` milliseconds — the linter's own performance is part of the
 //!   contract (it runs on every `verify.sh lint`). The measured time is
-//!   reported as `check_ms` in the `--json` summary either way.
+//!   reported as `check_ms` in the `--json` summary either way, as an
+//!   object: `total` plus one entry per engine stage (lexical, graph,
+//!   interproc, dataflow, typestate, waitgraph), so budget regressions
+//!   are attributable to a stage.
+//! * `--explain RULE`: print the rule's doc string, engine kind, and
+//!   (for declarative rules) the `lint-rules.toml` source row, then
+//!   exit.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wsd_lint::{analyze_workspace, baseline, json, rules, sarif};
+use wsd_lint::{analyze_workspace, baseline, json, rules, ruleset, sarif};
 
 struct Opts {
     root: PathBuf,
@@ -38,6 +45,7 @@ struct Opts {
     sarif_path: Option<String>,
     self_mode: bool,
     budget_ms: Option<u64>,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -49,6 +57,7 @@ fn parse_args() -> Result<Opts, String> {
         sarif_path: None,
         self_mode: false,
         budget_ms: None,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,10 +79,13 @@ fn parse_args() -> Result<Opts, String> {
                 opts.budget_ms =
                     Some(n.parse().map_err(|_| format!("bad --budget-ms value {n:?}"))?);
             }
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "wsd-lint [--root PATH] [--check] [--json PATH] [--sarif PATH] \
-                     [--update-baseline] [--self] [--budget-ms N]"
+                     [--update-baseline] [--self] [--budget-ms N] [--explain RULE]"
                 );
                 std::process::exit(0);
             }
@@ -92,6 +104,7 @@ fn report_json(
     report: &baseline::RatchetReport,
     suppressions: usize,
     check_ms: u128,
+    timings: &[(&'static str, u128)],
 ) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
     for (idx, f) in findings.iter().enumerate() {
@@ -125,13 +138,18 @@ fn report_json(
             }
         ));
     }
+    let stages: String = timings
+        .iter()
+        .map(|(name, ms)| format!(", \"{name}\": {ms}"))
+        .collect();
     out.push_str(&format!(
-        "  ],\n  \"summary\": {{\"new\": {}, \"tolerated\": {}, \"burned_down\": {}, \"suppressions\": {}, \"check_ms\": {}}}\n}}\n",
+        "  ],\n  \"summary\": {{\"new\": {}, \"tolerated\": {}, \"burned_down\": {}, \"suppressions\": {}, \"check_ms\": {{\"total\": {}{}}}}}\n}}\n",
         report.new_findings.len(),
         report.tolerated,
         report.burned_down.len(),
         suppressions,
-        check_ms
+        check_ms,
+        stages
     ));
     out
 }
@@ -149,6 +167,49 @@ fn write_out(path: &str, text: &str) -> Result<(), ExitCode> {
     }
 }
 
+/// `--explain RULE`: doc string, engine kind, and (for declarative
+/// rules) the `lint-rules.toml` source row.
+fn explain(root: &std::path::Path, rule: &str) -> ExitCode {
+    let rs = match ruleset::load(root) {
+        Ok(rs) => rs,
+        Err(e) => {
+            eprintln!("wsd-lint: bad ruleset: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let hint = rules::rule_hint(rule);
+    match ruleset::explain_rule(&rs, rule) {
+        Some((kind, doc, toml)) => {
+            println!("{rule} — {kind}");
+            if !doc.is_empty() {
+                println!("  {doc}");
+            }
+            if !hint.is_empty() {
+                println!("  -> {hint}");
+            }
+            println!("\nlint-rules.toml source row:");
+            for line in toml.lines() {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        None if rules::RULE_NAMES.contains(&rule) => {
+            println!("{rule} — built-in (lexical/interprocedural; no TOML row)");
+            if !hint.is_empty() {
+                println!("  -> {hint}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "wsd-lint: unknown rule {rule:?}; known rules: {}",
+                rules::RULE_NAMES.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -157,6 +218,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &opts.explain {
+        return explain(&opts.root, rule);
+    }
 
     // `--self`: the linter lints itself, full rule set, zero tolerance.
     let (root, self_mode) = if opts.self_mode {
@@ -269,7 +334,14 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &opts.json_path {
-        let text = report_json(&findings, &new_keys, &report, suppression_count, check_ms);
+        let text = report_json(
+            &findings,
+            &new_keys,
+            &report,
+            suppression_count,
+            check_ms,
+            &analysis.timings,
+        );
         if let Err(code) = write_out(path, &text) {
             return code;
         }

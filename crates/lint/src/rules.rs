@@ -19,10 +19,13 @@ use crate::parser::{parse, ParsedFile};
 /// lexical (per-line); the next six are interprocedural (call-graph
 /// reachability, see [`crate::interproc`] — driven by the declarative
 /// [`crate::ruleset`]); `unvalidated-envelope-to-sink` and
-/// `gauge-balance` are dataflow rules (see [`crate::dataflow`]);
+/// `gauge-balance` are dataflow rules (see [`crate::dataflow`]); the
+/// four protocol-lifecycle rules are `[[typestate]]` automata (see
+/// [`crate::typestate`]); `blocking-cycle` and `queue-pop-no-close`
+/// come from the wait-for graph (see [`crate::waitgraph`]);
 /// `bad-suppression` and `unused-suppression` guard the suppression
 /// mechanism itself.
-pub const RULE_NAMES: [&str; 16] = [
+pub const RULE_NAMES: [&str; 22] = [
     "raw-thread-spawn",
     "raw-clock",
     "std-sync-primitive",
@@ -37,6 +40,12 @@ pub const RULE_NAMES: [&str; 16] = [
     "alloc-in-drain",
     "unvalidated-envelope-to-sink",
     "gauge-balance",
+    "wal-ack-before-durable",
+    "scratch-use-after-take",
+    "reactor-conn-accounting",
+    "fleet-handoff-completion",
+    "blocking-cycle",
+    "queue-pop-no-close",
     "bad-suppression",
     "unused-suppression",
 ];
@@ -141,6 +150,40 @@ pub fn rule_hint(rule: &str) -> &'static str {
              decremented on every non-panic path out of it (early \
              returns, `?`, let-else arms) — the chaos campaign's \
              gauges-return-to-0 teardown invariant, checked statically"
+        }
+        "wal-ack-before-durable" => {
+            "a function that appends a WAL record must commit (fsync) it \
+             before any non-error return — an ack sent from the appended \
+             state races durability, the exact loss window the 250-seed \
+             crash sweep probes dynamically"
+        }
+        "scratch-use-after-take" => {
+            "once `take_out` moves a pooled scratch buffer's String out, \
+             the guard must not be touched again — a later write lands in \
+             a buffer the pool will hand to the next envelope"
+        }
+        "reactor-conn-accounting" => {
+            "a connection removed from the reactor's conns map must be \
+             re-inserted or have `open_conns` decremented on every \
+             non-panic path out — otherwise the gauge and the map drift \
+             and shutdown never drains"
+        }
+        "fleet-handoff-completion" => {
+            "a claimed handoff must reach completion (a `complete` call \
+             or the recovery timer that leads there) on every path — an \
+             abandoned claim strands the dead instance's mailboxes \
+             forever"
+        }
+        "blocking-cycle" => {
+            "the wait-for graph over lock classes and blocking queue ops \
+             must stay acyclic — a cycle is a deadlock schedule waiting \
+             for the right interleaving, beyond what lock order alone \
+             can see"
+        }
+        "queue-pop-no-close" => {
+            "an unbounded blocking pop on a queue class with no close() \
+             call anywhere in the workspace can never observe shutdown — \
+             the consumer parks forever and teardown hangs"
         }
         "bad-suppression" => "suppressions need a known rule and a written reason",
         "unused-suppression" => {

@@ -1,0 +1,318 @@
+//! Static blocking-cycle analysis (v4): `static-lock-order`
+//! generalized beyond mutexes.
+//!
+//! A deadlock needs a cycle in the *wait-for* relation, and locks are
+//! only one kind of waitable resource: a full bounded [`FifoQueue`]
+//! blocks its producers exactly like a held mutex blocks an acquirer,
+//! and an empty one parks its consumer. This module builds a wait-for
+//! graph whose nodes are lock classes (from [`crate::summaries`]'
+//! guard regions) and queue classes (struct fields whose declared base
+//! type is a configured queue type), with three edge shapes:
+//!
+//! * **lock -> queue** — a blocking queue op (`pop`, `push`) inside a
+//!   guard region: progress under the lock waits on queue space or
+//!   queue items while other threads wait on the lock.
+//! * **queue -> lock** — a function that blocks on an unbounded `pop`
+//!   and (transitively) acquires a lock: the consumer's progress —
+//!   which producers may be waiting on — requires that lock.
+//! * **queue -> queue** — a pipeline stage that pops one queue and
+//!   blocking-pushes another: draining the first waits on space in
+//!   the second.
+//!
+//! Cycles are reported once per class set with a witness chain, the
+//! same shape (and the same DFS) as `static-lock-order`. The
+//! thread-spawn topology is deliberately *not* part of the node set:
+//! who spawns the consumer doesn't change what it waits on, and
+//! modeling it would only add nodes no edge shape above can close a
+//! cycle through.
+//!
+//! The second rule is shutdown **liveness**: an unbounded blocking
+//! `pop` on a queue class that no non-test code ever `close()`s parks
+//! its consumer thread forever at teardown — the dynamic symptom is a
+//! join that never returns. Bounded pops (`pop_timeout`,
+//! `pop_timeout_batch`) are exempt by construction; closers are
+//! matched by field name workspace-wide, since the close usually
+//! lives on the owner's shutdown path in another function.
+
+use crate::callgraph::{CallSite, Graph};
+use crate::rules::{is_test_path, Finding, FlowStep};
+use crate::ruleset::{Ruleset, WaitgraphRule};
+use crate::summaries::{region_calls, Facts, FileEntry};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One wait-for edge: whoever holds/occupies `from` is waiting on
+/// `to`.
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+    witness: String,
+}
+
+/// The queue class a call operates on, if its receiver's last segment
+/// is a field of a configured queue type (declared in this file) or
+/// the call resolved to a queue-type method. Classes are file-scoped
+/// (`file:field`): two files with a `queue` field are two queues.
+fn queue_class(
+    rule: &WaitgraphRule,
+    facts: &Facts,
+    graph: &Graph,
+    file: &str,
+    c: &CallSite,
+) -> Option<String> {
+    if !c.is_method {
+        return None;
+    }
+    let seg = c.receiver.rsplit('.').next().unwrap_or("");
+    if seg.is_empty() {
+        return None;
+    }
+    let by_field = facts
+        .field_types
+        .get(file)
+        .and_then(|m| m.get(seg))
+        .is_some_and(|ty| rule.queue_types.iter().any(|q| q == ty));
+    let by_callee = c.callee.is_some_and(|t| {
+        let q = &graph.fns[t].qualified;
+        rule.queue_types.iter().any(|ty| {
+            q.len() > ty.len() + 2 && q.starts_with(ty.as_str()) && q[ty.len()..].starts_with("::")
+        })
+    });
+    if by_field || by_callee {
+        Some(format!("{file}:{seg}"))
+    } else {
+        None
+    }
+}
+
+fn exempt(rule: &WaitgraphRule, file: &str) -> bool {
+    rule.exempt.iter().any(|p| file.starts_with(p.as_str())) || is_test_path(file)
+}
+
+fn run_rule(
+    rule: &WaitgraphRule,
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    facts: &Facts,
+    findings: &mut Vec<Finding>,
+) {
+    let _ = files;
+    // ---- edges ------------------------------------------------------
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut add = |from: String, to: String, file: &str, line: usize, witness: String| {
+        if from != to {
+            edges
+                .entry((from.clone(), to.clone()))
+                .or_insert(Edge { from, to, file: file.to_string(), line, witness });
+        }
+    };
+    // Liveness bookkeeping: blocking pop sites and closed field names.
+    let mut pops: Vec<(String, String, usize, String)> = Vec::new(); // class, file, line, fn
+    let mut closed_fields: BTreeSet<String> = BTreeSet::new();
+
+    for (fi, f) in graph.fns.iter().enumerate() {
+        if is_test_path(&f.file) {
+            continue;
+        }
+        for c in &f.calls {
+            let Some(q) = queue_class(rule, facts, graph, &f.file, c) else { continue };
+            if rule.closers.iter().any(|n| n == &c.name) {
+                closed_fields.insert(q.rsplit(':').next().unwrap_or("").to_string());
+            }
+        }
+        if exempt(rule, &f.file) {
+            continue;
+        }
+        let ff = &facts.fns[fi];
+        // lock -> queue: blocking queue op inside a guard region.
+        for region in &ff.regions {
+            for c in region_calls(f, region) {
+                let Some(q) = queue_class(rule, facts, graph, &f.file, c) else { continue };
+                let blocking = (rule.blocking_pops.iter().any(|n| n == &c.name) && c.args_empty)
+                    || rule.blocking_pushes.iter().any(|n| n == &c.name);
+                if blocking {
+                    add(
+                        region.class.clone(),
+                        q.clone(),
+                        &f.file,
+                        c.line,
+                        format!(
+                            "{} ({}:{}) blocks on queue `{q}` while holding `{}`",
+                            f.qualified, f.file, c.line, region.class
+                        ),
+                    );
+                }
+            }
+        }
+        // Per-fn pop/push sets for the queue->lock and queue->queue
+        // shapes (and the liveness rule).
+        for c in &f.calls {
+            let Some(q) = queue_class(rule, facts, graph, &f.file, c) else { continue };
+            if rule.blocking_pops.iter().any(|n| n == &c.name) && c.args_empty {
+                pops.push((q.clone(), f.file.clone(), c.line, f.qualified.clone()));
+                // queue -> lock: the consumer's progress needs every
+                // lock this fn (transitively) acquires.
+                for (class, w) in &ff.acquires {
+                    add(
+                        q.clone(),
+                        class.clone(),
+                        &f.file,
+                        c.line,
+                        format!(
+                            "{} ({}:{}) pops `{q}` and acquires `{class}` ({}:{})",
+                            f.qualified, f.file, c.line, f.file, w.line
+                        ),
+                    );
+                }
+                // queue -> queue: pop one, blocking-push another.
+                for c2 in &f.calls {
+                    if !rule.blocking_pushes.iter().any(|n| n == &c2.name) {
+                        continue;
+                    }
+                    let Some(q2) = queue_class(rule, facts, graph, &f.file, c2) else {
+                        continue;
+                    };
+                    add(
+                        q.clone(),
+                        q2.clone(),
+                        &f.file,
+                        c2.line,
+                        format!(
+                            "{} ({}:{}) pops `{q}` then blocking-pushes `{q2}` ({}:{})",
+                            f.qualified, f.file, c.line, f.file, c2.line
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- cycle detection (same DFS as static-lock-order) ------------
+    let edge_list: Vec<Edge> = edges.into_values().collect();
+    cycles(rule.name, &edge_list, findings);
+
+    // ---- shutdown liveness ------------------------------------------
+    for (class, file, line, fn_q) in pops {
+        let field = class.rsplit(':').next().unwrap_or("");
+        if closed_fields.contains(field) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: rule.liveness_name,
+            file: file.clone(),
+            line,
+            excerpt: format!(
+                "blocking `pop` on queue `{field}` in {fn_q} has no `close()` anywhere in \
+                 non-test code — shutdown parks this consumer forever"
+            ),
+            witness: Some(format!(
+                "{fn_q} ({file}:{line}) blocks on `{field}` with no close path workspace-wide"
+            )),
+            flow: vec![FlowStep {
+                file,
+                line,
+                message: format!("consumer parks on `{field}` with no shutdown close"),
+            }],
+        });
+    }
+}
+
+/// Reports each wait-for cycle once (keyed by its sorted class set).
+fn cycles(rule_name: &'static str, edges: &[Edge], findings: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(e);
+    }
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = on stack, 2 = done
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+
+    fn dfs<'a>(
+        rule_name: &'static str,
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a Edge>,
+        reported: &mut BTreeSet<Vec<String>>,
+        findings: &mut Vec<Finding>,
+    ) {
+        color.insert(node, 1);
+        for e in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            match color.get(e.to.as_str()).copied().unwrap_or(0) {
+                0 => {
+                    stack.push(e);
+                    dfs(rule_name, e.to.as_str(), adj, color, stack, reported, findings);
+                    stack.pop();
+                }
+                1 => {
+                    let mut cycle: Vec<&Edge> = Vec::new();
+                    let mut collecting = false;
+                    for se in stack.iter() {
+                        if se.from == e.to {
+                            collecting = true;
+                        }
+                        if collecting {
+                            cycle.push(se);
+                        }
+                    }
+                    cycle.push(e);
+                    let mut key: Vec<String> = cycle.iter().map(|c| c.from.clone()).collect();
+                    key.sort();
+                    if reported.insert(key) {
+                        let path: Vec<String> = cycle
+                            .iter()
+                            .map(|c| c.from.clone())
+                            .chain(std::iter::once(e.to.clone()))
+                            .collect();
+                        let witness = cycle
+                            .iter()
+                            .map(|c| c.witness.as_str())
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        let flow = cycle
+                            .iter()
+                            .map(|c| FlowStep {
+                                file: c.file.clone(),
+                                line: c.line,
+                                message: format!("waits on `{}` while occupying `{}`", c.to, c.from),
+                            })
+                            .collect();
+                        findings.push(Finding {
+                            rule: rule_name,
+                            file: cycle[0].file.clone(),
+                            line: cycle[0].line,
+                            excerpt: format!("potential blocking cycle: {}", path.join(" -> ")),
+                            witness: Some(witness),
+                            flow,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        color.insert(node, 2);
+    }
+
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            let mut stack = Vec::new();
+            dfs(rule_name, n, &adj, &mut color, &mut stack, &mut reported, findings);
+        }
+    }
+}
+
+/// Runs every `[[waitgraph]]` rule. Findings are unfiltered;
+/// suppressions apply in the caller.
+pub fn run(
+    files: &BTreeMap<String, FileEntry>,
+    graph: &Graph,
+    facts: &Facts,
+    ruleset: &Ruleset,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in &ruleset.waitgraph_rules {
+        run_rule(rule, files, graph, facts, &mut findings);
+    }
+    findings
+}

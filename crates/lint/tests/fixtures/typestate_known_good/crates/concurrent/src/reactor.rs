@@ -1,0 +1,26 @@
+//! Known-good twin of the seeded reactor fixture: every exit either
+//! re-inserts the removed conn or decrements `open_conns` — including
+//! the branch-polarity shape (`.is_none()` early return) the real
+//! reactor uses.
+
+impl Shared {
+    pub fn reinsert(&self, id: u64, keep: bool) {
+        let mut st = self.state.lock();
+        let conn = st.conns.remove(&id);
+        if keep {
+            st.conns.insert(id, conn);
+        } else {
+            self.open_conns.dec();
+        }
+    }
+
+    /// When the remove misses, nothing was taken — the early return is
+    /// clean because the `.is_none()` branch reverts the transition.
+    pub fn reinsert_checked(&self, id: u64) {
+        let mut st = self.state.lock();
+        if st.conns.remove(&id).is_none() {
+            return;
+        }
+        self.open_conns.dec();
+    }
+}

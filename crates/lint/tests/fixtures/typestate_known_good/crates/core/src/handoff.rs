@@ -1,0 +1,14 @@
+//! Known-good twin of the seeded handoff fixture: the failure path
+//! arms the recovery timer, which leads to completion.
+
+impl FleetHub {
+    pub fn adopt(&mut self, dead: u64, heir: u64) -> bool {
+        self.handoffs.claim_for(dead, heir);
+        if self.instances.contains(&heir) {
+            self.handoffs.complete(dead);
+            return true;
+        }
+        self.set_timer(dead);
+        false
+    }
+}

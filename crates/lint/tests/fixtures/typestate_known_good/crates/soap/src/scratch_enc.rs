@@ -1,0 +1,9 @@
+//! Known-good twin of the seeded scratch fixture: all writes happen
+//! before `take_out`, which is the guard's last use.
+
+pub fn encode_frame(pool: &ScratchPool, frame: &Frame) -> Vec<u8> {
+    let mut guard = pool.checkout();
+    guard.extend(frame.header());
+    guard.extend(frame.body());
+    guard.take_out()
+}

@@ -1,0 +1,23 @@
+//! Known-good twin of the seeded WAL fixture: every return path
+//! commits what it appended before acking.
+
+pub struct WalBox {
+    wal: Wal,
+}
+
+impl WalBox {
+    pub fn deposit_fast(&mut self, rec: Frame) -> Result<Lsn, Error> {
+        let lsn = self.wal.append(rec)?;
+        self.wal.commit(lsn)?;
+        Ok(lsn)
+    }
+
+    pub fn deposit_racy(&mut self, rec: Frame, fast: bool) -> Result<(), Error> {
+        let lsn = self.wal.append(rec)?;
+        self.wal.commit(lsn)?;
+        if fast {
+            return Ok(());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded typestate violation: a connection removed from the conns
+//! map leaks on the drop path without an `open_conns` decrement.
+
+impl Shared {
+    /// SEEDED(reactor-conn-accounting): the `!keep` fall-through drops
+    /// the conn without re-inserting or decrementing the gauge.
+    pub fn reinsert(&self, id: u64, keep: bool) {
+        let mut st = self.state.lock();
+        let conn = st.conns.remove(&id);
+        if keep {
+            st.conns.insert(id, conn);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded typestate violation: an ownership handoff claimed and then
+//! abandoned on the validation-failure path.
+
+impl FleetHub {
+    /// SEEDED(fleet-handoff-completion): when the heir is unknown the
+    /// claim is neither completed nor scheduled for recovery.
+    pub fn adopt(&mut self, dead: u64, heir: u64) -> bool {
+        self.handoffs.claim_for(dead, heir);
+        if self.instances.contains(&heir) {
+            self.handoffs.complete(dead);
+            return true;
+        }
+        false
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded typestate violation: a scratch guard written to after its
+//! buffer was moved out — the write lands in the pool's next buffer.
+
+/// SEEDED(scratch-use-after-take): `guard` is extended after
+/// `take_out` already moved the buffer out.
+pub fn encode_frame(pool: &ScratchPool, frame: &Frame) -> Vec<u8> {
+    let mut guard = pool.checkout();
+    guard.extend(frame.header());
+    let buf = guard.take_out();
+    guard.extend(frame.body());
+    buf
+}

@@ -1,0 +1,26 @@
+//! Seeded typestate violations: WAL records appended but not
+//! committed on every return path — the ack-before-durable race.
+
+pub struct WalBox {
+    wal: Wal,
+}
+
+impl WalBox {
+    /// SEEDED(wal-ack-before-durable): falls off the end with the
+    /// record appended but never fsynced.
+    pub fn deposit_fast(&mut self, rec: Frame) -> Result<Lsn, Error> {
+        let lsn = self.wal.append(rec)?;
+        Ok(lsn)
+    }
+
+    /// SEEDED(wal-ack-before-durable): the happy path commits, the
+    /// fast-ack early return does not.
+    pub fn deposit_racy(&mut self, rec: Frame, fast: bool) -> Result<(), Error> {
+        let lsn = self.wal.append(rec)?;
+        if fast {
+            return Ok(());
+        }
+        self.wal.commit(lsn)?;
+        Ok(())
+    }
+}

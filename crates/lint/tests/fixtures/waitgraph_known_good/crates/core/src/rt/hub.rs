@@ -1,0 +1,35 @@
+//! Known-good twin of the seeded hub: the producer stages under the
+//! lock and pushes only after dropping it, so the wait-for graph has
+//! a single queue->lock edge and no cycle.
+
+pub struct Hub {
+    jobs: FifoQueue<Job>,
+    state: OrderedMutex<HubState>,
+}
+
+impl Hub {
+    pub fn new() -> Hub {
+        Hub {
+            jobs: FifoQueue::bounded(64),
+            state: OrderedMutex::new("hub.state", HubState::new()),
+        }
+    }
+
+    /// Push happens outside the guard region: no lock->queue edge.
+    pub fn submit(&self, job: Job) {
+        let st = self.state.lock();
+        let tagged = st.tag(job);
+        drop(st);
+        self.jobs.push(tagged);
+    }
+
+    pub fn drain_one(&self) {
+        let job = self.jobs.pop();
+        let mut st = self.state.lock();
+        st.apply(job);
+    }
+
+    pub fn shutdown(&self) {
+        self.jobs.close();
+    }
+}

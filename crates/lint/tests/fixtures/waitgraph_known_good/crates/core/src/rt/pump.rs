@@ -1,0 +1,21 @@
+//! Known-good twin of the seeded pump: the owner's shutdown path
+//! closes the queue, releasing the parked consumer.
+
+pub struct Pump {
+    inbox: FifoQueue<Envelope>,
+}
+
+impl Pump {
+    pub fn run(&self) {
+        loop {
+            let env = self.inbox.pop();
+            self.deliver(env);
+        }
+    }
+
+    pub fn shutdown(&self) {
+        self.inbox.close();
+    }
+
+    fn deliver(&self, _env: Envelope) {}
+}

@@ -1,0 +1,36 @@
+//! Seeded blocking-cycle: the producer blocking-pushes while holding
+//! the state lock; the consumer pops and then takes the same lock.
+//! `hub.state -> jobs -> hub.state` is a deadlock schedule waiting
+//! for a full queue and the right interleaving.
+
+pub struct Hub {
+    jobs: FifoQueue<Job>,
+    state: OrderedMutex<HubState>,
+}
+
+impl Hub {
+    pub fn new() -> Hub {
+        Hub {
+            jobs: FifoQueue::bounded(64),
+            state: OrderedMutex::new("hub.state", HubState::new()),
+        }
+    }
+
+    /// SEEDED(blocking-cycle): blocking push with `hub.state` held.
+    pub fn submit(&self, job: Job) {
+        let st = self.state.lock();
+        self.jobs.push(job);
+        drop(st);
+    }
+
+    /// The other half of the cycle: pops `jobs`, then takes the lock.
+    pub fn drain_one(&self) {
+        let job = self.jobs.pop();
+        let mut st = self.state.lock();
+        st.apply(job);
+    }
+
+    pub fn shutdown(&self) {
+        self.jobs.close();
+    }
+}

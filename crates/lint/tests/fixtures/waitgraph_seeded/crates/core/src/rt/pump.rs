@@ -1,0 +1,19 @@
+//! Seeded shutdown-liveness violation: a consumer parks on a queue no
+//! non-test code ever closes.
+
+pub struct Pump {
+    inbox: FifoQueue<Envelope>,
+}
+
+impl Pump {
+    /// SEEDED(queue-pop-no-close): `inbox` has no `close()` anywhere,
+    /// so shutdown parks this loop forever.
+    pub fn run(&self) {
+        loop {
+            let env = self.inbox.pop();
+            self.deliver(env);
+        }
+    }
+
+    fn deliver(&self, _env: Envelope) {}
+}
